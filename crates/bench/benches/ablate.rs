@@ -1,0 +1,57 @@
+//! Compactor ablations: scheduling cost and quality with renaming or
+//! speculation disabled, and under realistic latencies — the design
+//! choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pps_bench::profile;
+use pps_compact::CompactConfig;
+use pps_core::{form_and_compact, FormConfig, Scheme};
+use pps_machine::MachineConfig;
+use pps_sim::simulate;
+use pps_suite::{benchmark_by_name, Scale};
+
+fn run(bench: &pps_suite::Benchmark, cc: &CompactConfig) -> u64 {
+    let (edge, path) = profile(bench);
+    let mut program = bench.program.clone();
+    let (compacted, _) = form_and_compact(
+        &mut program,
+        &edge,
+        Some(&path),
+        Scheme::P4,
+        &FormConfig::default(),
+        cc,
+    );
+    simulate(&program, &compacted, &cc.machine, None, &bench.test_args)
+        .unwrap()
+        .cycles
+}
+
+fn bench_ablate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate");
+    group.sample_size(10);
+    for name in ["wc", "eqn", "m88k"] {
+        let bench = benchmark_by_name(name, Scale(1)).expect("benchmark exists");
+        let configs: [(&str, CompactConfig); 4] = [
+            ("full", CompactConfig::default()),
+            (
+                "no-renaming",
+                CompactConfig { renaming: false, move_renaming: false, ..Default::default() },
+            ),
+            (
+                "no-speculation",
+                CompactConfig { speculate_loads: false, ..Default::default() },
+            ),
+            (
+                "realistic-latency",
+                CompactConfig { machine: MachineConfig::realistic(), ..Default::default() },
+            ),
+        ];
+        for (label, cc) in configs {
+            group.bench_function(format!("{label}/{name}"), |b| b.iter(|| run(&bench, &cc)));
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablate);
+criterion_main!(benches);

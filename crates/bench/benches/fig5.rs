@@ -1,0 +1,25 @@
+//! Figure 5 regeneration machinery: P4 and P4e with code layout and the
+//! 32KB direct-mapped I-cache in the loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pps_bench::pipeline_icache;
+use pps_core::Scheme;
+use pps_suite::{benchmark_by_name, Scale};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    // Representative subset (pps-harness regenerates the full figure).
+    for name in ["wc", "gcc", "perl"] {
+        let bench = benchmark_by_name(name, Scale(1)).expect("benchmark exists");
+        for scheme in [Scheme::P4, Scheme::P4E] {
+            group.bench_function(format!("{}/{}", scheme.name(), bench.name), |b| {
+                b.iter(|| pipeline_icache(&bench, scheme))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 6 regeneration machinery: aggressive edge-based unrolling (M16)
+//! against restrained path-based formation (P4e).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pps_bench::pipeline_icache;
+use pps_core::Scheme;
+use pps_suite::{benchmark_by_name, Scale};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    // Representative subset (pps-harness regenerates the full figure).
+    for name in ["wc", "gcc", "perl"] {
+        let bench = benchmark_by_name(name, Scale(1)).expect("benchmark exists");
+        for scheme in [Scheme::M16, Scheme::P4E] {
+            group.bench_function(format!("{}/{}", scheme.name(), bench.name), |b| {
+                b.iter(|| pipeline_icache(&bench, scheme))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7 regeneration machinery: collecting the dynamically-weighted
+//! blocks-executed-per-superblock and superblock-size statistics for the
+//! four schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pps_bench::{pipeline_ideal, profile};
+use pps_core::Scheme;
+use pps_suite::{benchmark_by_name, Scale};
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    // Figure 7's statistics come from the same runs; benchmark the
+    // collection on representative benchmarks across the four schemes.
+    for name in ["wc", "gcc", "go"] {
+        let bench = benchmark_by_name(name, Scale(1)).expect("benchmark exists");
+        let (edge, path) = profile(&bench);
+        for scheme in [Scheme::M4, Scheme::M16, Scheme::P4E, Scheme::P4] {
+            group.bench_function(format!("{}/{}", scheme.name(), name), |b| {
+                b.iter(|| {
+                    let (_, out) = pipeline_ideal(&bench, scheme, &edge, &path);
+                    (out.sb_stats.avg_blocks_executed(), out.sb_stats.avg_size())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table 1 regeneration machinery: baseline (basic-block) compaction and
+//! timing simulation per benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pps_compact::{compact_program, singleton_partition, CompactConfig};
+use pps_machine::MachineConfig;
+use pps_sim::simulate;
+use pps_suite::{benchmark_by_name, Scale};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    // Representative subset (pps-harness regenerates the full table).
+    for name in ["alt", "wc", "gcc", "go", "m88k", "vortex"] {
+        let bench = benchmark_by_name(name, Scale(1)).expect("benchmark exists");
+        // Compaction (scheduling every block).
+        group.bench_function(format!("compact/{}", bench.name), |b| {
+            b.iter(|| {
+                let mut program = bench.program.clone();
+                let part = singleton_partition(&program);
+                compact_program(&mut program, &part, &CompactConfig::default())
+            })
+        });
+        // Timing simulation of the baseline.
+        let mut program = bench.program.clone();
+        let part = singleton_partition(&program);
+        let compacted = compact_program(&mut program, &part, &CompactConfig::default());
+        let machine = MachineConfig::paper();
+        group.bench_function(format!("simulate/{}", bench.name), |b| {
+            b.iter(|| simulate(&program, &compacted, &machine, None, &bench.test_args).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks, one target per paper table/figure plus component
+//! ablations. Shared helpers live here; the bench targets are under
+//! `benches/`.
+//!
+//! Each target measures the machinery that *regenerates* its table or
+//! figure (the harness binary prints the actual rows):
+//!
+//! - `table1` — baseline (basic-block) compaction + timing simulation;
+//! - `fig4` — the full M4 and P4 pipelines with ideal I-cache timing;
+//! - `fig5` — P4/P4e with layout + I-cache simulation;
+//! - `fig6` — M16 vs P4e formation;
+//! - `fig7` — dynamic superblock statistics collection;
+//! - `profiler` — §3.1: general path profiling vs edge profiling vs plain
+//!   execution (the O(1)-amortized-per-edge claim);
+//! - `ablate` — compactor feature ablations (renaming, speculation,
+//!   realistic latencies).
+
+use pps_compact::CompactConfig;
+use pps_core::{form_and_compact, FormConfig, Scheme};
+use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::trace::TeeSink;
+use pps_ir::Program;
+use pps_machine::MachineConfig;
+use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler};
+use pps_sim::{simulate, Layout, SimOutcome};
+use pps_suite::Benchmark;
+
+/// Profiles `bench` on its training input (one run, both profilers).
+pub fn profile(bench: &Benchmark) -> (EdgeProfile, PathProfile) {
+    let mut tee = TeeSink::new(
+        EdgeProfiler::new(&bench.program),
+        PathProfiler::new(&bench.program, 15),
+    );
+    Interp::new(&bench.program, ExecConfig::default())
+        .run_traced(&bench.train_args, &mut tee)
+        .expect("train run");
+    (tee.a.finish(), tee.b.finish())
+}
+
+/// Runs formation + compaction for one scheme, returning the transformed
+/// program and its timing on the testing input (ideal I-cache).
+pub fn pipeline_ideal(
+    bench: &Benchmark,
+    scheme: Scheme,
+    edge: &EdgeProfile,
+    path: &PathProfile,
+) -> (Program, SimOutcome) {
+    let mut program = bench.program.clone();
+    let (compacted, _) = form_and_compact(
+        &mut program,
+        edge,
+        Some(path),
+        scheme,
+        &FormConfig::default(),
+        &CompactConfig::default(),
+    );
+    let machine = MachineConfig::paper();
+    let out = simulate(&program, &compacted, &machine, None, &bench.test_args)
+        .expect("test run");
+    (program, out)
+}
+
+/// Full methodology including layout + I-cache simulation.
+pub fn pipeline_icache(bench: &Benchmark, scheme: Scheme) -> SimOutcome {
+    let (edge, path) = profile(bench);
+    let mut program = bench.program.clone();
+    let (compacted, _) = form_and_compact(
+        &mut program,
+        &edge,
+        Some(&path),
+        scheme,
+        &FormConfig::default(),
+        &CompactConfig::default(),
+    );
+    let machine = MachineConfig::paper();
+    let train = simulate(&program, &compacted, &machine, None, &bench.train_args)
+        .expect("layout run");
+    let layout = Layout::build(&program, &compacted, &train.transitions, &machine);
+    simulate(&program, &compacted, &machine, Some(&layout), &bench.test_args)
+        .expect("measured run")
+}

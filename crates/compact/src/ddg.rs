@@ -1,0 +1,531 @@
+//! Data-dependence graph over a (renamed) superblock body.
+//!
+//! Items are the superblock's instructions plus one *exit item* per block
+//! terminator (internal unconditional jumps to the next block are elided —
+//! they cost nothing after layout). All edges point forward in item order,
+//! so items are topologically sorted by construction.
+//!
+//! Edge kinds:
+//! - true dependences (def → use) with the producer's latency;
+//! - residual anti (use → def, latency 0) and output (def → def, latency 1)
+//!   dependences on registers the renamer left in place;
+//! - memory dependences with base+offset disambiguation: accesses through
+//!   the same base register at different constant offsets are independent;
+//! - side-effect ordering: stores/calls/outs are pinned on both sides of
+//!   every exit, and ordered among themselves where required;
+//! - speculation control: loads may float above exits only when the
+//!   configuration allows converting them to the non-excepting form;
+//! - off-trace liveness: the producers of values an exit's compensation
+//!   stub (or off-trace path) reads are pinned above that exit.
+
+use crate::superblock::SuperblockSpec;
+use pps_machine::{MachineConfig, OpClass};
+use pps_ir::{Instr, Proc, Reg, Terminator};
+use std::collections::HashMap;
+
+/// What an item is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// The `idx`-th instruction of the block at superblock position `pos`.
+    Instr {
+        /// Position of the owning block within the superblock.
+        pos: usize,
+        /// Instruction index within the block.
+        idx: usize,
+    },
+    /// The terminator of the block at position `pos`.
+    Exit {
+        /// Position of the owning block within the superblock.
+        pos: usize,
+    },
+}
+
+/// One schedulable item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Resource class.
+    pub class: OpClass,
+    /// Result latency (1 for items without results).
+    pub latency: u32,
+}
+
+/// A dependence edge: `to` may not start before `from`'s cycle plus
+/// `latency`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source item.
+    pub from: u32,
+    /// Sink item.
+    pub to: u32,
+    /// Minimum cycle distance.
+    pub latency: u32,
+}
+
+/// The dependence graph of one superblock.
+#[derive(Debug, Clone)]
+pub struct Ddg {
+    /// Items in program order (topological).
+    pub items: Vec<Item>,
+    /// Dependence edges (may contain duplicates; all point forward).
+    pub edges: Vec<Edge>,
+    /// Per superblock position: the exit item for that block's terminator,
+    /// or `None` when the terminator was elided (internal jump).
+    pub exit_items: Vec<Option<u32>>,
+}
+
+/// Memory-access summary for disambiguation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MemRef {
+    base: Reg,
+    offset: i64,
+}
+
+fn mem_ref(instr: &Instr) -> Option<MemRef> {
+    match instr {
+        Instr::Load { base, offset, .. } => Some(MemRef { base: *base, offset: *offset }),
+        Instr::Store { base, offset, .. } => Some(MemRef { base: *base, offset: *offset }),
+        _ => None,
+    }
+}
+
+/// Two references provably never alias: same base register (same SSA-ish
+/// name, hence same value) with different offsets.
+fn provably_disjoint(a: MemRef, b: MemRef) -> bool {
+    a.base == b.base && a.offset != b.offset
+}
+
+/// Builds the dependence graph for `sb`.
+///
+/// `exit_reads` comes from [`crate::rename::rename_superblock`]; it lists,
+/// per position, the registers the off-trace path reads at that exit.
+/// `speculate_loads` permits loads to float above exits (they are later
+/// converted to the non-excepting form if actually hoisted).
+pub fn build_ddg(
+    proc: &Proc,
+    sb: &SuperblockSpec,
+    exit_reads: &[Vec<Reg>],
+    machine: &MachineConfig,
+    speculate_loads: bool,
+) -> Ddg {
+    let mut items: Vec<Item> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut exit_items: Vec<Option<u32>> = vec![None; sb.len()];
+
+    // Dataflow bookkeeping.
+    let mut last_def: HashMap<Reg, u32> = HashMap::new();
+    let mut uses_since_def: HashMap<Reg, Vec<u32>> = HashMap::new();
+    // Memory/side-effect bookkeeping.
+    let mut prior_stores: Vec<(u32, Option<MemRef>)> = Vec::new(); // stores + calls (None ref = barrier)
+    let mut prior_loads: Vec<(u32, Option<MemRef>)> = Vec::new();
+    let mut last_out: Option<u32> = None;
+    let mut last_call: Option<u32> = None;
+    // Exits seen so far, with their off-trace read sets.
+    let mut prior_exits: Vec<u32> = Vec::new();
+    let mut use_buf: Vec<Reg> = Vec::new();
+
+    let add_edge = |edges: &mut Vec<Edge>, from: u32, to: u32, latency: u32| {
+        debug_assert!(from < to || latency == 0 && from == to, "forward edges only");
+        if from != to {
+            edges.push(Edge { from, to, latency });
+        }
+    };
+
+    for (pos, &bid) in sb.blocks.iter().enumerate() {
+        let block = proc.block(bid);
+        for (idx, instr) in block.instrs.iter().enumerate() {
+            let id = items.len() as u32;
+            let class = OpClass::of_instr(instr);
+            let latency = machine.latency.latency(instr);
+            items.push(Item { kind: ItemKind::Instr { pos, idx }, class, latency });
+
+            // True dependences on uses; record anti-dep sources.
+            use_buf.clear();
+            instr.collect_uses(&mut use_buf);
+            for &r in &use_buf {
+                if let Some(&d) = last_def.get(&r) {
+                    let lat = items[d as usize].latency;
+                    add_edge(&mut edges, d, id, lat);
+                }
+                uses_since_def.entry(r).or_default().push(id);
+            }
+
+            // Memory ordering.
+            match instr {
+                Instr::Load { .. } => {
+                    let mr = mem_ref(instr);
+                    for &(s, sref) in &prior_stores {
+                        let disjoint = match (mr, sref) {
+                            (Some(a), Some(b)) => provably_disjoint(a, b),
+                            _ => false,
+                        };
+                        if !disjoint {
+                            add_edge(&mut edges, s, id, items[s as usize].latency);
+                        }
+                    }
+                    prior_loads.push((id, mr));
+                    // Loads may not float above exits unless speculation is
+                    // allowed.
+                    if !speculate_loads {
+                        for &e in &prior_exits {
+                            add_edge(&mut edges, e, id, 1);
+                        }
+                    }
+                }
+                Instr::Store { .. } => {
+                    let mr = mem_ref(instr);
+                    for &(s, sref) in &prior_stores {
+                        let disjoint = match (mr, sref) {
+                            (Some(a), Some(b)) => provably_disjoint(a, b),
+                            _ => false,
+                        };
+                        if !disjoint {
+                            add_edge(&mut edges, s, id, 1);
+                        }
+                    }
+                    for &(l, lref) in &prior_loads {
+                        let disjoint = match (mr, lref) {
+                            (Some(a), Some(b)) => provably_disjoint(a, b),
+                            _ => false,
+                        };
+                        if !disjoint {
+                            add_edge(&mut edges, l, id, 0);
+                        }
+                    }
+                    prior_stores.push((id, mr));
+                    // Side effect: pinned below every prior exit.
+                    for &e in &prior_exits {
+                        add_edge(&mut edges, e, id, 1);
+                    }
+                }
+                Instr::Call { .. } => {
+                    // Barrier against all memory, outs, calls, exits.
+                    for &(s, _) in &prior_stores {
+                        add_edge(&mut edges, s, id, 1);
+                    }
+                    for &(l, _) in &prior_loads {
+                        add_edge(&mut edges, l, id, 0);
+                    }
+                    if let Some(o) = last_out {
+                        add_edge(&mut edges, o, id, 1);
+                    }
+                    if let Some(c) = last_call {
+                        add_edge(&mut edges, c, id, 1);
+                    }
+                    for &e in &prior_exits {
+                        add_edge(&mut edges, e, id, 1);
+                    }
+                    prior_stores.push((id, None));
+                    prior_loads.push((id, None));
+                    last_call = Some(id);
+                }
+                Instr::Out { .. } => {
+                    if let Some(o) = last_out {
+                        add_edge(&mut edges, o, id, 1);
+                    }
+                    if let Some(c) = last_call {
+                        add_edge(&mut edges, c, id, 1);
+                    }
+                    for &e in &prior_exits {
+                        add_edge(&mut edges, e, id, 1);
+                    }
+                    last_out = Some(id);
+                }
+                _ => {}
+            }
+
+            // Residual anti/output dependences and exit-clobber pins for
+            // the definition.
+            if let Some(d) = instr.dst() {
+                if let Some(us) = uses_since_def.get(&d) {
+                    for &u in us {
+                        add_edge(&mut edges, u, id, 0);
+                    }
+                }
+                if let Some(&pd) = last_def.get(&d) {
+                    add_edge(&mut edges, pd, id, 1);
+                }
+                // A def whose register an earlier exit's off-trace path
+                // reads must not be hoisted above that exit.
+                for (&e, epos) in prior_exits.iter().zip(0..) {
+                    let _ = epos;
+                    let eitem = e as usize;
+                    if let ItemKind::Exit { pos: ep } = items[eitem].kind {
+                        if exit_reads[ep].contains(&d) {
+                            add_edge(&mut edges, e, id, 1);
+                        }
+                    }
+                }
+                last_def.insert(d, id);
+                uses_since_def.remove(&d);
+            }
+        }
+
+        // Terminator.
+        let internal_jump = pos + 1 < sb.len()
+            && matches!(block.term, Terminator::Jump { target } if target == sb.blocks[pos + 1]);
+        if internal_jump {
+            continue;
+        }
+        let id = items.len() as u32;
+        let latency = 1;
+        items.push(Item { kind: ItemKind::Exit { pos }, class: OpClass::of_term(&block.term), latency });
+        exit_items[pos] = Some(id);
+
+        // Condition/selector/return-value uses.
+        for r in block.term.uses() {
+            if let Some(&d) = last_def.get(&r) {
+                let lat = items[d as usize].latency;
+                add_edge(&mut edges, d, id, lat);
+            }
+            uses_since_def.entry(r).or_default().push(id);
+        }
+        // Producers of off-trace-read values are pinned above the exit.
+        // The off-trace reader (compensation stub or target block) executes
+        // at least one cycle after the exit, so the pin latency is one less
+        // than the producer's result latency.
+        for &r in &exit_reads[pos] {
+            if let Some(&d) = last_def.get(&r) {
+                let lat = items[d as usize].latency.saturating_sub(1);
+                add_edge(&mut edges, d, id, lat);
+            }
+        }
+        // Side effects above stay above (same-cycle allowed: ops issued in
+        // the taken-exit cycle still execute on our VLIW).
+        for &(s, _) in &prior_stores {
+            add_edge(&mut edges, s, id, 0);
+        }
+        if let Some(o) = last_out {
+            add_edge(&mut edges, o, id, 0);
+        }
+        if let Some(c) = last_call {
+            add_edge(&mut edges, c, id, 0);
+        }
+        // Exits stay ordered.
+        if let Some(&e) = prior_exits.last() {
+            add_edge(&mut edges, e, id, 1);
+        }
+        prior_exits.push(id);
+    }
+
+    Ddg { items, edges, exit_items }
+}
+
+impl Ddg {
+    /// Number of schedulable items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the superblock has no items (cannot happen for valid
+    /// superblocks; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Critical-path height of every item (longest latency-weighted path to
+    /// any sink).
+    pub fn heights(&self) -> Vec<u32> {
+        let mut h = vec![0u32; self.items.len()];
+        // Items are topologically ordered; scan edges in reverse.
+        for e in self.edges.iter().rev() {
+            let cand = h[e.to as usize] + e.latency;
+            if cand > h[e.from as usize] {
+                h[e.from as usize] = cand;
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::{AluOp, BlockId, Operand, Program};
+
+    fn has_edge(ddg: &Ddg, from: u32, to: u32) -> bool {
+        ddg.edges.iter().any(|e| e.from == from && e.to == to)
+    }
+
+    /// Single block: a = 1; b = a + 1; store b; load c; out c; ret
+    fn straight() -> (Program, SuperblockSpec) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let a = f.reg();
+        let b = f.reg();
+        let c = f.reg();
+        let addr = f.reg();
+        f.mov(addr, 16i64);
+        f.mov(a, 1i64);
+        f.alu(AluOp::Add, b, a, 1i64);
+        f.store(b, addr, 0);
+        f.load(c, addr, 0);
+        f.out(c);
+        f.ret(None);
+        let main = f.finish();
+        (pb.finish(main), SuperblockSpec::singleton(BlockId::new(0)))
+    }
+
+    #[test]
+    fn true_memory_and_output_edges() {
+        let (p, sb) = straight();
+        let proc = p.proc(p.entry);
+        let exit_reads = vec![Vec::new()];
+        let ddg = build_ddg(proc, &sb, &exit_reads, &MachineConfig::paper(), true);
+        // Items: 0 mov addr, 1 mov a, 2 add b, 3 store, 4 load, 5 out, 6 ret.
+        assert_eq!(ddg.len(), 7);
+        assert!(has_edge(&ddg, 1, 2), "a -> add");
+        assert!(has_edge(&ddg, 2, 3), "b -> store");
+        assert!(has_edge(&ddg, 3, 4), "store -> load same address");
+        assert!(has_edge(&ddg, 4, 5), "load -> out");
+        assert!(has_edge(&ddg, 3, 6), "store pinned above exit");
+        assert!(has_edge(&ddg, 5, 6), "out pinned above exit");
+        assert_eq!(ddg.exit_items[0], Some(6));
+    }
+
+    #[test]
+    fn disjoint_offsets_break_memory_edge() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let addr = f.reg();
+        let c = f.reg();
+        f.mov(addr, 16i64);
+        f.store(Operand::Imm(1), addr, 0);
+        f.load(c, addr, 8); // different offset, same base: disjoint
+        f.out(c);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let sb = SuperblockSpec::singleton(BlockId::new(0));
+        let ddg = build_ddg(proc, &sb, &[Vec::new()], &MachineConfig::paper(), true);
+        // Items: 0 mov, 1 store, 2 load, 3 out, 4 ret.
+        assert!(!has_edge(&ddg, 1, 2), "provably disjoint accesses");
+    }
+
+    /// Two-block superblock with an early exit between a store and a load.
+    fn with_exit(speculate: bool) -> (Ddg, u32, u32) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let addr = f.reg();
+        let v = f.reg();
+        let fall = f.new_block();
+        let off = f.new_block();
+        f.mov(addr, 16i64);
+        f.branch(pps_ir::Reg::new(0), off, fall);
+        f.switch_to(fall);
+        f.load(v, addr, 0);
+        f.out(v);
+        f.ret(None);
+        f.switch_to(off);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let sb = SuperblockSpec::new(vec![BlockId::new(0), fall]);
+        let exit_reads = vec![Vec::new(), Vec::new()];
+        let ddg = build_ddg(proc, &sb, &exit_reads, &MachineConfig::paper(), speculate);
+        // Items: 0 mov addr, 1 branch(exit), 2 load, 3 out, 4 ret(exit).
+        (ddg, 1, 2)
+    }
+
+    #[test]
+    fn load_pinned_without_speculation() {
+        let (ddg, exit, load) = with_exit(false);
+        assert!(has_edge(&ddg, exit, load));
+    }
+
+    #[test]
+    fn load_floats_with_speculation() {
+        let (ddg, exit, load) = with_exit(true);
+        assert!(!has_edge(&ddg, exit, load));
+        // But the out stays pinned below the exit.
+        assert!(has_edge(&ddg, exit, 3));
+        // Exits stay ordered.
+        assert!(has_edge(&ddg, 1, 4));
+    }
+
+    #[test]
+    fn residual_anti_output_deps() {
+        // Unrenamed: a = 1; out a; a = 2; out a. Anti edge out->def, output
+        // edge def->def.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let a = f.reg();
+        f.mov(a, 1i64);
+        f.out(a);
+        f.mov(a, 2i64);
+        f.out(a);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let sb = SuperblockSpec::singleton(BlockId::new(0));
+        let ddg = build_ddg(proc, &sb, &[Vec::new()], &MachineConfig::paper(), true);
+        // Items: 0 mov, 1 out, 2 mov, 3 out, 4 ret.
+        assert!(has_edge(&ddg, 1, 2), "anti dep use->redef");
+        assert!(has_edge(&ddg, 0, 2), "output dep def->redef");
+        assert!(has_edge(&ddg, 2, 3), "true dep");
+        assert!(has_edge(&ddg, 1, 3), "out ordering");
+    }
+
+    #[test]
+    fn exit_read_pins_producer() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.reg();
+        let fall = f.new_block();
+        let off = f.new_block();
+        f.mov(a, 1i64);
+        f.branch(pps_ir::Reg::new(0), off, fall);
+        f.switch_to(fall);
+        f.ret(None);
+        f.switch_to(off);
+        f.out(a);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let sb = SuperblockSpec::new(vec![BlockId::new(0), fall]);
+        // Exit at position 0 reads `a` off-trace.
+        let exit_reads = vec![vec![a], Vec::new()];
+        let ddg = build_ddg(proc, &sb, &exit_reads, &MachineConfig::paper(), true);
+        // Items: 0 mov a, 1 branch, 2 ret.
+        assert!(has_edge(&ddg, 0, 1), "producer pinned above exit");
+    }
+
+    #[test]
+    fn internal_jump_elided() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let nxt = f.new_block();
+        f.nop();
+        f.jump(nxt);
+        f.switch_to(nxt);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let sb = SuperblockSpec::new(vec![BlockId::new(0), nxt]);
+        let ddg = build_ddg(proc, &sb, &[Vec::new(), Vec::new()], &MachineConfig::paper(), true);
+        // Items: nop, ret. The internal jump is gone.
+        assert_eq!(ddg.len(), 2);
+        assert_eq!(ddg.exit_items[0], None);
+        assert_eq!(ddg.exit_items[1], Some(1));
+    }
+
+    #[test]
+    fn heights_reflect_critical_path() {
+        let (p, sb) = straight();
+        let proc = p.proc(p.entry);
+        let ddg = build_ddg(proc, &sb, &[Vec::new()], &MachineConfig::paper(), true);
+        let h = ddg.heights();
+        // Chain: mov a(1) -> add(2) -> store(3) -> load(4) -> out(5) -> ret.
+        assert!(h[1] > h[2]);
+        assert!(h[2] > h[3]);
+        assert!(h[3] > h[4]);
+        assert_eq!(h[6], 0, "sink height zero");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Superblock compaction (paper §2.3).
+//!
+//! Compaction takes a partition of each procedure's blocks into superblocks
+//! (produced by `pps-core` formation, or trivially one block per superblock
+//! for the baseline) and produces, for every superblock, a *top-down cycle
+//! schedule* for the paper's 8-wide VLIW machine:
+//!
+//! 1. [`rename`] — register renaming over the superblock body: anti/output
+//!    renaming, live-off-trace renaming (with compensation copies placed in
+//!    split-edge stub blocks on off-trace edges), and move renaming (forward
+//!    substitution through moves). The rewrite is textual, so the reference
+//!    interpreter validates it.
+//! 2. [`ddg`] — the data-dependence graph over the renamed body: true
+//!    dependences with latencies, residual anti/output dependences (only
+//!    where the 128-register budget stopped renaming), memory dependences
+//!    with a base+offset disambiguation, side-effect ordering, and control
+//!    edges pinning what may not cross superblock exits.
+//! 3. [`sched`] — greedy top-down cycle scheduling honoring issue width and
+//!    the one-control-op-per-cycle limit, with critical-path priority.
+//!
+//! The resulting [`sched::Schedule`] records the cycle of every superblock
+//! exit and the fetched-instruction prefix per exit; `pps-sim` charges
+//! cycles and simulates the instruction cache from those.
+//!
+//! Semantics note: the *textual* order of instructions is left unchanged
+//! (the schedule is timing metadata), so an instruction hoisted above an
+//! exit in the schedule is wasted work on the early-exit path exactly as in
+//! the paper, while the interpreter — which executes textual order —
+//! remains the ground truth for correctness.
+
+pub mod compactor;
+pub mod ddg;
+pub mod liveness;
+pub mod rename;
+pub mod sched;
+pub mod superblock;
+
+pub use compactor::{
+    compact_program, singleton_partition, CompactConfig, CompactedProc, CompactedProgram,
+    ScheduledSuperblock,
+};
+pub use sched::Schedule;
+pub use superblock::SuperblockSpec;

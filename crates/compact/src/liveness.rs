@@ -1,0 +1,233 @@
+//! Classic backward liveness analysis over procedure registers.
+//!
+//! Used by the renamer to decide which values are *live off-trace* at each
+//! superblock exit: a renamed value whose original register is live at the
+//! exit's target needs a compensation copy on that edge.
+
+use pps_ir::analysis::Cfg;
+use pps_ir::{Block, Proc, Reg};
+
+/// Per-block live-in/live-out register sets (bit sets over `reg_count`).
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b]` — registers live on entry to block `b`.
+    pub live_in: Vec<RegSet>,
+    /// `live_out[b]` — registers live on exit from block `b`.
+    pub live_out: Vec<RegSet>,
+}
+
+/// A dense register bit set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegSet {
+    bits: Vec<u64>,
+}
+
+impl RegSet {
+    /// Creates an empty set able to hold `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts a register. Returns true if newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        if w >= self.bits.len() {
+            self.bits.resize(w + 1, 0);
+        }
+        let old = self.bits[w];
+        self.bits[w] |= 1 << b;
+        old != self.bits[w]
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        if w < self.bits.len() {
+            self.bits[w] &= !(1 << b);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        w < self.bits.len() && self.bits[w] & (1 << b) != 0
+    }
+
+    /// Unions `other` into `self`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        if other.bits.len() > self.bits.len() {
+            self.bits.resize(other.bits.len(), 0);
+        }
+        let mut changed = false;
+        for (i, &w) in other.bits.iter().enumerate() {
+            let old = self.bits[i];
+            self.bits[i] |= w;
+            changed |= old != self.bits[i];
+        }
+        changed
+    }
+
+    /// Iterates over member registers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits & (1u64 << b) != 0)
+                .map(move |b| Reg::new((w * 64 + b) as u32))
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no register is a member.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+/// Applies the transfer function of one block backwards: given `live_out`,
+/// returns `live_in`.
+fn transfer(block: &Block, live_out: &RegSet, n: usize) -> RegSet {
+    let mut live = live_out.clone();
+    for r in block.term.uses() {
+        live.insert(r);
+    }
+    let mut use_buf = Vec::new();
+    for instr in block.instrs.iter().rev() {
+        if let Some(d) = instr.dst() {
+            live.remove(d);
+        }
+        use_buf.clear();
+        instr.collect_uses(&mut use_buf);
+        for &r in &use_buf {
+            live.insert(r);
+        }
+    }
+    let _ = n;
+    live
+}
+
+impl Liveness {
+    /// Computes liveness for `proc`.
+    pub fn compute(proc: &Proc, cfg: &Cfg) -> Self {
+        let n = proc.blocks.len();
+        let nregs = proc.reg_count as usize;
+        let mut live_in = vec![RegSet::new(nregs); n];
+        let mut live_out = vec![RegSet::new(nregs); n];
+
+        // Iterate to fixpoint in reverse RPO (postorder) for fast
+        // convergence.
+        let order: Vec<_> = cfg.rpo.iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = RegSet::new(nregs);
+                for &s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let inn = transfer(proc.block(b), &out, nregs);
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inn != live_in[bi] {
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::{AluOp, BlockId, Operand};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(4);
+        assert!(s.is_empty());
+        assert!(s.insert(Reg::new(3)));
+        assert!(!s.insert(Reg::new(3)));
+        assert!(s.insert(Reg::new(70)));
+        assert!(s.contains(Reg::new(3)));
+        assert!(s.contains(Reg::new(70)));
+        assert!(!s.contains(Reg::new(4)));
+        assert_eq!(s.len(), 2);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected, vec![Reg::new(3), Reg::new(70)]);
+        s.remove(Reg::new(3));
+        assert!(!s.contains(Reg::new(3)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // i is live around the loop; t is local to the body.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let n = Reg::new(0);
+        let i = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let t = f.reg();
+        f.alu(AluOp::Mul, t, i, 2i64);
+        f.out(t);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(Some(Operand::Reg(i)));
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let lv = Liveness::compute(proc, &cfg);
+        let (head, body, exit) = (BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        // i and n live into the loop head (i used by compare + body + exit).
+        assert!(lv.live_in[head.index()].contains(i));
+        assert!(lv.live_in[head.index()].contains(n));
+        // t is not live into the body (defined there).
+        assert!(!lv.live_in[body.index()].contains(t));
+        // i live into exit (returned); c not.
+        assert!(lv.live_in[exit.index()].contains(i));
+        assert!(!lv.live_in[exit.index()].contains(c));
+        // c live out of head? c is dead after the branch uses it.
+        assert!(!lv.live_out[head.index()].contains(c));
+    }
+
+    #[test]
+    fn dead_code_not_live() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let a = f.reg();
+        let b = f.reg();
+        f.mov(a, 1i64);
+        f.mov(b, 2i64); // dead
+        f.out(a);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let lv = Liveness::compute(proc, &cfg);
+        let e = BlockId::new(0);
+        assert!(!lv.live_in[e.index()].contains(a));
+        assert!(!lv.live_in[e.index()].contains(b));
+        assert!(lv.live_out[e.index()].is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! The superblock region type shared between formation and compaction.
+
+use pps_ir::analysis::Cfg;
+use pps_ir::{BlockId, Proc, Terminator};
+
+/// A superblock: a sequence of basic blocks with a single entry (the head)
+/// and possibly many exits.
+///
+/// Invariants (checked by [`validate`](Self::validate)):
+/// - blocks are non-empty and pairwise distinct;
+/// - each block except the last has the next block as a CFG successor (the
+///   on-trace direction);
+/// - no block except the head has a predecessor outside the superblock
+///   other than via the previous block (single entry — established by tail
+///   duplication during formation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperblockSpec {
+    /// Blocks in on-trace order; the first is the head.
+    pub blocks: Vec<BlockId>,
+}
+
+impl SuperblockSpec {
+    /// Creates a superblock from an on-trace block sequence.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<BlockId>) -> Self {
+        assert!(!blocks.is_empty(), "superblock must have at least one block");
+        SuperblockSpec { blocks }
+    }
+
+    /// A single-block superblock.
+    pub fn singleton(block: BlockId) -> Self {
+        SuperblockSpec { blocks: vec![block] }
+    }
+
+    /// The head (single entry) block.
+    pub fn head(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    /// The last block.
+    pub fn last(&self) -> BlockId {
+        *self.blocks.last().expect("non-empty")
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always false ([`new`](Self::new) rejects empty sequences); present
+    /// for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Checks the superblock invariants against `proc`.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, proc: &Proc, cfg: &Cfg) -> Result<(), String> {
+        if self.blocks.is_empty() {
+            return Err("empty superblock".into());
+        }
+        for (i, &b) in self.blocks.iter().enumerate() {
+            if b.index() >= proc.blocks.len() {
+                return Err(format!("block {b} out of range"));
+            }
+            if self.blocks[..i].contains(&b) {
+                return Err(format!("block {b} appears twice"));
+            }
+        }
+        for w in self.blocks.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if !cfg.succs[a.index()].contains(&b) {
+                return Err(format!("{b} is not a CFG successor of {a}"));
+            }
+            if let Terminator::Jump { target } = proc.block(a).term {
+                debug_assert_eq!(target, b);
+            }
+        }
+        // Single entry: interior blocks may only be reached from their
+        // predecessor within the superblock.
+        for (i, &b) in self.blocks.iter().enumerate().skip(1) {
+            let prev = self.blocks[i - 1];
+            for &p in &cfg.preds[b.index()] {
+                if p != prev {
+                    return Err(format!(
+                        "side entrance: {b} (position {i}) reached from {p}, not only {prev}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Static instruction count of the superblock including terminators,
+    /// excluding elided internal jumps (an internal unconditional jump to
+    /// the next block costs nothing after layout).
+    pub fn static_size(&self, proc: &Proc) -> usize {
+        let mut n = 0;
+        for (i, &b) in self.blocks.iter().enumerate() {
+            let block = proc.block(b);
+            n += block.instrs.len();
+            let elided = i + 1 < self.blocks.len()
+                && matches!(block.term, Terminator::Jump { target } if target == self.blocks[i+1]);
+            if !elided {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::{Program, Reg};
+
+    /// entry --(br)--> a | b; a -> c; b -> c; c: ret. Also entry2 jumps
+    /// into a (side entrance for testing).
+    fn prog(with_side_entrance: bool) -> (Program, Vec<BlockId>) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        let c = f.new_block();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.jump(c);
+        f.switch_to(b);
+        if with_side_entrance {
+            f.jump(a);
+        } else {
+            f.jump(c);
+        }
+        f.switch_to(c);
+        f.ret(None);
+        let main = f.finish();
+        (pb.finish(main), vec![BlockId::new(0), a, b, c])
+    }
+
+    #[test]
+    fn valid_superblock_passes() {
+        let (p, ids) = prog(false);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let sb = SuperblockSpec::new(vec![ids[0], ids[1]]);
+        assert_eq!(sb.validate(proc, &cfg), Ok(()));
+        assert_eq!(sb.head(), ids[0]);
+        assert_eq!(sb.last(), ids[1]);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn side_entrance_rejected() {
+        let (p, ids) = prog(true);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let sb = SuperblockSpec::new(vec![ids[0], ids[1]]);
+        let err = sb.validate(proc, &cfg).unwrap_err();
+        assert!(err.contains("side entrance"), "{err}");
+    }
+
+    #[test]
+    fn join_block_is_side_entrance() {
+        // c has preds a and b; [entry, a, c] therefore has a side entrance
+        // through b in the no-side-entrance program too.
+        let (p, ids) = prog(false);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let sb = SuperblockSpec::new(vec![ids[0], ids[1], ids[3]]);
+        // validate above said Ok for this shape? No: c is reached from b as
+        // well, so it must fail.
+        let r = sb.validate(proc, &cfg);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn non_successor_rejected() {
+        let (p, ids) = prog(false);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let sb = SuperblockSpec::new(vec![ids[1], ids[2]]);
+        assert!(sb.validate(proc, &cfg).is_err());
+    }
+
+    #[test]
+    fn duplicate_block_rejected() {
+        let (p, ids) = prog(false);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        let sb = SuperblockSpec { blocks: vec![ids[0], ids[0]] };
+        assert!(sb.validate(proc, &cfg).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn static_size_elides_internal_jumps() {
+        let (p, ids) = prog(false);
+        let proc = p.proc(p.entry);
+        // a: [jump c] -> internal jump elided when followed by c.
+        let sb = SuperblockSpec::new(vec![ids[1], ids[3]]);
+        // a has 0 instrs + elided jump, c has 0 instrs + ret = 1.
+        assert_eq!(sb.static_size(proc), 1);
+        let single = SuperblockSpec::singleton(ids[1]);
+        assert_eq!(single.static_size(proc), 1);
+    }
+}

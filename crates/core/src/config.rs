@@ -1,0 +1,132 @@
+//! Formation configuration and the named schemes of the paper's evaluation.
+
+/// A formation scheme, matching the configurations compared in Figures 4–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No formation: every basic block is its own superblock (the Table 1
+    /// baseline).
+    BasicBlock,
+    /// Edge-profile formation: mutual-most-likely selection + classical
+    /// enlargement (branch target expansion, loop peeling, loop unrolling)
+    /// with the given unroll factor. `M4` and `M16` in the paper.
+    Edge {
+        /// Unroll factor (4 or 16 in the paper).
+        unroll: u32,
+    },
+    /// Path-profile formation: most-likely-path-successor selection +
+    /// unified path-based enlargement with the given superblock-loop-head
+    /// budget. `restrained` selects the paper's "P4e" variant, which stops
+    /// enlarging non-loop superblocks at the first superblock head to limit
+    /// code expansion.
+    Path {
+        /// Superblock-loop-head budget (4 in the paper's P4/P4e).
+        unroll: u32,
+        /// True for the P4e variant.
+        restrained: bool,
+    },
+}
+
+impl Scheme {
+    /// The paper's `M4` baseline scheme.
+    pub const M4: Scheme = Scheme::Edge { unroll: 4 };
+    /// The paper's `M16` aggressive-unrolling scheme.
+    pub const M16: Scheme = Scheme::Edge { unroll: 16 };
+    /// The paper's `P4` scheme.
+    pub const P4: Scheme = Scheme::Path { unroll: 4, restrained: false };
+    /// The paper's `P4e` scheme.
+    pub const P4E: Scheme = Scheme::Path { unroll: 4, restrained: true };
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::BasicBlock => "BB".to_string(),
+            Scheme::Edge { unroll } => format!("M{unroll}"),
+            Scheme::Path { unroll, restrained: false } => format!("P{unroll}"),
+            Scheme::Path { unroll, restrained: true } => format!("P{unroll}e"),
+        }
+    }
+
+    /// True when this scheme consumes a path profile.
+    pub fn needs_path_profile(&self) -> bool {
+        matches!(self, Scheme::Path { .. })
+    }
+}
+
+/// Tunable parameters of formation (paper defaults; see DESIGN.md §6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormConfig {
+    /// Minimum fraction of the hottest block's frequency for a block to
+    /// seed a trace; colder blocks become singleton superblocks.
+    pub seed_fraction: f64,
+    /// Fraction of a superblock's head frequency with which it must
+    /// complete for path-based enlargement to proceed ("user-specified high
+    /// frequency"). The default admits dominant paths with a 2:1 internal
+    /// split (e.g. the 75%-taken TTTF pattern of `alt`, or phased loops at
+    /// 50%), which the paper's Figure 3 requires to enlarge; traces that
+    /// mostly early-exit stay blocked.
+    pub completion_threshold: f64,
+    /// Maximum instructions per superblock after enlargement.
+    pub max_superblock_instrs: usize,
+    /// Edge probability for "likely" in the edge-based enlarger (branch
+    /// target expansion, superblock-loop classification).
+    pub likely_threshold: f64,
+    /// Average trip count at or above which the edge-based enlarger unrolls
+    /// rather than peels.
+    pub peel_max_avg: f64,
+    /// Grow path-selected traces upward (toward predecessors) as well as
+    /// downward. The paper's implementation grows downward only; footnote 2
+    /// predicts upward growth "will not noticeably improve the performance
+    /// of our scheduled code" — this switch exists to test that prediction
+    /// (see the `ablate` experiment).
+    pub upward_growth: bool,
+    /// Enable tail duplication (disabling leaves traces as single-block
+    /// superblocks where side entrances exist; ablation only).
+    pub tail_duplication: bool,
+    /// Enable enlargement (ablation switch).
+    pub enlargement: bool,
+}
+
+impl Default for FormConfig {
+    fn default() -> Self {
+        FormConfig {
+            seed_fraction: 0.001,
+            completion_threshold: 0.45,
+            max_superblock_instrs: 512,
+            likely_threshold: 0.70,
+            peel_max_avg: 8.0,
+            upward_growth: false,
+            tail_duplication: true,
+            enlargement: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(Scheme::BasicBlock.name(), "BB");
+        assert_eq!(Scheme::M4.name(), "M4");
+        assert_eq!(Scheme::M16.name(), "M16");
+        assert_eq!(Scheme::P4.name(), "P4");
+        assert_eq!(Scheme::P4E.name(), "P4e");
+    }
+
+    #[test]
+    fn path_schemes_need_path_profiles() {
+        assert!(Scheme::P4.needs_path_profile());
+        assert!(Scheme::P4E.needs_path_profile());
+        assert!(!Scheme::M4.needs_path_profile());
+        assert!(!Scheme::BasicBlock.needs_path_profile());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FormConfig::default();
+        assert!(c.completion_threshold > 0.0 && c.completion_threshold <= 1.0);
+        assert!(c.max_superblock_instrs >= 64);
+        assert!(c.tail_duplication && c.enlargement);
+    }
+}

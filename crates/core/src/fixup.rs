@@ -1,0 +1,119 @@
+//! Partition fixup: splitting superblocks at residual side entrances.
+//!
+//! Enlargement can stop mid-walk (size cap, exhausted frequency), leaving
+//! the last appended copy's off-trace edge pointing into the *interior* of
+//! another superblock — a side entrance. Rather than forbid such stops,
+//! formation runs this fixup pass: any superblock position with a
+//! predecessor other than its in-superblock predecessor becomes the head of
+//! a new superblock. Splitting never changes the CFG, only the partition,
+//! so one pass suffices.
+
+use crate::enlarge::SbBuild;
+use pps_ir::analysis::Cfg;
+use pps_ir::Proc;
+
+/// Provenance of one superblock after splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// Index of the input superblock this piece came from.
+    pub origin: usize,
+    /// True for non-leading pieces of a split — fresh heads that a further
+    /// enlargement pass may grow.
+    pub fragment: bool,
+}
+
+/// Splits superblocks at side-entered positions. Returns the number of
+/// splits performed and per-output-superblock provenance.
+pub fn split_side_entrances(proc: &Proc, sbs: &mut Vec<SbBuild>) -> (usize, Vec<Piece>) {
+    let cfg = Cfg::compute(proc);
+    let mut result: Vec<SbBuild> = Vec::with_capacity(sbs.len());
+    let mut pieces: Vec<Piece> = Vec::with_capacity(sbs.len());
+    let mut splits = 0;
+    for (origin, sb) in sbs.drain(..).enumerate() {
+        let mut first_piece = true;
+        let mut cur_blocks = vec![sb.blocks[0]];
+        let mut cur_orig = vec![sb.orig[0]];
+        for i in 1..sb.blocks.len() {
+            let b = sb.blocks[i];
+            let prev = sb.blocks[i - 1];
+            let side_entered = cfg.preds[b.index()].iter().any(|&p| p != prev);
+            if side_entered {
+                splits += 1;
+                result.push(SbBuild { blocks: std::mem::take(&mut cur_blocks), orig: std::mem::take(&mut cur_orig) });
+                pieces.push(Piece { origin, fragment: !first_piece });
+                first_piece = false;
+            }
+            cur_blocks.push(b);
+            cur_orig.push(sb.orig[i]);
+        }
+        result.push(SbBuild { blocks: cur_blocks, orig: cur_orig });
+        pieces.push(Piece { origin, fragment: !first_piece });
+    }
+    *sbs = result;
+    (splits, pieces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::{BlockId, Reg};
+
+    #[test]
+    fn splits_at_side_entrance() {
+        // entry -> (a | b); a -> join; b -> join; join -> ret.
+        // Partition [entry, a, join] has a side entrance at join.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        let join = f.new_block();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.jump(join);
+        f.switch_to(b);
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let mut sbs = vec![
+            SbBuild::from_original(vec![BlockId::new(0), a, join]),
+            SbBuild::from_original(vec![b]),
+        ];
+        let (n, pieces) = split_side_entrances(proc, &mut sbs);
+        assert_eq!(n, 1);
+        assert_eq!(sbs.len(), 3);
+        assert_eq!(sbs[0].blocks, vec![BlockId::new(0), a]);
+        assert_eq!(sbs[1].blocks, vec![join]);
+        assert_eq!(sbs[2].blocks, vec![b]);
+        assert_eq!(
+            pieces,
+            vec![
+                Piece { origin: 0, fragment: false },
+                Piece { origin: 0, fragment: true },
+                Piece { origin: 1, fragment: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_partition_unchanged() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let nxt = f.new_block();
+        f.jump(nxt);
+        f.switch_to(nxt);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let mut sbs = vec![SbBuild::from_original(vec![BlockId::new(0), nxt])];
+        let (n, pieces) = split_side_entrances(proc, &mut sbs);
+        assert_eq!(n, 0);
+        assert_eq!(sbs.len(), 1);
+        assert_eq!(sbs[0].blocks.len(), 2);
+        assert_eq!(pieces, vec![Piece { origin: 0, fragment: false }]);
+    }
+}

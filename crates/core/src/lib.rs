@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Superblock formation driven by edge or general-path profiles — the
+//! central contribution of Young & Smith (MICRO-31, 1998).
+//!
+//! Formation has three steps (paper §2.1):
+//!
+//! 1. **Trace selection** partitions each procedure's blocks into traces:
+//!    [`select::select_traces_edge`] implements the classical
+//!    mutual-most-likely heuristic over edge profiles;
+//!    [`select::select_traces_path`] implements the paper's path-based
+//!    selector (Figure 2), which grows a seed downward by the
+//!    *most-likely path successor* — the successor whose extension of the
+//!    whole current trace has the highest exact path frequency.
+//! 2. **Tail duplication** ([`tail_dup`]) removes side entrances by
+//!    duplicating trace tails, turning traces into superblocks.
+//! 3. **Enlargement** ([`enlarge`]) appends copies of likely successor
+//!    blocks: the edge-based enlarger implements the classical trio (branch
+//!    target expansion, loop peeling, loop unrolling); the path-based
+//!    enlarger unifies all three into the single most-likely-path-successor
+//!    mechanism of Figure 2, enlarging only superblocks whose exact
+//!    completion frequency is high, and capturing cross-iteration branch
+//!    correlation (Figure 3).
+//!
+//! [`pipeline`] packages formation + compaction behind one call, keyed by a
+//! [`config::Scheme`] (`BasicBlock`, `M4`/`M16` edge schemes, `P4`/`P4e`
+//! path schemes — the configurations of the paper's Figures 4–7).
+
+pub mod config;
+pub mod enlarge;
+pub mod fixup;
+pub mod pipeline;
+pub mod select;
+pub mod tail_dup;
+
+pub use config::{FormConfig, Scheme};
+pub use pipeline::{form_and_compact, form_program, FormStats, FormedProgram};

@@ -1,0 +1,236 @@
+//! Tail duplication: turning traces into superblocks (paper §2.1).
+//!
+//! A selected trace may have *side entrances* — edges into its interior
+//! blocks from outside. Tail duplication copies the trace tail from the
+//! first side-entered position to the end, and redirects every side
+//! entrance into the copy chain, leaving the original trace with a single
+//! entry. The copy chain itself becomes one or more superblocks (the fixup
+//! pass in [`crate::fixup`] splits it at positions that received redirected
+//! entrances).
+
+use crate::select::Trace;
+use pps_ir::analysis::Cfg;
+use pps_ir::{BlockId, Proc};
+
+/// The result of tail-duplicating one trace.
+#[derive(Debug, Clone)]
+pub struct DupResult {
+    /// The main superblock: the original trace blocks (single entry now).
+    pub main: Vec<BlockId>,
+    /// Copy-chain blocks (empty when the trace had no side entrances),
+    /// in trace order.
+    pub chain: Vec<BlockId>,
+    /// For each chain block, the original block it copies.
+    pub chain_orig: Vec<BlockId>,
+}
+
+/// Tail-duplicates `trace` within `proc`, rewriting side-entrance
+/// predecessors. `cfg` must reflect the current procedure (recompute
+/// between traces — earlier duplications change predecessor sets).
+pub fn tail_duplicate(proc: &mut Proc, trace: &Trace, cfg: &Cfg) -> DupResult {
+    let blocks = &trace.blocks;
+    // Find the first interior position with a side entrance.
+    let mut first_side: Option<usize> = None;
+    for (i, &b) in blocks.iter().enumerate().skip(1) {
+        let prev = blocks[i - 1];
+        if cfg.preds[b.index()].iter().any(|&p| p != prev) {
+            first_side = Some(i);
+            break;
+        }
+    }
+    let Some(start) = first_side else {
+        return DupResult { main: blocks.clone(), chain: Vec::new(), chain_orig: Vec::new() };
+    };
+
+    // Create copies of blocks[start..].
+    let tail: Vec<BlockId> = blocks[start..].to_vec();
+    let mut copies = Vec::with_capacity(tail.len());
+    for &b in &tail {
+        let cloned = proc.block(b).clone();
+        copies.push(proc.push_block(cloned));
+    }
+    // Rewire internal edges of the copy chain: copy of blocks[j] targeting
+    // blocks[j+1] now targets the copy of blocks[j+1].
+    for (k, &c) in copies.iter().enumerate() {
+        if k + 1 < copies.len() {
+            let orig_next = tail[k + 1];
+            let next_copy = copies[k + 1];
+            proc.block_mut(c)
+                .term
+                .retarget(|t| if t == orig_next { next_copy } else { t });
+        }
+    }
+    // Redirect side entrances: every predecessor of blocks[j] (j >= start)
+    // other than its in-trace predecessor now jumps to the copy.
+    for (k, &orig) in tail.iter().enumerate() {
+        let j = start + k;
+        let prev = blocks[j - 1];
+        let copy = copies[k];
+        let preds: Vec<BlockId> = cfg.preds[orig.index()]
+            .iter()
+            .copied()
+            .filter(|&p| p != prev)
+            .collect();
+        for p in preds {
+            // Skip copy-chain internal predecessors (they are new blocks
+            // not present in `cfg`).
+            proc.block_mut(p)
+                .term
+                .retarget(|t| if t == orig { copy } else { t });
+        }
+    }
+    DupResult { main: blocks.clone(), chain: copies, chain_orig: tail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::verify::verify_program;
+    use pps_ir::{AluOp, Operand, Program, Reg};
+
+    /// Diamond re-join: entry -> (a | b) -> join -> ret. Trace [entry, a,
+    /// join] has a side entrance at join (from b).
+    fn diamond() -> (Program, [BlockId; 3]) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        let join = f.new_block();
+        let x = f.reg();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.mov(x, 1i64);
+        f.jump(join);
+        f.switch_to(b);
+        f.mov(x, 2i64);
+        f.jump(join);
+        f.switch_to(join);
+        let y = f.reg();
+        f.alu(AluOp::Mul, y, x, 10i64);
+        f.out(y);
+        f.ret(Some(Operand::Reg(y)));
+        let main = f.finish();
+        (pb.finish(main), [a, b, join])
+    }
+
+    #[test]
+    fn side_entrance_redirected_to_copy() {
+        let (mut p, [a, b, join]) = diamond();
+        let before_t = Interp::new(&p, ExecConfig::default()).run(&[1]).unwrap();
+        let before_f = Interp::new(&p, ExecConfig::default()).run(&[0]).unwrap();
+        let entry = p.entry;
+        let trace = Trace { blocks: vec![BlockId::new(0), a, join] };
+        let cfg = Cfg::compute(p.proc(entry));
+        let res = tail_duplicate(p.proc_mut(entry), &trace, &cfg);
+        assert_eq!(res.main, vec![BlockId::new(0), a, join]);
+        assert_eq!(res.chain.len(), 1);
+        assert_eq!(res.chain_orig, vec![join]);
+        verify_program(&p).unwrap();
+        // Side entrance removed: join now has only `a` as predecessor.
+        let cfg2 = Cfg::compute(p.proc(entry));
+        assert_eq!(cfg2.preds[join.index()], vec![a]);
+        // b now jumps to the copy.
+        let copy = res.chain[0];
+        assert_eq!(cfg2.preds[copy.index()], vec![b]);
+        // Semantics unchanged.
+        let after_t = Interp::new(&p, ExecConfig::default()).run(&[1]).unwrap();
+        let after_f = Interp::new(&p, ExecConfig::default()).run(&[0]).unwrap();
+        assert_eq!(before_t.output, after_t.output);
+        assert_eq!(before_f.output, after_f.output);
+    }
+
+    #[test]
+    fn no_side_entrance_is_identity() {
+        let (mut p, [a, _b, _join]) = diamond();
+        let entry = p.entry;
+        let before = p.clone();
+        let trace = Trace { blocks: vec![BlockId::new(0), a] };
+        let cfg = Cfg::compute(p.proc(entry));
+        let res = tail_duplicate(p.proc_mut(entry), &trace, &cfg);
+        assert!(res.chain.is_empty());
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn multi_block_tail_copied_and_chained() {
+        // entry -> (a | b); a -> m; b -> m; m -> n; n -> ret.
+        // Trace [entry, a, m, n]: side entrance at m; copies of m and n.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        let m = f.new_block();
+        let n = f.new_block();
+        let x = f.reg();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.mov(x, 5i64);
+        f.jump(m);
+        f.switch_to(b);
+        f.mov(x, 7i64);
+        f.jump(m);
+        f.switch_to(m);
+        let y = f.reg();
+        f.alu(AluOp::Add, y, x, 1i64);
+        f.jump(n);
+        f.switch_to(n);
+        f.out(y);
+        f.ret(None);
+        let main = f.finish();
+        let mut p = pb.finish(main);
+        let before_t = Interp::new(&p, ExecConfig::default()).run(&[1]).unwrap();
+        let before_f = Interp::new(&p, ExecConfig::default()).run(&[0]).unwrap();
+        let entry = p.entry;
+        let trace = Trace { blocks: vec![BlockId::new(0), a, m, n] };
+        let cfg = Cfg::compute(p.proc(entry));
+        let res = tail_duplicate(p.proc_mut(entry), &trace, &cfg);
+        assert_eq!(res.chain.len(), 2);
+        verify_program(&p).unwrap();
+        let cfg2 = Cfg::compute(p.proc(entry));
+        // Copy chain: b -> copy_m -> copy_n.
+        let (cm, cn) = (res.chain[0], res.chain[1]);
+        assert_eq!(cfg2.preds[cm.index()], vec![b]);
+        assert_eq!(cfg2.preds[cn.index()], vec![cm]);
+        // Originals: single-entry all the way.
+        assert_eq!(cfg2.preds[m.index()], vec![a]);
+        assert_eq!(cfg2.preds[n.index()], vec![m]);
+        let after_t = Interp::new(&p, ExecConfig::default()).run(&[1]).unwrap();
+        let after_f = Interp::new(&p, ExecConfig::default()).run(&[0]).unwrap();
+        assert_eq!(before_t.output, after_t.output);
+        assert_eq!(before_f.output, after_f.output);
+    }
+
+    #[test]
+    fn loop_back_edge_to_head_is_not_side_entrance_of_interior() {
+        // Trace [head, body]: back edge body->head targets the HEAD, which
+        // is allowed any predecessors; interior `body` has only head as
+        // pred, so no duplication happens.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let nreg = Reg::new(0);
+        let i = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(nreg));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        let mut p = pb.finish(main);
+        let entry = p.entry;
+        let trace = Trace { blocks: vec![head, body] };
+        let cfg = Cfg::compute(p.proc(entry));
+        let res = tail_duplicate(p.proc_mut(entry), &trace, &cfg);
+        assert!(res.chain.is_empty(), "no interior side entrance");
+    }
+}

@@ -1,0 +1,125 @@
+//! Developer tool: dump what formation and compaction did to a benchmark.
+//!
+//! ```text
+//! pps-explore --bench wc [--scheme P4] [--scale N] [--ir] [--dot] [--schedules]
+//! ```
+//!
+//! Prints per-procedure superblock summaries (blocks, sizes, schedules) and
+//! optionally the transformed program's textual IR or Graphviz CFGs.
+
+use pps_core::{form_program, FormConfig, Scheme};
+use pps_compact::{compact_program, CompactConfig};
+use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::trace::TeeSink;
+use pps_profile::{EdgeProfiler, PathProfiler};
+use pps_suite::{benchmark_by_name, Scale};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pps-explore --bench NAME [--scheme BB|M4|M16|P4|P4e] [--scale N] \
+         [--ir] [--dot] [--schedules]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "BB" => Some(Scheme::BasicBlock),
+        "M4" => Some(Scheme::M4),
+        "M16" => Some(Scheme::M16),
+        "P4" => Some(Scheme::P4),
+        "P4e" | "P4E" => Some(Scheme::P4E),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench_name = None;
+    let mut scheme = Scheme::P4;
+    let mut scale = Scale(2);
+    let mut show_ir = false;
+    let mut show_dot = false;
+    let mut show_schedules = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" | "-b" => bench_name = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--scheme" => {
+                scheme = parse_scheme(it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" | "-s" => {
+                scale = Scale(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--ir" => show_ir = true,
+            "--dot" => show_dot = true,
+            "--schedules" => show_schedules = true,
+            _ => usage(),
+        }
+    }
+    let Some(bench_name) = bench_name else { usage() };
+    let Some(bench) = benchmark_by_name(&bench_name, scale) else {
+        eprintln!("unknown benchmark `{bench_name}`");
+        return ExitCode::FAILURE;
+    };
+
+    let mut program = bench.program.clone();
+    let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
+    Interp::new(&program, ExecConfig::default())
+        .run_traced(&bench.train_args, &mut tee)
+        .expect("train run");
+    let formed = form_program(
+        &mut program,
+        &tee.a.finish(),
+        Some(&tee.b.finish()),
+        scheme,
+        &FormConfig::default(),
+    );
+    println!(
+        "benchmark {bench_name}, scheme {}: {} superblocks, static {} -> {} instrs, \
+         {} tail-dup + {} enlargement blocks, {} splits",
+        scheme.name(),
+        formed.stats.superblocks,
+        formed.stats.static_before,
+        formed.stats.static_after,
+        formed.stats.tail_dup_blocks,
+        formed.stats.enlarged_blocks,
+        formed.stats.splits,
+    );
+
+    let compacted = compact_program(&mut program, &formed.partition, &CompactConfig::default());
+    for (pid, proc) in program.iter_procs() {
+        let cp = compacted.proc(pid);
+        println!("\nproc {} ({} blocks, {} superblocks):", proc.name, proc.blocks.len(), cp.superblocks.len());
+        for (i, sb) in cp.superblocks.iter().enumerate() {
+            let s = &sb.schedule;
+            println!(
+                "  sb{i}: head {}, {} blocks, {} instrs in {} cycles",
+                sb.spec.head(),
+                sb.spec.len(),
+                s.n_items,
+                s.n_cycles
+            );
+            if show_schedules {
+                for (pos, &b) in sb.spec.blocks.iter().enumerate() {
+                    match s.exit_cycles[pos] {
+                        Some(c) => println!(
+                            "      {b} exit@cycle {c} (fetch {} instrs)",
+                            s.fetch_counts[pos]
+                        ),
+                        None => println!("      {b} (internal jump, elided)"),
+                    }
+                }
+            }
+        }
+        if show_dot {
+            println!("\n{}", pps_ir::dot::proc_to_dot(proc));
+        }
+    }
+    if show_ir {
+        println!("\n=== transformed program ===\n{}", pps_ir::text::print_program(&program));
+    }
+    ExitCode::SUCCESS
+}

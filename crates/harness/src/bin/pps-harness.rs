@@ -1,0 +1,77 @@
+//! Command-line experiment driver.
+//!
+//! ```text
+//! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv]
+//! pps-harness --all
+//! ```
+
+use pps_harness::experiments::{run_experiment, EXPERIMENTS};
+use pps_suite::Scale;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv]\n\
+         \x20      pps-harness --all [--scale N] [--csv]\n\
+         experiments: {}",
+        EXPERIMENTS.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::paper();
+    let mut bench: Option<String> = None;
+    let mut csv = false;
+    let mut all = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--experiment" | "-e" => {
+                experiment = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--scale" | "-s" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                scale = Scale(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--bench" | "-b" => {
+                bench = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--csv" => csv = true,
+            "--all" => all = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let ids: Vec<&str> = if all {
+        EXPERIMENTS.to_vec()
+    } else {
+        match &experiment {
+            Some(e) if EXPERIMENTS.contains(&e.as_str()) => vec![e.as_str()],
+            Some(e) => {
+                eprintln!("unknown experiment `{e}`");
+                usage();
+            }
+            None => usage(),
+        }
+    };
+
+    for id in ids {
+        eprintln!("[pps-harness] running {id} at scale {} ...", scale.0);
+        let start = std::time::Instant::now();
+        let tables = run_experiment(id, scale, bench.as_deref());
+        for t in &tables {
+            if csv {
+                print!("{}", t.to_csv());
+            } else {
+                println!("{}", t.render());
+            }
+        }
+        eprintln!("[pps-harness] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

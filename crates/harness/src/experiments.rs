@@ -1,0 +1,409 @@
+//! The per-figure experiment drivers.
+
+use crate::report::{millions, percent, ratio, Table};
+use crate::runner::{run_scheme, RunConfig, SchemeRun};
+use pps_core::config::Scheme;
+use pps_machine::MachineConfig;
+use pps_suite::{all_benchmarks, Benchmark, Scale};
+
+/// All experiment identifiers accepted by the harness binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "table1", "fig4", "fig5", "fig6", "fig7", "missrates", "ablate", "tracecache", "predict",
+];
+
+/// Selects benchmarks, optionally filtered by name.
+pub fn select_benchmarks(scale: Scale, filter: Option<&str>) -> Vec<Benchmark> {
+    all_benchmarks(scale)
+        .into_iter()
+        .filter(|b| filter.is_none_or(|f| f == b.name))
+        .collect()
+}
+
+/// Runs one experiment by id, returning the rendered tables.
+///
+/// # Panics
+/// Panics on an unknown experiment id.
+pub fn run_experiment(id: &str, scale: Scale, filter: Option<&str>) -> Vec<Table> {
+    let benches = select_benchmarks(scale, filter);
+    match id {
+        "table1" => vec![table1(&benches)],
+        "fig4" => vec![fig4(&benches)],
+        "fig5" => vec![fig5(&benches)],
+        "fig6" => vec![fig6(&benches)],
+        "fig7" => vec![fig7(&benches)],
+        "missrates" => vec![missrates(&benches)],
+        "ablate" => ablate(&benches),
+        "tracecache" => vec![tracecache(&benches)],
+        "predict" => vec![predict(&benches)],
+        other => panic!("unknown experiment `{other}`; try one of {EXPERIMENTS:?}"),
+    }
+}
+
+/// Table 1: benchmark statistics under basic-block scheduling.
+pub fn table1(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "Table 1: benchmarks, data sets, statistics (basic-block scheduled; counts in millions)",
+        &["benchmark", "size(instrs)", "branches(M)", "cycles(M)", "instrs(M)"],
+    );
+    for b in benches {
+        let r = run_scheme(b, Scheme::BasicBlock, &config);
+        t.row(vec![
+            b.name.to_string(),
+            r.static_instrs.to_string(),
+            millions(r.counts.branches),
+            millions(r.cycles),
+            millions(r.counts.instrs),
+        ]);
+    }
+    t
+}
+
+/// Figure 4: P4 vs M4 cycle counts with a perfect I-cache.
+pub fn fig4(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "Figure 4: cycle counts, P4 normalized to M4, ideal I-cache",
+        &["benchmark", "M4 cycles", "P4 cycles", "P4/M4"],
+    );
+    for b in benches {
+        let m4 = run_scheme(b, Scheme::M4, &config);
+        let p4 = run_scheme(b, Scheme::P4, &config);
+        t.row(vec![
+            b.name.to_string(),
+            m4.cycles.to_string(),
+            p4.cycles.to_string(),
+            ratio(p4.cycles, m4.cycles),
+        ]);
+    }
+    t
+}
+
+/// Figure 5: P4 and P4e vs M4 with the 32KB direct-mapped I-cache.
+pub fn fig5(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "Figure 5: cycle counts with 32KB I-cache, normalized to M4",
+        &["benchmark", "M4", "P4", "P4e", "P4/M4", "P4e/M4"],
+    );
+    for b in benches {
+        if b.category == pps_suite::Category::Micro {
+            // The paper omits micros here: "they are so small that they
+            // always fit in the cache".
+            continue;
+        }
+        let m4 = run_scheme(b, Scheme::M4, &config);
+        let p4 = run_scheme(b, Scheme::P4, &config);
+        let p4e = run_scheme(b, Scheme::P4E, &config);
+        t.row(vec![
+            b.name.to_string(),
+            m4.cycles_icache.to_string(),
+            p4.cycles_icache.to_string(),
+            p4e.cycles_icache.to_string(),
+            ratio(p4.cycles_icache, m4.cycles_icache),
+            ratio(p4e.cycles_icache, m4.cycles_icache),
+        ]);
+    }
+    t
+}
+
+/// Figure 6: P4e vs M16 with the I-cache (paths with limited unrolling
+/// against aggressive unrolling).
+pub fn fig6(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "Figure 6: cycle counts with 32KB I-cache, normalized to M4",
+        &["benchmark", "M4", "M16", "P4e", "M16/M4", "P4e/M4"],
+    );
+    for b in benches {
+        if b.category == pps_suite::Category::Micro {
+            continue;
+        }
+        let m4 = run_scheme(b, Scheme::M4, &config);
+        let m16 = run_scheme(b, Scheme::M16, &config);
+        let p4e = run_scheme(b, Scheme::P4E, &config);
+        t.row(vec![
+            b.name.to_string(),
+            m4.cycles_icache.to_string(),
+            m16.cycles_icache.to_string(),
+            p4e.cycles_icache.to_string(),
+            ratio(m16.cycles_icache, m4.cycles_icache),
+            ratio(p4e.cycles_icache, m4.cycles_icache),
+        ]);
+    }
+    t
+}
+
+/// Figure 7: average basic blocks executed per dynamic superblock (and the
+/// average superblock size), for M4, M16, P4e, P4 — in the paper's
+/// left-to-right bar order.
+pub fn fig7(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "Figure 7: avg blocks executed per dynamic superblock / avg superblock size",
+        &[
+            "benchmark",
+            "M4 avg", "M4 size",
+            "M16 avg", "M16 size",
+            "P4e avg", "P4e size",
+            "P4 avg", "P4 size",
+        ],
+    );
+    for b in benches {
+        let mut cells = vec![b.name.to_string()];
+        for scheme in [Scheme::M4, Scheme::M16, Scheme::P4E, Scheme::P4] {
+            let r = run_scheme(b, scheme, &config);
+            cells.push(format!("{:.2}", r.sb_stats.avg_blocks_executed()));
+            cells.push(format!("{:.2}", r.sb_stats.avg_size()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// In-text miss-rate study (the paper quotes gcc and go).
+pub fn missrates(benches: &[Benchmark]) -> Table {
+    let config = RunConfig::paper();
+    let mut t = Table::new(
+        "I-cache miss rates per scheme (32KB direct-mapped, 32B lines)",
+        &["benchmark", "M4", "M16", "P4", "P4e", "static M4", "static P4"],
+    );
+    for b in benches {
+        if b.category == pps_suite::Category::Micro {
+            continue;
+        }
+        let m4 = run_scheme(b, Scheme::M4, &config);
+        let m16 = run_scheme(b, Scheme::M16, &config);
+        let p4 = run_scheme(b, Scheme::P4, &config);
+        let p4e = run_scheme(b, Scheme::P4E, &config);
+        t.row(vec![
+            b.name.to_string(),
+            percent(m4.miss_rate),
+            percent(m16.miss_rate),
+            percent(p4.miss_rate),
+            percent(p4e.miss_rate),
+            m4.static_instrs.to_string(),
+            p4.static_instrs.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Ablations: realistic latencies (paper: the path benefit grows), and the
+/// compactor features (renaming, speculation) turned off.
+pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    // Realistic latencies.
+    let mut t = Table::new(
+        "Ablation: realistic latencies (load 3, mul 3, div 8) — P4/M4, ideal I-cache",
+        &["benchmark", "unit P4/M4", "realistic P4/M4"],
+    );
+    for b in benches {
+        let unit = RunConfig::paper();
+        let real = RunConfig { machine: MachineConfig::realistic(), ..RunConfig::paper() };
+        let m4u = run_scheme(b, Scheme::M4, &unit);
+        let p4u = run_scheme(b, Scheme::P4, &unit);
+        let m4r = run_scheme(b, Scheme::M4, &real);
+        let p4r = run_scheme(b, Scheme::P4, &real);
+        t.row(vec![
+            b.name.to_string(),
+            ratio(p4u.cycles, m4u.cycles),
+            ratio(p4r.cycles, m4r.cycles),
+        ]);
+    }
+    tables.push(t);
+
+    // Compactor features off (P4 formation held fixed).
+    let mut t = Table::new(
+        "Ablation: compactor features (P4 cycles normalized to full compactor)",
+        &["benchmark", "full", "no renaming", "no speculation"],
+    );
+    for b in benches {
+        let full = run_scheme(b, Scheme::P4, &RunConfig::paper());
+        let mut norename = RunConfig::paper();
+        norename.compact.renaming = false;
+        norename.compact.move_renaming = false;
+        let nr = run_scheme(b, Scheme::P4, &norename);
+        let mut nospec = RunConfig::paper();
+        nospec.compact.speculate_loads = false;
+        let ns = run_scheme(b, Scheme::P4, &nospec);
+        t.row(vec![
+            b.name.to_string(),
+            "1.000".to_string(),
+            ratio(nr.cycles, full.cycles),
+            ratio(ns.cycles, full.cycles),
+        ]);
+    }
+    tables.push(t);
+
+    // Upward trace growth (paper footnote 2 predicts no noticeable
+    // change).
+    let mut t = Table::new(
+        "Ablation: upward path-trace growth (footnote 2) — P4 cycles, ideal I-cache",
+        &["benchmark", "downward only", "with upward", "ratio"],
+    );
+    for b in benches {
+        let down = run_scheme(b, Scheme::P4, &RunConfig::paper());
+        let mut up_cfg = RunConfig::paper();
+        up_cfg.form.upward_growth = true;
+        let up = run_scheme(b, Scheme::P4, &up_cfg);
+        t.row(vec![
+            b.name.to_string(),
+            down.cycles.to_string(),
+            up.cycles.to_string(),
+            ratio(up.cycles, down.cycles),
+        ]);
+    }
+    tables.push(t);
+
+    // Enlargement-threshold sweep (path completion threshold).
+    let mut t = Table::new(
+        "Ablation: P4 completion-frequency threshold sweep (cycles, ideal I-cache)",
+        &["benchmark", "thr 0.5", "thr 0.8", "thr 0.95"],
+    );
+    for b in benches {
+        let mut cells = vec![b.name.to_string()];
+        for thr in [0.5, 0.8, 0.95] {
+            let mut cfg = RunConfig::paper();
+            cfg.form.completion_threshold = thr;
+            let r = run_scheme(b, Scheme::P4, &cfg);
+            cells.push(r.cycles.to_string());
+        }
+        t.row(cells);
+    }
+    tables.push(t);
+    tables
+}
+
+/// Convenience: the four scheme runs of the paper's main comparison, for
+/// one benchmark (used by integration tests and examples).
+pub fn main_comparison(bench: &Benchmark) -> [SchemeRun; 4] {
+    let config = RunConfig::paper();
+    [
+        run_scheme(bench, Scheme::M4, &config),
+        run_scheme(bench, Scheme::M16, &config),
+        run_scheme(bench, Scheme::P4E, &config),
+        run_scheme(bench, Scheme::P4, &config),
+    ]
+}
+
+/// §6 extension: hardware trace-cache effectiveness over the block streams
+/// of the original and software-formed programs. Measures whether software
+/// superblock formation helps a Rotenberg-style trace cache.
+pub fn tracecache(benches: &[Benchmark]) -> Table {
+    use pps_core::{form_program, FormConfig};
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::trace::TeeSink;
+    use pps_profile::{EdgeProfiler, PathProfiler};
+    use pps_sim::{TraceCacheConfig, TraceCacheSim};
+
+    let mut t = Table::new(
+        "Extension (paper §6): 64-entry trace cache over the dynamic block stream",
+        &["benchmark", "BB hit%", "M4 hit%", "P4 hit%", "BB cover%", "P4 cover%"],
+    );
+    for b in benches {
+        let mut cells = vec![b.name.to_string()];
+        let mut hits = Vec::new();
+        let mut covers = Vec::new();
+        for scheme in [Scheme::BasicBlock, Scheme::M4, Scheme::P4] {
+            let mut program = b.program.clone();
+            let mut tee = TeeSink::new(
+                EdgeProfiler::new(&program),
+                PathProfiler::new(&program, 15),
+            );
+            Interp::new(&program, ExecConfig::default())
+                .run_traced(&b.train_args, &mut tee)
+                .expect("train run");
+            let _ = form_program(
+                &mut program,
+                &tee.a.finish(),
+                Some(&tee.b.finish()),
+                scheme,
+                &FormConfig::default(),
+            );
+            let mut sim = TraceCacheSim::new(&program, TraceCacheConfig::default());
+            Interp::new(&program, ExecConfig::default())
+                .run_traced(&b.test_args, &mut sim)
+                .expect("test run");
+            let stats = sim.finish();
+            hits.push(stats.hit_rate());
+            covers.push(stats.instr_coverage());
+        }
+        for h in &hits {
+            cells.push(percent(*h));
+        }
+        cells.push(percent(covers[0]));
+        cells.push(percent(covers[2]));
+        t.row(cells);
+    }
+    t
+}
+
+/// Companion-work extension: static branch prediction accuracy, edge
+/// majority vs path-context (Young & Smith, ASPLOS 1994 — the paper's
+/// reference [20] and the origin of the `corr` microbenchmark). Trained on
+/// the training input, evaluated on the testing input.
+pub fn predict(benches: &[Benchmark]) -> Table {
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::trace::TeeSink;
+    use pps_profile::predict::{evaluate, EdgePredictor, PathPredictor};
+    use pps_profile::{EdgeProfiler, PathProfiler};
+
+    let mut t = Table::new(
+        "Extension (ref [20]): static branch misprediction, edge majority vs path context",
+        &["benchmark", "edge miss%", "path miss%", "branches(M)"],
+    );
+    for b in benches {
+        let program = &b.program;
+        let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, 15));
+        Interp::new(program, ExecConfig::default())
+            .run_traced(&b.train_args, &mut tee)
+            .expect("train run");
+        let edge = tee.a.finish();
+        let path = tee.b.finish();
+
+        let ep = EdgePredictor::from_profile(program, &edge);
+        let e = evaluate(program, &ep, 8, &b.test_args).expect("edge eval");
+        let pp = PathPredictor::new(program, &path, 8);
+        let p = evaluate(program, &pp, 8, &b.test_args).expect("path eval");
+        t.row(vec![
+            b.name.to_string(),
+            percent(e.miss_rate()),
+            percent(p.miss_rate()),
+            millions(e.branches),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_all_run_on_one_benchmark() {
+        for id in EXPERIMENTS {
+            // `ablate` is heavy; use the smallest scale and one benchmark.
+            let tables = run_experiment(id, Scale::quick(), Some("wc"));
+            assert!(!tables.is_empty(), "{id}");
+            for t in &tables {
+                let rendered = t.render();
+                assert!(rendered.contains("=="), "{id} renders");
+            }
+        }
+    }
+
+    #[test]
+    fn table1_covers_all_benchmarks() {
+        let benches = select_benchmarks(Scale::quick(), None);
+        assert_eq!(benches.len(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let _ = run_experiment("nope", Scale::quick(), None);
+    }
+}
+

@@ -1,0 +1,163 @@
+//! One benchmark × scheme measurement, end to end.
+
+use pps_core::{form_and_compact, FormConfig, FormStats, Scheme};
+use pps_compact::CompactConfig;
+use pps_ir::interp::{DynCounts, ExecConfig, Interp};
+use pps_ir::trace::TeeSink;
+use pps_machine::MachineConfig;
+use pps_profile::{EdgeProfiler, PathProfiler, DEFAULT_PATH_DEPTH};
+use pps_sim::{simulate, Layout, SbDynStats};
+use pps_suite::Benchmark;
+
+/// Shared configuration across a sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Machine model (latencies, width, cache).
+    pub machine: MachineConfig,
+    /// Formation parameters.
+    pub form: FormConfig,
+    /// Compaction parameters.
+    pub compact: CompactConfig,
+    /// Path-profile depth override (`None` = the paper's 15).
+    pub path_depth: Option<usize>,
+}
+
+impl RunConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        RunConfig::default()
+    }
+}
+
+/// The measured result of one benchmark × scheme run.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// Scheme that produced the code.
+    pub scheme: Scheme,
+    /// Cycle count on the testing input, perfect I-cache.
+    pub cycles: u64,
+    /// Cycle count including I-cache miss penalties.
+    pub cycles_icache: u64,
+    /// I-cache miss rate per instruction fetch.
+    pub miss_rate: f64,
+    /// I-cache fetch accesses.
+    pub accesses: u64,
+    /// I-cache misses.
+    pub misses: u64,
+    /// Figure 7 statistics (testing input).
+    pub sb_stats: SbDynStats,
+    /// Laid-out code size in instructions.
+    pub static_instrs: u64,
+    /// Formation statistics.
+    pub form_stats: FormStats,
+    /// Dynamic counts of the testing run.
+    pub counts: DynCounts,
+}
+
+/// Runs the complete methodology for `bench` under `scheme`:
+/// train-profile → form → compact → train-layout → measure on test input.
+///
+/// # Panics
+/// Panics if the benchmark program fails to execute (a suite bug) or if
+/// formation/compaction produce invalid structures (a pipeline bug).
+pub fn run_scheme(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> SchemeRun {
+    let mut program = bench.program.clone();
+    let exec_config = ExecConfig::default();
+
+    // 1. One training run feeds both profilers.
+    let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
+    let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
+    Interp::new(&program, exec_config)
+        .run_traced(&bench.train_args, &mut tee)
+        .unwrap_or_else(|e| panic!("{} train run: {e}", bench.name));
+    let edge = tee.a.finish();
+    let path = tee.b.finish();
+
+    // 2. Form + compact. The runner's machine description is the single
+    // source of truth: it overrides the compactor's copy so latency-model
+    // sweeps affect the schedules, not just the cache simulation.
+    let mut compact_config = config.compact;
+    compact_config.machine = config.machine;
+    let (compacted, form_stats) = form_and_compact(
+        &mut program,
+        &edge,
+        Some(&path),
+        scheme,
+        &config.form,
+        &compact_config,
+    );
+
+    // 3. Training-input run over the transformed code for layout weights.
+    let train_out = simulate(&program, &compacted, &config.machine, None, &bench.train_args)
+        .unwrap_or_else(|e| panic!("{} layout run: {e}", bench.name));
+    let layout = Layout::build(&program, &compacted, &train_out.transitions, &config.machine);
+
+    // 4. Measured run on the testing input.
+    let out = simulate(
+        &program,
+        &compacted,
+        &config.machine,
+        Some(&layout),
+        &bench.test_args,
+    )
+    .unwrap_or_else(|e| panic!("{} test run: {e}", bench.name));
+
+    // Sanity: the transformed program must behave like the original.
+    debug_assert_eq!(
+        out.exec.output,
+        Interp::new(&bench.program, exec_config)
+            .run(&bench.test_args)
+            .expect("original runs")
+            .output,
+        "{}: transformation changed observable behavior",
+        bench.name
+    );
+
+    let icache = out.icache.expect("layout supplied");
+    SchemeRun {
+        scheme,
+        cycles: out.cycles,
+        cycles_icache: out.cycles_with_icache(),
+        miss_rate: icache.miss_rate(),
+        accesses: icache.accesses,
+        misses: icache.misses,
+        sb_stats: out.sb_stats,
+        static_instrs: compacted.total_items(),
+        form_stats,
+        counts: out.exec.counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_suite::{benchmark_by_name, Scale};
+
+    #[test]
+    fn full_methodology_on_wc() {
+        let bench = benchmark_by_name("wc", Scale::quick()).unwrap();
+        let config = RunConfig::paper();
+        let bb = run_scheme(&bench, Scheme::BasicBlock, &config);
+        let m4 = run_scheme(&bench, Scheme::M4, &config);
+        let p4 = run_scheme(&bench, Scheme::P4, &config);
+        assert!(m4.cycles < bb.cycles, "M4 {} !< BB {}", m4.cycles, bb.cycles);
+        assert!(p4.cycles < bb.cycles, "P4 {} !< BB {}", p4.cycles, bb.cycles);
+        assert!(p4.sb_stats.avg_blocks_executed() > bb.sb_stats.avg_blocks_executed());
+        assert!(p4.static_instrs >= bb.static_instrs);
+        assert!(p4.miss_rate >= 0.0 && p4.miss_rate < 1.0);
+    }
+
+    #[test]
+    fn micro_benchmarks_strongly_favor_paths() {
+        let bench = benchmark_by_name("alt", Scale::quick()).unwrap();
+        let config = RunConfig::paper();
+        let m4 = run_scheme(&bench, Scheme::M4, &config);
+        let p4 = run_scheme(&bench, Scheme::P4, &config);
+        assert!(
+            p4.cycles < m4.cycles,
+            "alt: P4 {} !< M4 {} (path profiles must exploit the TTTF pattern)",
+            p4.cycles,
+            m4.cycles
+        );
+    }
+}

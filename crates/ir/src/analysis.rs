@@ -1,0 +1,437 @@
+//! Control-flow analyses: predecessors, orderings, dominators, back edges,
+//! and natural loops.
+//!
+//! Trace formation (both edge- and path-based) needs back-edge detection —
+//! "no trace can contain a back edge" — and loop membership for the
+//! superblock-loop enlargement heuristics. We use the standard dominator-
+//! based definition: an edge `u → v` is a back edge when `v` dominates `u`.
+//! Benchmark and randomly generated CFGs in this repository are reducible, so
+//! this coincides with the DFS retreating-edge definition.
+
+use crate::proc::{BlockId, Proc};
+use std::collections::HashMap;
+
+/// Predecessor lists and related CFG structure for one procedure.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists per block (deduplicated, deterministic order).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry; unreachable blocks are
+    /// absent.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] == Some(i)` iff `rpo[i] == b`; `None` for unreachable
+    /// blocks.
+    pub rpo_index: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Computes CFG structure for `proc`.
+    pub fn compute(proc: &Proc) -> Self {
+        let n = proc.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in proc.iter_blocks() {
+            let ss = block.term.successors();
+            for s in &ss {
+                if !preds[s.index()].contains(&id) {
+                    preds[s.index()].push(id);
+                }
+            }
+            succs[id.index()] = ss;
+        }
+
+        // Iterative DFS postorder.
+        let mut post = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(BlockId, usize)> = vec![(proc.entry, 0)];
+        state[proc.entry.index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i);
+        }
+        Cfg { succs, preds, rpo, rpo_index }
+    }
+
+    /// True when `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True when the procedure has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Immediate-dominator tree, computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm over reverse postorder.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry block is its
+    /// own idom; unreachable blocks map to `None`.
+    pub idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl Dominators {
+    /// Computes dominators for a procedure given its CFG.
+    pub fn compute(proc: &Proc, cfg: &Cfg) -> Self {
+        let n = proc.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = proc.entry;
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.rpo {
+                if b == entry {
+                    continue;
+                }
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &cfg.preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &cfg.rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, entry }
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return cur == a,
+            }
+        }
+    }
+
+    /// Entry block used for the computation.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[Option<usize>],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    let idx = |x: BlockId| rpo_index[x.index()].expect("reachable");
+    while a != b {
+        while idx(a) > idx(b) {
+            a = idom[a.index()].expect("processed");
+        }
+        while idx(b) > idx(a) {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+/// Back edges and natural-loop structure.
+#[derive(Debug, Clone)]
+pub struct Loops {
+    /// Back edges `(tail, head)`: `head` dominates `tail`.
+    pub back_edges: Vec<(BlockId, BlockId)>,
+    /// Loop headers (targets of back edges), deduplicated.
+    pub headers: Vec<BlockId>,
+    /// `loop_depth[b]` = number of natural loops containing `b`.
+    pub loop_depth: Vec<u32>,
+    /// Blocks of the natural loop for each header (header first).
+    pub members: HashMap<BlockId, Vec<BlockId>>,
+}
+
+impl Loops {
+    /// Computes back edges and natural loops.
+    pub fn compute(proc: &Proc, cfg: &Cfg, dom: &Dominators) -> Self {
+        let n = proc.blocks.len();
+        let mut back_edges = Vec::new();
+        for (id, _) in proc.iter_blocks() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            for &s in &cfg.succs[id.index()] {
+                if dom.dominates(s, id) {
+                    back_edges.push((id, s));
+                }
+            }
+        }
+        let mut headers: Vec<BlockId> = Vec::new();
+        for &(_, h) in &back_edges {
+            if !headers.contains(&h) {
+                headers.push(h);
+            }
+        }
+
+        let mut loop_depth = vec![0u32; n];
+        let mut members: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+        for &h in &headers {
+            // Natural loop of header h: union over back edges (t, h).
+            let mut in_loop = vec![false; n];
+            in_loop[h.index()] = true;
+            let mut work: Vec<BlockId> = back_edges
+                .iter()
+                .filter(|&&(_, hh)| hh == h)
+                .map(|&(t, _)| t)
+                .collect();
+            while let Some(b) = work.pop() {
+                if in_loop[b.index()] {
+                    continue;
+                }
+                in_loop[b.index()] = true;
+                for &p in &cfg.preds[b.index()] {
+                    if !in_loop[p.index()] && cfg.is_reachable(p) {
+                        work.push(p);
+                    }
+                }
+            }
+            let mut blocks = vec![h];
+            for i in 0..n {
+                let b = BlockId::new(i as u32);
+                if in_loop[i] {
+                    loop_depth[i] += 1;
+                    if b != h {
+                        blocks.push(b);
+                    }
+                }
+            }
+            members.insert(h, blocks);
+        }
+        Loops { back_edges, headers, loop_depth, members }
+    }
+
+    /// True when edge `(tail, head)` is a back edge.
+    pub fn is_back_edge(&self, tail: BlockId, head: BlockId) -> bool {
+        self.back_edges.contains(&(tail, head))
+    }
+}
+
+/// Bundle of all analyses for one procedure.
+#[derive(Debug, Clone)]
+pub struct ProcAnalysis {
+    /// CFG structure.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: Dominators,
+    /// Loop structure.
+    pub loops: Loops,
+}
+
+impl ProcAnalysis {
+    /// Computes all analyses for `proc`.
+    pub fn compute(proc: &Proc) -> Self {
+        let cfg = Cfg::compute(proc);
+        let dom = Dominators::compute(proc, &cfg);
+        let loops = Loops::compute(proc, &cfg, &dom);
+        ProcAnalysis { cfg, dom, loops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{AluOp, Operand};
+    use crate::proc::Reg;
+    use crate::program::Program;
+
+    /// Diamond: entry -> (a | b) -> exit.
+    fn diamond() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        let exit = f.new_block();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.jump(exit);
+        f.switch_to(b);
+        f.jump(exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    /// entry -> head; head -> body | exit; body -> head (back edge).
+    fn simple_loop() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let n = Reg::new(0);
+        let i = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let p = diamond();
+        let proc = p.proc(p.entry);
+        let a = ProcAnalysis::compute(proc);
+        let e = BlockId::new(0);
+        let ba = BlockId::new(1);
+        let bb = BlockId::new(2);
+        let ex = BlockId::new(3);
+        assert!(a.dom.dominates(e, ex));
+        assert!(a.dom.dominates(e, ba));
+        assert!(!a.dom.dominates(ba, ex));
+        assert!(!a.dom.dominates(bb, ex));
+        assert_eq!(a.dom.idom[ex.index()], Some(e));
+        assert!(a.loops.back_edges.is_empty());
+        assert_eq!(a.cfg.rpo.len(), 4);
+        assert_eq!(a.cfg.rpo[0], e);
+    }
+
+    #[test]
+    fn loop_back_edge_and_members() {
+        let p = simple_loop();
+        let proc = p.proc(p.entry);
+        let a = ProcAnalysis::compute(proc);
+        let head = BlockId::new(1);
+        let body = BlockId::new(2);
+        assert_eq!(a.loops.back_edges, vec![(body, head)]);
+        assert_eq!(a.loops.headers, vec![head]);
+        assert!(a.loops.is_back_edge(body, head));
+        assert!(!a.loops.is_back_edge(head, body));
+        let members = &a.loops.members[&head];
+        assert!(members.contains(&head) && members.contains(&body));
+        assert_eq!(members.len(), 2);
+        assert_eq!(a.loops.loop_depth[head.index()], 1);
+        assert_eq!(a.loops.loop_depth[BlockId::new(0).index()], 0);
+    }
+
+    #[test]
+    fn preds_match_succs() {
+        let p = simple_loop();
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        for (b, _) in proc.iter_blocks() {
+            for &s in &cfg.succs[b.index()] {
+                assert!(cfg.preds[s.index()].contains(&b));
+            }
+            for &pr in &cfg.preds[b.index()] {
+                assert!(cfg.succs[pr.index()].contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let dead = f.new_block();
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(proc);
+        assert_eq!(cfg.rpo.len(), 1);
+        assert!(!cfg.is_reachable(BlockId::new(1)));
+    }
+
+    #[test]
+    fn nested_loop_depth() {
+        // outer: i loop containing j loop.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let n = Reg::new(0);
+        let i = f.reg();
+        let j = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let oh = f.new_block();
+        let ob = f.new_block();
+        let ih = f.new_block();
+        let ib = f.new_block();
+        let olatch = f.new_block();
+        let exit = f.new_block();
+        f.jump(oh);
+        f.switch_to(oh);
+        f.alu(AluOp::CmpLt, c, i, n);
+        f.branch(c, ob, exit);
+        f.switch_to(ob);
+        f.mov(j, 0i64);
+        f.jump(ih);
+        f.switch_to(ih);
+        f.alu(AluOp::CmpLt, c, j, n);
+        f.branch(c, ib, olatch);
+        f.switch_to(ib);
+        f.alu(AluOp::Add, j, j, 1i64);
+        f.jump(ih);
+        f.switch_to(olatch);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(oh);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let proc = p.proc(p.entry);
+        let a = ProcAnalysis::compute(proc);
+        let ih_id = BlockId::new(3);
+        let ib_id = BlockId::new(4);
+        assert_eq!(a.loops.loop_depth[ib_id.index()], 2);
+        assert_eq!(a.loops.loop_depth[ih_id.index()], 2);
+        assert_eq!(a.loops.loop_depth[BlockId::new(1).index()], 1); // outer head
+        assert_eq!(a.loops.headers.len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Graphviz dot rendering of procedure CFGs, for debugging and docs.
+
+use crate::proc::Proc;
+use std::fmt::Write as _;
+
+/// Renders `proc`'s CFG as a Graphviz `digraph`.
+///
+/// Block bodies are included as node labels; edges are annotated `T`/`F` for
+/// conditional branches and with the case index for switches.
+pub fn proc_to_dot(proc: &Proc) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", proc.name);
+    let _ = writeln!(s, "  node [shape=box, fontname=monospace];");
+    for (id, block) in proc.iter_blocks() {
+        let mut label = format!("{id}\\l");
+        for i in &block.instrs {
+            let _ = write!(label, "{i}\\l");
+        }
+        let _ = write!(label, "{}\\l", block.term);
+        let label = label.replace('"', "\\\"");
+        let _ = writeln!(s, "  {id} [label=\"{label}\"];");
+        match &block.term {
+            crate::instr::Terminator::Jump { target } => {
+                let _ = writeln!(s, "  {id} -> {target};");
+            }
+            crate::instr::Terminator::Branch { taken, not_taken, .. } => {
+                let _ = writeln!(s, "  {id} -> {taken} [label=\"T\"];");
+                let _ = writeln!(s, "  {id} -> {not_taken} [label=\"F\"];");
+            }
+            crate::instr::Terminator::Switch { targets, default, .. } => {
+                for (i, t) in targets.iter().enumerate() {
+                    let _ = writeln!(s, "  {id} -> {t} [label=\"{i}\"];");
+                }
+                let _ = writeln!(s, "  {id} -> {default} [label=\"d\"];");
+            }
+            crate::instr::Terminator::Return { .. } => {}
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::proc::Reg;
+
+    #[test]
+    fn dot_output_contains_blocks_and_edges() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let a = f.new_block();
+        let b = f.new_block();
+        f.branch(Reg::new(0), a, b);
+        f.switch_to(a);
+        f.ret(None);
+        f.switch_to(b);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let dot = proc_to_dot(p.proc(p.entry));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("b0 -> b1 [label=\"T\"]"));
+        assert!(dot.contains("b0 -> b2 [label=\"F\"]"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Whole programs: a set of procedures, an entry point, and a data memory.
+
+use crate::proc::Proc;
+use std::fmt;
+
+/// Identifier of a procedure within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(u32);
+
+impl ProcId {
+    /// Creates a procedure id.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ProcId(index)
+    }
+
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A complete program.
+///
+/// Memory is word-addressed: address `a` names the `a`-th 64-bit word. The
+/// initial image is `data` followed by zeroes up to `mem_size` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Procedures, indexed by [`ProcId`].
+    pub procs: Vec<Proc>,
+    /// Entry procedure; receives the interpreter's argument vector.
+    pub entry: ProcId,
+    /// Total memory size in 64-bit words.
+    pub mem_size: usize,
+    /// Initial contents of the low words of memory (the data section).
+    pub data: Vec<i64>,
+}
+
+impl Program {
+    /// Creates a program over the given procedures.
+    ///
+    /// # Panics
+    /// Panics if `data.len() > mem_size`.
+    pub fn new(procs: Vec<Proc>, entry: ProcId, mem_size: usize, data: Vec<i64>) -> Self {
+        assert!(
+            data.len() <= mem_size,
+            "data section ({} words) exceeds memory size ({} words)",
+            data.len(),
+            mem_size
+        );
+        Program { procs, entry, mem_size, data }
+    }
+
+    /// Shared access to a procedure.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn proc(&self, id: ProcId) -> &Proc {
+        &self.procs[id.index()]
+    }
+
+    /// Mutable access to a procedure.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn proc_mut(&mut self, id: ProcId) -> &mut Proc {
+        &mut self.procs[id.index()]
+    }
+
+    /// Iterates over `(ProcId, &Proc)` pairs.
+    pub fn iter_procs(&self) -> impl Iterator<Item = (ProcId, &Proc)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcId::new(i as u32), p))
+    }
+
+    /// All procedure ids.
+    pub fn proc_ids(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.procs.len() as u32).map(ProcId::new)
+    }
+
+    /// Builds the initial memory image.
+    pub fn initial_memory(&self) -> Vec<i64> {
+        let mut mem = vec![0i64; self.mem_size];
+        mem[..self.data.len()].copy_from_slice(&self.data);
+        mem
+    }
+
+    /// Static instruction count over all procedures — the analog of the
+    /// paper's "Size (KB)" column (ours in instructions, 4 bytes each).
+    pub fn static_size(&self) -> usize {
+        self.procs.iter().map(Proc::static_size).sum()
+    }
+
+    /// Finds a procedure by name.
+    pub fn proc_by_name(&self, name: &str) -> Option<ProcId> {
+        self.iter_procs()
+            .find(|(_, p)| p.name == name)
+            .map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Terminator;
+    use crate::proc::Block;
+
+    fn tiny() -> Program {
+        let mut p = Proc::new("main", 0);
+        p.push_block(Block::new(vec![], Terminator::Return { value: None }));
+        Program::new(vec![p], ProcId::new(0), 8, vec![1, 2, 3])
+    }
+
+    #[test]
+    fn initial_memory_pads_with_zeroes() {
+        let prog = tiny();
+        assert_eq!(prog.initial_memory(), vec![1, 2, 3, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds memory size")]
+    fn oversized_data_panics() {
+        let mut p = Proc::new("main", 0);
+        p.push_block(Block::new(vec![], Terminator::Return { value: None }));
+        let _ = Program::new(vec![p], ProcId::new(0), 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn proc_lookup_by_name() {
+        let prog = tiny();
+        assert_eq!(prog.proc_by_name("main"), Some(ProcId::new(0)));
+        assert_eq!(prog.proc_by_name("nope"), None);
+    }
+
+    #[test]
+    fn static_size_sums_procs() {
+        let prog = tiny();
+        assert_eq!(prog.static_size(), 1);
+    }
+}

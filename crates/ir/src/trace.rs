@@ -1,0 +1,193 @@
+//! Dynamic execution trace observation.
+//!
+//! The interpreter reports every basic-block entry (and procedure
+//! entry/exit) to a [`TraceSink`]. Profilers in `pps-profile` and the timing
+//! simulator in `pps-sim` are implemented as sinks, so the same reference
+//! execution drives profiling, cycle accounting and differential testing.
+
+use crate::proc::BlockId;
+use crate::program::ProcId;
+
+/// Observer of a dynamic execution.
+///
+/// Block events arrive in execution order. `enter_proc`/`exit_proc` bracket
+/// each activation, which lets per-procedure profilers keep one path window
+/// per activation (exact under recursion).
+pub trait TraceSink {
+    /// A new activation of `proc` begins (before its entry block event).
+    fn enter_proc(&mut self, proc: ProcId);
+    /// The current activation of `proc` returns.
+    fn exit_proc(&mut self, proc: ProcId);
+    /// Control enters `block` of the current activation of `proc`.
+    fn block(&mut self, proc: ProcId, block: BlockId);
+}
+
+/// A sink that discards all events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn enter_proc(&mut self, _proc: ProcId) {}
+    #[inline]
+    fn exit_proc(&mut self, _proc: ProcId) {}
+    #[inline]
+    fn block(&mut self, _proc: ProcId, _block: BlockId) {}
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEvent {
+    /// Activation of the procedure began.
+    Enter(ProcId),
+    /// Activation of the procedure ended.
+    Exit(ProcId),
+    /// The block was entered.
+    Block(ProcId, BlockId),
+}
+
+/// A sink that records all events into a vector (tests and small programs
+/// only; real experiments stream events instead).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecSink {
+    /// Recorded events in execution order.
+    pub events: Vec<BlockEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Just the block events, dropping enter/exit markers.
+    pub fn blocks(&self) -> Vec<(ProcId, BlockId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                BlockEvent::Block(p, b) => Some((*p, *b)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn enter_proc(&mut self, proc: ProcId) {
+        self.events.push(BlockEvent::Enter(proc));
+    }
+    fn exit_proc(&mut self, proc: ProcId) {
+        self.events.push(BlockEvent::Exit(proc));
+    }
+    fn block(&mut self, proc: ProcId, block: BlockId) {
+        self.events.push(BlockEvent::Block(proc, block));
+    }
+}
+
+/// A sink that counts events without storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountSink {
+    /// Number of block-entry events.
+    pub blocks: u64,
+    /// Number of procedure activations.
+    pub activations: u64,
+}
+
+impl CountSink {
+    /// Creates a zeroed counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for CountSink {
+    #[inline]
+    fn enter_proc(&mut self, _proc: ProcId) {
+        self.activations += 1;
+    }
+    #[inline]
+    fn exit_proc(&mut self, _proc: ProcId) {}
+    #[inline]
+    fn block(&mut self, _proc: ProcId, _block: BlockId) {
+        self.blocks += 1;
+    }
+}
+
+/// Fans one event stream out to two sinks.
+#[derive(Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// First receiver.
+    pub a: A,
+    /// Second receiver.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Creates a tee over the two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn enter_proc(&mut self, proc: ProcId) {
+        self.a.enter_proc(proc);
+        self.b.enter_proc(proc);
+    }
+    fn exit_proc(&mut self, proc: ProcId) {
+        self.a.exit_proc(proc);
+        self.b.exit_proc(proc);
+    }
+    fn block(&mut self, proc: ProcId, block: BlockId) {
+        self.a.block(proc, block);
+        self.b.block(proc, block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut s = VecSink::new();
+        let p = ProcId::new(0);
+        s.enter_proc(p);
+        s.block(p, BlockId::new(0));
+        s.block(p, BlockId::new(2));
+        s.exit_proc(p);
+        assert_eq!(
+            s.events,
+            vec![
+                BlockEvent::Enter(p),
+                BlockEvent::Block(p, BlockId::new(0)),
+                BlockEvent::Block(p, BlockId::new(2)),
+                BlockEvent::Exit(p),
+            ]
+        );
+        assert_eq!(s.blocks().len(), 2);
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::new();
+        let p = ProcId::new(0);
+        s.enter_proc(p);
+        s.block(p, BlockId::new(0));
+        s.block(p, BlockId::new(1));
+        s.exit_proc(p);
+        assert_eq!(s.blocks, 2);
+        assert_eq!(s.activations, 1);
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let mut t = TeeSink::new(CountSink::new(), VecSink::new());
+        let p = ProcId::new(1);
+        t.enter_proc(p);
+        t.block(p, BlockId::new(3));
+        t.exit_proc(p);
+        assert_eq!(t.a.blocks, 1);
+        assert_eq!(t.b.events.len(), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Structural verification of programs.
+//!
+//! The pipeline verifies programs after every transformation pass; a
+//! verifier failure indicates a transformation bug, caught close to its
+//! source rather than as a baffling interpreter divergence.
+
+use crate::instr::Instr;
+use crate::program::{ProcId, Program};
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`verify_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A terminator targets a block index that does not exist.
+    BadBlockTarget {
+        /// Procedure containing the defect.
+        proc: ProcId,
+        /// Offending target index.
+        target: u32,
+    },
+    /// An instruction or terminator references a register `>= reg_count`.
+    BadRegister {
+        /// Procedure containing the defect.
+        proc: ProcId,
+        /// Offending register index.
+        reg: u32,
+    },
+    /// A call references a procedure that does not exist.
+    BadCallee {
+        /// Procedure containing the defect.
+        proc: ProcId,
+        /// Offending callee index.
+        callee: u32,
+    },
+    /// A call passes the wrong number of arguments.
+    CallArity {
+        /// Procedure containing the defect.
+        proc: ProcId,
+        /// Callee whose arity is violated.
+        callee: ProcId,
+        /// Expected parameter count.
+        expected: u32,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// The entry procedure id is out of range.
+    BadEntry,
+    /// A procedure has no blocks.
+    EmptyProc {
+        /// The empty procedure.
+        proc: ProcId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadBlockTarget { proc, target } => {
+                write!(f, "{proc}: terminator targets nonexistent block b{target}")
+            }
+            VerifyError::BadRegister { proc, reg } => {
+                write!(f, "{proc}: register r{reg} out of range")
+            }
+            VerifyError::BadCallee { proc, callee } => {
+                write!(f, "{proc}: call to nonexistent procedure p{callee}")
+            }
+            VerifyError::CallArity { proc, callee, expected, got } => {
+                write!(f, "{proc}: call to {callee} expects {expected} args, got {got}")
+            }
+            VerifyError::BadEntry => write!(f, "entry procedure id out of range"),
+            VerifyError::EmptyProc { proc } => write!(f, "{proc} has no blocks"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks structural well-formedness of a program.
+///
+/// # Errors
+/// Returns the first defect found, if any.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    if program.entry.index() >= program.procs.len() {
+        return Err(VerifyError::BadEntry);
+    }
+    for (pid, proc) in program.iter_procs() {
+        if proc.blocks.is_empty() {
+            return Err(VerifyError::EmptyProc { proc: pid });
+        }
+        let nblocks = proc.blocks.len() as u32;
+        let check_reg = |r: crate::proc::Reg| -> Result<(), VerifyError> {
+            if (r.index() as u32) < proc.reg_count {
+                Ok(())
+            } else {
+                Err(VerifyError::BadRegister { proc: pid, reg: r.index() as u32 })
+            }
+        };
+        if proc.entry.index() as u32 >= nblocks {
+            return Err(VerifyError::BadBlockTarget { proc: pid, target: proc.entry.index() as u32 });
+        }
+        for (_, block) in proc.iter_blocks() {
+            for instr in &block.instrs {
+                for r in instr.uses() {
+                    check_reg(r)?;
+                }
+                if let Some(d) = instr.dst() {
+                    check_reg(d)?;
+                }
+                if let Instr::Call { callee, args, .. } = instr {
+                    if callee.index() >= program.procs.len() {
+                        return Err(VerifyError::BadCallee {
+                            proc: pid,
+                            callee: callee.index() as u32,
+                        });
+                    }
+                    let callee_proc = program.proc(*callee);
+                    if callee_proc.num_params as usize != args.len() {
+                        return Err(VerifyError::CallArity {
+                            proc: pid,
+                            callee: *callee,
+                            expected: callee_proc.num_params,
+                            got: args.len(),
+                        });
+                    }
+                }
+            }
+            for r in block.term.uses() {
+                check_reg(r)?;
+            }
+            for t in block.term.successors() {
+                if t.index() as u32 >= nblocks {
+                    return Err(VerifyError::BadBlockTarget {
+                        proc: pid,
+                        target: t.index() as u32,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::{Operand, Terminator};
+    use crate::proc::{BlockId, Reg};
+
+    fn good() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        f.out(Operand::Imm(1));
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn well_formed_passes() {
+        assert_eq!(verify_program(&good()), Ok(()));
+    }
+
+    #[test]
+    fn bad_block_target_detected() {
+        let mut p = good();
+        p.proc_mut(p.entry).blocks[0].term = Terminator::Jump { target: BlockId::new(42) };
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadBlockTarget { target: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_register_detected() {
+        let mut p = good();
+        p.proc_mut(p.entry).blocks[0]
+            .instrs
+            .push(crate::instr::Instr::Mov { dst: Reg::new(99), src: Operand::Imm(0) });
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::BadRegister { reg: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn call_arity_detected() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare_proc("f", 2);
+        let mut g = pb.begin_declared(callee);
+        g.ret(None);
+        g.finish();
+        let mut f = pb.begin_proc("main", 0);
+        f.call(callee, vec![Operand::Imm(1)], None); // wrong: needs 2 args
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        assert!(matches!(
+            verify_program(&p),
+            Err(VerifyError::CallArity { expected: 2, got: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,236 @@
+#![warn(missing_docs)]
+
+//! The experimental VLIW machine model (paper §3.2).
+//!
+//! The paper evaluates on "a very powerful machine VLIW model based on the
+//! Digital Alpha ISA": 8 functional units, each able to execute any
+//! instruction in a single cycle, at most one control instruction per cycle,
+//! 128 integer registers, and a 32KB direct-mapped instruction cache with
+//! 32-byte lines and a 6-cycle miss penalty (data-cache effects ignored).
+//!
+//! [`MachineConfig`] captures those parameters; [`LatencyModel::Realistic`]
+//! provides the paper's "more realistic instruction latencies" variant used
+//! as an ablation (the paper reports the benefit of path profiles *grows*
+//! under realistic latencies).
+
+use pps_ir::{Instr, Terminator};
+
+/// Classification of instructions for issue restrictions and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// ALU operation, move, or no-op.
+    Alu,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Control transfer: branch, jump, switch, return, or call.
+    Control,
+    /// Observable output (modelled as a store-class operation).
+    Out,
+}
+
+impl OpClass {
+    /// Classifies a straight-line instruction.
+    pub fn of_instr(instr: &Instr) -> OpClass {
+        match instr {
+            Instr::Alu { .. } | Instr::Mov { .. } | Instr::Nop => OpClass::Alu,
+            Instr::Load { .. } => OpClass::Load,
+            Instr::Store { .. } => OpClass::Store,
+            Instr::Call { .. } => OpClass::Control,
+            Instr::Out { .. } => OpClass::Out,
+        }
+    }
+
+    /// Classifies a terminator (always [`OpClass::Control`]).
+    pub fn of_term(_term: &Terminator) -> OpClass {
+        OpClass::Control
+    }
+
+    /// True for operations subject to the one-control-op-per-cycle limit.
+    pub fn is_control(self) -> bool {
+        self == OpClass::Control
+    }
+}
+
+/// Instruction latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// Every instruction completes in a single cycle (the paper's primary
+    /// machine model).
+    #[default]
+    Unit,
+    /// The "more realistic" variant: loads 3 cycles, multiplies 3, divides
+    /// 8, everything else 1.
+    Realistic,
+}
+
+impl LatencyModel {
+    /// Result latency in cycles of `instr` under this model.
+    pub fn latency(self, instr: &Instr) -> u32 {
+        match self {
+            LatencyModel::Unit => 1,
+            LatencyModel::Realistic => match instr {
+                Instr::Load { .. } => 3,
+                Instr::Alu { op, .. } => match op {
+                    pps_ir::AluOp::Mul => 3,
+                    pps_ir::AluOp::Div | pps_ir::AluOp::Rem => 8,
+                    _ => 1,
+                },
+                _ => 1,
+            },
+        }
+    }
+}
+
+/// Instruction-cache geometry and penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Added cycles per miss.
+    pub miss_penalty: u64,
+    /// Bytes per instruction (fixed-width encoding).
+    pub instr_bytes: usize,
+}
+
+impl Default for ICacheConfig {
+    /// The paper's cache: 32KB direct-mapped, 32-byte lines, 6-cycle miss
+    /// penalty, 4-byte instructions.
+    fn default() -> Self {
+        ICacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 32,
+            miss_penalty: 6,
+            instr_bytes: 4,
+        }
+    }
+}
+
+impl ICacheConfig {
+    /// Number of lines in the cache.
+    pub fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Line index of a byte address.
+    pub fn line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr / self.line_bytes as u64
+    }
+
+    /// Direct-mapped slot of a line.
+    pub fn slot_of_line(&self, line: u64) -> usize {
+        (line % self.num_lines() as u64) as usize
+    }
+}
+
+/// The complete machine description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Total issue slots per cycle (the paper's 8 universal units).
+    pub issue_width: usize,
+    /// Maximum control operations per cycle (the paper allows 1).
+    pub control_per_cycle: usize,
+    /// Integer register file size (the paper's 128).
+    pub num_registers: u32,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Instruction-cache configuration.
+    pub icache: ICacheConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            issue_width: 8,
+            control_per_cycle: 1,
+            num_registers: 128,
+            latency: LatencyModel::Unit,
+            icache: ICacheConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's machine, 8-wide with unit latencies.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// The realistic-latency ablation machine.
+    pub fn realistic() -> Self {
+        MachineConfig { latency: LatencyModel::Realistic, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::{AluOp, Operand, Reg};
+
+    #[test]
+    fn default_matches_paper() {
+        let m = MachineConfig::paper();
+        assert_eq!(m.issue_width, 8);
+        assert_eq!(m.control_per_cycle, 1);
+        assert_eq!(m.num_registers, 128);
+        assert_eq!(m.latency, LatencyModel::Unit);
+        assert_eq!(m.icache.size_bytes, 32 * 1024);
+        assert_eq!(m.icache.line_bytes, 32);
+        assert_eq!(m.icache.miss_penalty, 6);
+        assert_eq!(m.icache.num_lines(), 1024);
+    }
+
+    #[test]
+    fn op_classification() {
+        let r = Reg::new(0);
+        assert_eq!(
+            OpClass::of_instr(&Instr::Mov { dst: r, src: Operand::Imm(0) }),
+            OpClass::Alu
+        );
+        assert_eq!(
+            OpClass::of_instr(&Instr::Load { dst: r, base: r, offset: 0, speculative: false }),
+            OpClass::Load
+        );
+        assert_eq!(
+            OpClass::of_instr(&Instr::Store { src: Operand::Imm(0), base: r, offset: 0 }),
+            OpClass::Store
+        );
+        assert!(OpClass::of_instr(&Instr::Call {
+            callee: pps_ir::ProcId::new(0),
+            args: vec![],
+            dst: None
+        })
+        .is_control());
+        assert!(OpClass::of_term(&Terminator::Return { value: None }).is_control());
+    }
+
+    #[test]
+    fn latency_models() {
+        let r = Reg::new(0);
+        let load = Instr::Load { dst: r, base: r, offset: 0, speculative: false };
+        let mul = Instr::Alu { op: AluOp::Mul, dst: r, lhs: Operand::Reg(r), rhs: Operand::Reg(r) };
+        let div = Instr::Alu { op: AluOp::Div, dst: r, lhs: Operand::Reg(r), rhs: Operand::Reg(r) };
+        let add = Instr::Alu { op: AluOp::Add, dst: r, lhs: Operand::Reg(r), rhs: Operand::Reg(r) };
+        assert_eq!(LatencyModel::Unit.latency(&load), 1);
+        assert_eq!(LatencyModel::Realistic.latency(&load), 3);
+        assert_eq!(LatencyModel::Realistic.latency(&mul), 3);
+        assert_eq!(LatencyModel::Realistic.latency(&div), 8);
+        assert_eq!(LatencyModel::Realistic.latency(&add), 1);
+    }
+
+    #[test]
+    fn icache_mapping() {
+        let c = ICacheConfig::default();
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(31), 0);
+        assert_eq!(c.line_of(32), 1);
+        // Two addresses 32KB apart collide in a direct-mapped cache.
+        let a = 100u64;
+        let b = a + 32 * 1024;
+        assert_eq!(c.slot_of_line(c.line_of(a)), c.slot_of_line(c.line_of(b)));
+        assert_ne!(c.line_of(a), c.line_of(b));
+    }
+}

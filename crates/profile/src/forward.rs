@@ -1,0 +1,199 @@
+//! Forward-path profiling (Ball–Larus style), for comparison.
+//!
+//! A *forward* path may not contain a back edge: the dynamic block trace is
+//! chopped into pieces at back edges (and at procedure entry/exit), and each
+//! piece is counted. The paper's §2.2 explains why general paths are
+//! preferable for superblock enlargement — forward paths cannot span loop
+//! iterations, so they can neither give exact frequencies for unrolled
+//! traces nor capture cross-iteration branch correlation. This profiler
+//! exists so those claims can be demonstrated (see the crate tests and the
+//! `bench/profiler` benchmark).
+
+use pps_ir::analysis::ProcAnalysis;
+use pps_ir::{BlockId, ProcId, Program, TraceSink};
+use std::collections::{HashMap, HashSet};
+
+/// Live forward-path-profile collector.
+#[derive(Debug)]
+pub struct ForwardPathProfiler {
+    /// Per-procedure back-edge sets.
+    back_edges: Vec<HashSet<(BlockId, BlockId)>>,
+    /// Per-procedure stacks of in-progress paths (one per activation).
+    current: Vec<Vec<Vec<BlockId>>>,
+    /// Per-procedure completed-path counts.
+    counts: Vec<HashMap<Vec<BlockId>, u64>>,
+    /// Maximum path length in blocks (guards pathological growth; 0 = no
+    /// limit). When reached, the path is finalized and a new one starts.
+    max_blocks: usize,
+}
+
+impl ForwardPathProfiler {
+    /// Creates a collector for `program` with no block-length cap.
+    pub fn new(program: &Program) -> Self {
+        Self::with_max_blocks(program, 0)
+    }
+
+    /// Creates a collector that additionally finalizes paths after
+    /// `max_blocks` blocks (0 = unlimited).
+    pub fn with_max_blocks(program: &Program, max_blocks: usize) -> Self {
+        let back_edges = program
+            .procs
+            .iter()
+            .map(|p| {
+                let a = ProcAnalysis::compute(p);
+                a.loops.back_edges.iter().copied().collect()
+            })
+            .collect();
+        ForwardPathProfiler {
+            back_edges,
+            current: program.procs.iter().map(|_| Vec::new()).collect(),
+            counts: program.procs.iter().map(|_| HashMap::new()).collect(),
+            max_blocks,
+        }
+    }
+
+    fn finalize(counts: &mut HashMap<Vec<BlockId>, u64>, path: &mut Vec<BlockId>) {
+        if !path.is_empty() {
+            *counts.entry(std::mem::take(path)).or_insert(0) += 1;
+        }
+    }
+
+    /// Freezes into a queryable profile.
+    pub fn finish(mut self) -> ForwardPathProfile {
+        // Finalize any still-open paths (e.g. if the sink outlives a run
+        // that errored out).
+        for (p, stacks) in self.current.iter_mut().enumerate() {
+            for path in stacks.iter_mut() {
+                Self::finalize(&mut self.counts[p], path);
+            }
+        }
+        ForwardPathProfile { counts: self.counts }
+    }
+}
+
+impl TraceSink for ForwardPathProfiler {
+    fn enter_proc(&mut self, proc: ProcId) {
+        self.current[proc.index()].push(Vec::new());
+    }
+
+    fn exit_proc(&mut self, proc: ProcId) {
+        let p = proc.index();
+        if let Some(mut path) = self.current[p].pop() {
+            Self::finalize(&mut self.counts[p], &mut path);
+        }
+    }
+
+    fn block(&mut self, proc: ProcId, block: BlockId) {
+        let p = proc.index();
+        let path = self.current[p].last_mut().expect("activation exists");
+        if let Some(&last) = path.last() {
+            if self.back_edges[p].contains(&(last, block))
+                || (self.max_blocks > 0 && path.len() >= self.max_blocks)
+            {
+                Self::finalize(&mut self.counts[p], path);
+            }
+        }
+        path.push(block);
+    }
+}
+
+/// A frozen forward-path profile.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardPathProfile {
+    counts: Vec<HashMap<Vec<BlockId>, u64>>,
+}
+
+impl ForwardPathProfile {
+    /// Count of the exact completed forward path `seq`.
+    pub fn path_count(&self, proc: ProcId, seq: &[BlockId]) -> u64 {
+        self.counts[proc.index()].get(seq).copied().unwrap_or(0)
+    }
+
+    /// Iterates over all completed paths of `proc` with their counts.
+    pub fn iter_paths(&self, proc: ProcId) -> impl Iterator<Item = (&[BlockId], u64)> {
+        self.counts[proc.index()]
+            .iter()
+            .map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// Number of distinct forward paths recorded for `proc`.
+    pub fn distinct_paths(&self, proc: ProcId) -> usize {
+        self.counts[proc.index()].len()
+    }
+
+    /// Frequency of `seq` occurring as a prefix of completed forward paths.
+    pub fn prefix_freq(&self, proc: ProcId, seq: &[BlockId]) -> u64 {
+        self.counts[proc.index()]
+            .iter()
+            .filter(|(k, _)| k.len() >= seq.len() && k[..seq.len()] == *seq)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::{AluOp, Operand, Program};
+
+    /// Simple counted loop: entry -> head; head -> body|exit; body -> head.
+    fn counted_loop(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let i = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(n));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn forward_paths_chop_at_back_edges() {
+        let p = counted_loop(5);
+        let mut prof = ForwardPathProfiler::new(&p);
+        Interp::new(&p, ExecConfig::default())
+            .run_traced(&[], &mut prof)
+            .unwrap();
+        let fp = prof.finish();
+        let main = p.entry;
+        let (entry, head, body, exit) =
+            (BlockId::new(0), BlockId::new(1), BlockId::new(2), BlockId::new(3));
+        // First piece: entry, head, body (chopped before re-entering head).
+        assert_eq!(fp.path_count(main, &[entry, head, body]), 1);
+        // Middle iterations: head, body — 4 of them.
+        assert_eq!(fp.path_count(main, &[head, body]), 4);
+        // Final piece: head, exit.
+        assert_eq!(fp.path_count(main, &[head, exit]), 1);
+        assert_eq!(fp.distinct_paths(main), 3);
+        // No forward path spans a back edge.
+        assert_eq!(fp.path_count(main, &[head, body, head]), 0);
+        assert_eq!(fp.prefix_freq(main, &[head]), 5);
+    }
+
+    #[test]
+    fn max_blocks_cap_finalizes_long_paths() {
+        let p = counted_loop(3);
+        let mut prof = ForwardPathProfiler::with_max_blocks(&p, 2);
+        Interp::new(&p, ExecConfig::default())
+            .run_traced(&[], &mut prof)
+            .unwrap();
+        let fp = prof.finish();
+        for (path, _) in fp.iter_paths(p.entry) {
+            assert!(path.len() <= 2);
+        }
+    }
+}

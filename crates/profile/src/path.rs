@@ -1,0 +1,614 @@
+//! General path profiling (the paper's §2.2 and §3.1).
+//!
+//! A *general path* is any contiguous sequence of basic blocks containing at
+//! most `depth` conditional or multiway branches (the paper uses 15;
+//! unconditional jumps do not count). Profiling observes a sliding window of
+//! the dynamic block trace: at every block-entry event, the *maximal* window
+//! ending at that event is counted once.
+//!
+//! Because every trace position ends exactly one maximal window, the
+//! frequency of an arbitrary sequence `t` (within the depth bound) is the
+//! sum of the counts of all maximal windows having `t` as a suffix. Windows
+//! are stored in a trie keyed by the *reversed* block sequence, which turns
+//! that suffix-sum into a subtree sum.
+//!
+//! The paper's two efficiency observations are implemented directly:
+//!
+//! 1. *"The number of successors to a path is small … the only possible next
+//!    path will be either BCDX or BCDY"* — a lazily populated transition
+//!    cache maps `(window-node, next-block)` to the successor window-node,
+//!    so steady-state profiling work is O(1) per dynamic edge.
+//! 2. *"We do not expect to execute all possible paths … lazily explore the
+//!    space of possible paths"* — trie nodes are created only when their
+//!    path is first observed, giving O(n_paths + n_edges) total work.
+
+use pps_ir::{BlockId, ProcId, Program, TraceSink};
+use std::collections::{HashMap, VecDeque};
+
+/// The paper's path-length limit: up to 15 conditional or multiway branches.
+pub const DEFAULT_PATH_DEPTH: usize = 15;
+
+type NodeId = u32;
+const ROOT: NodeId = 0;
+
+/// One trie node. The trie is keyed by reversed block sequences: the node
+/// for path `b1 … bk` is reached from the root via `bk, bk-1, …, b1`.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Number of times this exact path occurred as a maximal window.
+    count: u64,
+    /// Children keyed by the next-older block of the path.
+    children: HashMap<BlockId, NodeId>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { count: 0, children: HashMap::new() }
+    }
+}
+
+/// Per-procedure profiling state.
+#[derive(Debug)]
+struct ProcTable {
+    nodes: Vec<Node>,
+    /// Paper's successor-path pointers: (current window node, entered block)
+    /// → next window node.
+    transitions: HashMap<(NodeId, BlockId), NodeId>,
+    /// One live window per activation (stack handles recursion).
+    activations: Vec<Window>,
+    /// Whether each block's terminator is a counted branch.
+    is_branch: Vec<bool>,
+    /// Cache statistics: transition-cache misses (new path suffixes built).
+    cache_misses: u64,
+    /// Cache statistics: transition-cache hits (O(1) steps).
+    cache_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Window {
+    /// Blocks currently in the window, oldest first.
+    blocks: VecDeque<BlockId>,
+    /// Number of counted branches among all blocks except the newest.
+    branches: usize,
+    /// Trie node of the current window.
+    node: NodeId,
+}
+
+impl ProcTable {
+    fn new(is_branch: Vec<bool>) -> Self {
+        ProcTable {
+            nodes: vec![Node::new()],
+            transitions: HashMap::new(),
+            activations: Vec::new(),
+            is_branch,
+            cache_misses: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Finds or creates the trie node for `blocks` (given oldest-first;
+    /// interned newest-first).
+    fn intern(nodes: &mut Vec<Node>, blocks: &VecDeque<BlockId>) -> NodeId {
+        let mut cur = ROOT;
+        for &b in blocks.iter().rev() {
+            let next_id = nodes.len() as NodeId;
+            let entry = nodes[cur as usize].children.entry(b).or_insert(next_id);
+            let id = *entry;
+            if id == next_id {
+                nodes.push(Node::new());
+            }
+            cur = id;
+        }
+        cur
+    }
+
+    fn on_block(&mut self, depth: usize, block: BlockId) {
+        let win = self.activations.last_mut().expect("activation exists");
+        // Append the new block; the previously-newest block's terminator has
+        // now executed, so it starts counting toward the branch limit.
+        if let Some(&last) = win.blocks.back() {
+            if self.is_branch[last.index()] {
+                win.branches += 1;
+            }
+        }
+        win.blocks.push_back(block);
+        // Trim from the front until within the depth bound.
+        while win.branches > depth {
+            let dropped = win.blocks.pop_front().expect("window non-empty");
+            if self.is_branch[dropped.index()] {
+                win.branches -= 1;
+            }
+        }
+        // Locate the trie node via the transition cache.
+        let key = (win.node, block);
+        if let Some(&next) = self.transitions.get(&key) {
+            self.cache_hits += 1;
+            win.node = next;
+        } else {
+            self.cache_misses += 1;
+            let next = Self::intern(&mut self.nodes, &win.blocks);
+            self.transitions.insert(key, next);
+            win.node = next;
+        }
+        self.nodes[win.node as usize].count += 1;
+    }
+}
+
+/// Live general-path-profile collector.
+///
+/// Attach to [`Interp::run_traced`](pps_ir::interp::Interp::run_traced),
+/// then call [`finish`](Self::finish) to freeze into a queryable
+/// [`PathProfile`].
+#[derive(Debug)]
+pub struct PathProfiler {
+    tables: Vec<ProcTable>,
+    depth: usize,
+}
+
+impl PathProfiler {
+    /// Creates a collector for `program` with the given path-length limit
+    /// (`depth` counted branches; the paper uses
+    /// [`DEFAULT_PATH_DEPTH`] = 15).
+    pub fn new(program: &Program, depth: usize) -> Self {
+        let tables = program
+            .procs
+            .iter()
+            .map(|p| {
+                let is_branch = p
+                    .blocks
+                    .iter()
+                    .map(|b| b.term.is_counted_branch())
+                    .collect();
+                ProcTable::new(is_branch)
+            })
+            .collect();
+        PathProfiler { tables, depth }
+    }
+
+    /// Freezes into a queryable profile, computing subtree sums.
+    pub fn finish(self) -> PathProfile {
+        let depth = self.depth;
+        let procs = self
+            .tables
+            .into_iter()
+            .map(|t| FrozenTable::from_nodes(t.nodes, t.cache_hits, t.cache_misses))
+            .collect();
+        PathProfile { procs, depth }
+    }
+}
+
+impl TraceSink for PathProfiler {
+    fn enter_proc(&mut self, proc: ProcId) {
+        self.tables[proc.index()].activations.push(Window {
+            blocks: VecDeque::new(),
+            branches: 0,
+            node: ROOT,
+        });
+    }
+
+    fn exit_proc(&mut self, proc: ProcId) {
+        self.tables[proc.index()].activations.pop();
+    }
+
+    fn block(&mut self, proc: ProcId, block: BlockId) {
+        let depth = self.depth;
+        self.tables[proc.index()].on_block(depth, block);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FrozenNode {
+    count: u64,
+    /// Count of this node plus all descendants: the frequency of the
+    /// (reversed-keyed) path as a *suffix* of maximal windows — i.e. its
+    /// true occurrence frequency.
+    subtree: u64,
+    children: HashMap<BlockId, NodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct FrozenTable {
+    nodes: Vec<FrozenNode>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl FrozenTable {
+    fn from_nodes(nodes: Vec<Node>, cache_hits: u64, cache_misses: u64) -> Self {
+        let mut frozen: Vec<FrozenNode> = nodes
+            .into_iter()
+            .map(|n| FrozenNode { count: n.count, subtree: n.count, children: n.children })
+            .collect();
+        // Children always have larger ids than parents (created later), so a
+        // reverse scan accumulates subtree sums bottom-up.
+        for i in (0..frozen.len()).rev() {
+            let kids: Vec<NodeId> = frozen[i].children.values().copied().collect();
+            let mut sum = frozen[i].count;
+            for k in kids {
+                sum += frozen[k as usize].subtree;
+            }
+            frozen[i].subtree = sum;
+        }
+        FrozenTable { nodes: frozen, cache_hits, cache_misses }
+    }
+
+    fn lookup(&self, seq: &[BlockId]) -> Option<&FrozenNode> {
+        let mut cur = ROOT;
+        for &b in seq.iter().rev() {
+            cur = *self.nodes[cur as usize].children.get(&b)?;
+        }
+        Some(&self.nodes[cur as usize])
+    }
+}
+
+/// A frozen, queryable general path profile.
+#[derive(Debug, Clone)]
+pub struct PathProfile {
+    procs: Vec<FrozenTable>,
+    depth: usize,
+}
+
+impl PathProfile {
+    /// The path-length limit (in counted branches) this profile was
+    /// collected with.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of procedures covered.
+    pub fn num_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Exact execution frequency of the contiguous block sequence `seq` in
+    /// `proc`: the number of times the blocks of `seq` were executed
+    /// consecutively within one activation.
+    ///
+    /// The answer is exact when `seq` is within the profiling depth — i.e.
+    /// its first `len-1` blocks contain at most [`depth`](Self::depth)
+    /// counted branches. Longer sequences are *undercounted* (the window
+    /// never holds them whole); callers should first trim with
+    /// [`trim_to_depth`](Self::trim_to_depth).
+    pub fn freq(&self, proc: ProcId, seq: &[BlockId]) -> u64 {
+        if seq.is_empty() {
+            return 0;
+        }
+        self.procs[proc.index()]
+            .lookup(seq)
+            .map(|n| n.subtree)
+            .unwrap_or(0)
+    }
+
+    /// Frequency with which `seq` was executed *and was the end of an
+    /// activation-maximal window* — exposed for testing the window
+    /// mechanics; most callers want [`freq`](Self::freq).
+    pub fn maximal_window_count(&self, proc: ProcId, seq: &[BlockId]) -> u64 {
+        self.procs[proc.index()]
+            .lookup(seq)
+            .map(|n| n.count)
+            .unwrap_or(0)
+    }
+
+    /// Execution frequency of a single block, derived from the path table
+    /// (every entry to `b` ends exactly one maximal window).
+    pub fn block_freq(&self, proc: ProcId, block: BlockId) -> u64 {
+        self.freq(proc, &[block])
+    }
+
+    /// Traversal frequency of edge `from → to`, derived from the path table.
+    pub fn edge_freq(&self, proc: ProcId, from: BlockId, to: BlockId) -> u64 {
+        self.freq(proc, &[from, to])
+    }
+
+    /// Longest suffix of `seq` within the profiling depth for `proc`,
+    /// given the procedure body (needed to classify branch blocks).
+    ///
+    /// This is the "longest suffix … for which we have exact frequencies"
+    /// rule the paper's enlarger uses once a superblock outgrows the
+    /// profiling depth.
+    pub fn trim_to_depth<'s>(&self, proc_body: &pps_ir::Proc, seq: &'s [BlockId]) -> &'s [BlockId] {
+        if seq.is_empty() {
+            return seq;
+        }
+        let mut branches = 0;
+        // Walk backwards over all blocks except the newest; stop before
+        // exceeding the depth.
+        let mut start = seq.len() - 1;
+        while start > 0 {
+            let b = seq[start - 1];
+            let counted = proc_body.block(b).term.is_counted_branch();
+            if branches + usize::from(counted) > self.depth {
+                break;
+            }
+            branches += usize::from(counted);
+            start -= 1;
+        }
+        &seq[start..]
+    }
+
+    /// Number of distinct paths (trie nodes, excluding the root) recorded
+    /// for `proc` — the paper's `npaths`.
+    pub fn distinct_paths(&self, proc: ProcId) -> usize {
+        self.procs[proc.index()].nodes.len().saturating_sub(1)
+    }
+
+    /// Transition-cache statistics `(hits, misses)` for `proc`; the paper's
+    /// O(1)-amortized claim corresponds to hits ≫ misses.
+    pub fn cache_stats(&self, proc: ProcId) -> (u64, u64) {
+        let t = &self.procs[proc.index()];
+        (t.cache_hits, t.cache_misses)
+    }
+
+    /// Enumerates every recorded maximal window of `proc` with its count
+    /// (counts > 0 only), in an unspecified but deterministic order. The
+    /// profile can be reconstructed exactly from these via
+    /// [`from_windows`](Self::from_windows) — the basis of profile
+    /// serialization.
+    pub fn iter_maximal_windows(&self, proc: ProcId) -> Vec<(Vec<BlockId>, u64)> {
+        let table = &self.procs[proc.index()];
+        let mut out = Vec::new();
+        // DFS from the root; the trie is keyed newest-first, so the
+        // accumulated key must be reversed to yield the window.
+        let mut stack: Vec<(NodeId, Vec<BlockId>)> = vec![(ROOT, Vec::new())];
+        while let Some((node, key)) = stack.pop() {
+            let n = &table.nodes[node as usize];
+            if n.count > 0 {
+                let mut window = key.clone();
+                window.reverse();
+                out.push((window, n.count));
+            }
+            let mut kids: Vec<(&BlockId, &NodeId)> = n.children.iter().collect();
+            kids.sort_by_key(|(b, _)| **b);
+            for (b, &child) in kids {
+                let mut k = key.clone();
+                k.push(*b);
+                stack.push((child, k));
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a profile from per-procedure maximal-window counts (as
+    /// produced by [`iter_maximal_windows`](Self::iter_maximal_windows)).
+    pub fn from_windows(depth: usize, per_proc: Vec<Vec<(Vec<BlockId>, u64)>>) -> PathProfile {
+        let procs = per_proc
+            .into_iter()
+            .map(|windows| {
+                let mut nodes = vec![Node::new()];
+                for (window, count) in windows {
+                    let deque: VecDeque<BlockId> = window.into_iter().collect();
+                    let id = ProcTable::intern(&mut nodes, &deque);
+                    nodes[id as usize].count += count;
+                }
+                FrozenTable::from_nodes(nodes, 0, 0)
+            })
+            .collect();
+        PathProfile { procs, depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::{AluOp, Operand, Program, Reg};
+
+    /// Figure-1-shaped CFG: A branches to B or X; B branches to C or Y;
+    /// all paths rejoin and loop `n` times. The branch pattern is chosen by
+    /// two period-driven conditions so path frequencies are predictable.
+    ///
+    /// Returns (program, [A, B, C, X, Y, latch]).
+    fn figure1(n: i64, via_x_period: i64, via_y_period: i64) -> (Program, Vec<BlockId>) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let i = f.reg();
+        let c = f.reg();
+        let m = f.reg();
+        f.mov(i, 0i64);
+        let a = f.new_block();
+        let b = f.new_block();
+        let cc = f.new_block();
+        let x = f.new_block();
+        let y = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.jump(a);
+        f.switch_to(a);
+        f.alu(AluOp::Rem, m, i, via_x_period);
+        f.alu(AluOp::CmpEq, c, m, 0i64);
+        f.branch(c, x, b); // sometimes go via X
+        f.switch_to(x);
+        f.jump(b);
+        f.switch_to(b);
+        f.alu(AluOp::Rem, m, i, via_y_period);
+        f.alu(AluOp::CmpEq, c, m, 1i64);
+        f.branch(c, y, cc); // sometimes exit via Y
+        f.switch_to(y);
+        f.jump(latch);
+        f.switch_to(cc);
+        f.jump(latch);
+        f.switch_to(latch);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(n));
+        f.branch(c, a, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        (pb.finish(main), vec![a, b, cc, x, y, latch])
+    }
+
+    fn profile(p: &Program, depth: usize) -> PathProfile {
+        let mut prof = PathProfiler::new(p, depth);
+        Interp::new(p, ExecConfig::default())
+            .run_traced(&[], &mut prof)
+            .unwrap();
+        prof.finish()
+    }
+
+    #[test]
+    fn path_freqs_disambiguate_figure1() {
+        // 12 iterations; i%3==0 -> via X (4 times), i%4==1 -> via Y (3
+        // times). Paths ABC and ABY (A directly to B) have exact counts that
+        // edge profiles could only bound.
+        let (p, ids) = figure1(12, 3, 4);
+        let prof = profile(&p, 15);
+        let main = p.entry;
+        let (a, b, c, x, y, _latch) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        // i in 0..12: via X at i=0,3,6,9; via Y at i=1,5,9.
+        assert_eq!(prof.freq(main, &[a, x, b]), 4);
+        assert_eq!(prof.freq(main, &[a, b]), 8);
+        // ABY: A->B directly (not via X) and then Y: i=1,5 (i=9 goes via X).
+        assert_eq!(prof.freq(main, &[a, b, y]), 2);
+        assert_eq!(prof.freq(main, &[a, b, c]), 6);
+        // Consistency: f(AB) = f(ABY) + f(ABC).
+        assert_eq!(
+            prof.freq(main, &[a, b]),
+            prof.freq(main, &[a, b, y]) + prof.freq(main, &[a, b, c])
+        );
+        // Block frequency derivation.
+        assert_eq!(prof.block_freq(main, a), 12);
+        assert_eq!(prof.block_freq(main, b), 12);
+        assert_eq!(prof.block_freq(main, y), 3);
+        // Edge frequency derivation.
+        assert_eq!(prof.edge_freq(main, a, x), 4);
+        assert_eq!(prof.edge_freq(main, b, y), 3);
+    }
+
+    #[test]
+    fn paths_can_span_loop_iterations() {
+        // General paths include back edges: the sequence latch->A across
+        // iterations must have a frequency.
+        let (p, ids) = figure1(12, 3, 4);
+        let prof = profile(&p, 15);
+        let main = p.entry;
+        let (a, latch) = (ids[0], ids[5]);
+        assert_eq!(prof.freq(main, &[latch, a]), 11);
+        // Two consecutive full iterations both going A->B->C.
+        let (b, c) = (ids[1], ids[2]);
+        let two_iters = [a, b, c, latch, a, b, c];
+        assert!(prof.freq(main, &two_iters) > 0);
+    }
+
+    #[test]
+    fn depth_zero_only_records_single_branchless_runs() {
+        // With depth 0, a window may contain at most 0 executed branches
+        // among its non-final blocks.
+        let (p, ids) = figure1(4, 2, 2);
+        let prof = profile(&p, 0);
+        let main = p.entry;
+        let (a, x, b) = (ids[0], ids[3], ids[1]);
+        // a ends in a branch, so [a, x] exceeds depth 0... but x is entered
+        // after a's branch executes; window trims to [x]. However [x, b]
+        // holds: x ends in an unconditional jump (not counted).
+        assert_eq!(prof.freq(main, &[a, x]), 0);
+        assert!(prof.freq(main, &[x, b]) > 0);
+    }
+
+    #[test]
+    fn brute_force_window_equivalence() {
+        use pps_ir::VecSink;
+        // Record the raw trace, recompute maximal windows naively, and
+        // compare every recorded path's frequency.
+        let (p, _) = figure1(10, 3, 5);
+        for depth in [0, 1, 2, 15] {
+            let prof = profile(&p, depth);
+            let mut sink = VecSink::new();
+            Interp::new(&p, ExecConfig::default())
+                .run_traced(&[], &mut sink)
+                .unwrap();
+            let main = p.entry;
+            let proc = p.proc(main);
+            let blocks: Vec<BlockId> = sink.blocks().iter().map(|&(_, b)| b).collect();
+            // Naive: for each position, compute the maximal window ending
+            // there; then count every subsequence query via suffix matching.
+            let is_branch = |b: BlockId| proc.block(b).term.is_counted_branch();
+            let mut windows: Vec<Vec<BlockId>> = Vec::new();
+            for end in 0..blocks.len() {
+                let mut start = end;
+                let mut branches = 0;
+                while start > 0 {
+                    let b = blocks[start - 1];
+                    if branches + usize::from(is_branch(b)) > depth {
+                        break;
+                    }
+                    branches += usize::from(is_branch(b));
+                    start -= 1;
+                }
+                windows.push(blocks[start..=end].to_vec());
+            }
+            // Check freq() for a set of probe sequences derived from windows.
+            for probe in windows.iter().take(200) {
+                let expected = windows
+                    .iter()
+                    .filter(|w| w.len() >= probe.len() && w[w.len() - probe.len()..] == probe[..])
+                    .count() as u64;
+                assert_eq!(
+                    prof.freq(main, probe),
+                    expected,
+                    "depth={depth} probe={probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trim_to_depth_respects_branch_counts() {
+        let (p, ids) = figure1(4, 2, 2);
+        let prof = profile(&p, 1);
+        let proc = p.proc(p.entry);
+        let (a, b, c, latch) = (ids[0], ids[1], ids[2], ids[5]);
+        // Sequence with 3 branch blocks among non-final: a, b, latch.
+        let seq = [a, b, c, latch, a];
+        let trimmed = prof.trim_to_depth(proc, &seq);
+        // Depth 1 allows only one counted-branch among non-final blocks:
+        // walking back from `a`: latch is a branch (1), c is a jump (ok),
+        // b is a branch (would be 2) -> stop. Suffix = [c, latch, a].
+        assert_eq!(trimmed, &[c, latch, a]);
+    }
+
+    #[test]
+    fn cache_hits_dominate_on_repetitive_traces() {
+        let (p, _) = figure1(3000, 3, 4);
+        let prof = profile(&p, 15);
+        let (hits, misses) = prof.cache_stats(p.entry);
+        assert!(hits > misses * 50, "hits={hits} misses={misses}");
+        assert!(prof.distinct_paths(p.entry) > 0);
+    }
+
+    #[test]
+    fn recursion_keeps_windows_separate() {
+        // f(n): if n > 0 { f(n-1) } — the path window of the outer
+        // activation must not absorb inner-activation blocks.
+        let mut pb = ProgramBuilder::new();
+        let fid = pb.declare_proc("f", 1);
+        let mut g = pb.begin_declared(fid);
+        let n = Reg::new(0);
+        let cnd = g.reg();
+        let rec = g.new_block();
+        let done = g.new_block();
+        g.alu(AluOp::CmpLt, cnd, Operand::Imm(0), Operand::Reg(n));
+        g.branch(cnd, rec, done);
+        g.switch_to(rec);
+        let m = g.reg();
+        g.alu(AluOp::Sub, m, n, 1i64);
+        g.call(fid, vec![Operand::Reg(m)], None);
+        g.jump(done);
+        g.switch_to(done);
+        g.ret(None);
+        g.finish();
+        let mut f = pb.begin_proc("main", 0);
+        f.call(fid, vec![Operand::Imm(5)], None);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+
+        let prof = profile(&p, 15);
+        let entry = BlockId::new(0);
+        // Six activations of f, each entering its entry block exactly once.
+        assert_eq!(prof.block_freq(fid, entry), 6);
+        // Within one activation the entry never repeats: path [entry, entry]
+        // never occurs even though entries are adjacent in the global trace.
+        assert_eq!(prof.freq(fid, &[entry, entry]), 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Cycle accounting over a dynamic execution of the transformed program.
+//!
+//! [`CycleSim`] is a [`TraceSink`]: the reference interpreter reports every
+//! block entry, and the sink maps blocks to `(superblock, position)` pairs.
+//! Advancing to the next position of the same superblock is free (those
+//! cycles are inside the schedule); any other transfer *leaves* the current
+//! superblock through the terminator at its current position and charges
+//! `exit cycle + 1` cycles — exactly the paper's model where the compactor
+//! minimizes the cycle count to each exit.
+
+use crate::icache::DirectMappedICache;
+use crate::layout::Layout;
+use crate::metrics::SbDynStats;
+use crate::SimOutcome;
+use pps_compact::CompactedProgram;
+use pps_ir::interp::ExecResult;
+use pps_ir::{BlockId, ProcId, TraceSink};
+use pps_machine::MachineConfig;
+use std::collections::HashMap;
+
+/// Inter-superblock transition counts from one run, used to build a
+/// [`Layout`].
+#[derive(Debug, Clone)]
+pub struct Transitions {
+    /// Per procedure: `(from_sb, to_sb) -> count`.
+    per_proc: Vec<HashMap<(u32, u32), u64>>,
+    /// Per procedure: entry counts per superblock (first superblock of an
+    /// activation, or entered from a call return context).
+    entry_counts: Vec<Vec<u64>>,
+    /// Activation counts per procedure.
+    activation_counts: Vec<u64>,
+}
+
+impl Transitions {
+    /// Creates empty counters shaped like `compacted`.
+    pub fn new(compacted: &CompactedProgram) -> Self {
+        Transitions {
+            per_proc: compacted.procs.iter().map(|_| HashMap::new()).collect(),
+            entry_counts: compacted
+                .procs
+                .iter()
+                .map(|p| vec![0; p.superblocks.len()])
+                .collect(),
+            activation_counts: vec![0; compacted.procs.len()],
+        }
+    }
+
+    /// Records a transition between superblocks of `proc`.
+    pub fn record(&mut self, proc: ProcId, from_sb: u32, to_sb: u32) {
+        *self.per_proc[proc.index()]
+            .entry((from_sb, to_sb))
+            .or_insert(0) += 1;
+    }
+
+    /// Records an activation-entry into `sb` of `proc`.
+    pub fn record_entry(&mut self, proc: ProcId, sb: u32) {
+        self.entry_counts[proc.index()][sb as usize] += 1;
+    }
+
+    /// Records an activation of `proc`.
+    pub fn record_activation(&mut self, proc: ProcId) {
+        self.activation_counts[proc.index()] += 1;
+    }
+
+    /// Activation count of `proc`.
+    pub fn activations(&self, proc: ProcId) -> u64 {
+        self.activation_counts[proc.index()]
+    }
+
+    /// Entry count of superblock `sb` of `proc`.
+    pub fn entries(&self, proc: ProcId, sb: u32) -> u64 {
+        self.entry_counts[proc.index()][sb as usize]
+    }
+
+    /// Iterates `( (from, to), count )` for `proc`.
+    pub fn iter_proc(&self, proc: ProcId) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        self.per_proc[proc.index()].iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total transition events recorded.
+    pub fn total(&self) -> u64 {
+        self.per_proc.iter().flat_map(|m| m.values()).sum()
+    }
+}
+
+/// One live activation's position within the superblock structure.
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    proc: ProcId,
+    /// Current `(superblock, position)`, `None` before the first block.
+    at: Option<(u32, u32)>,
+}
+
+/// The cycle-charging trace sink. See the module docs.
+#[derive(Debug)]
+pub struct CycleSim<'a> {
+    compacted: &'a CompactedProgram,
+    layout: Option<&'a Layout>,
+    icache: Option<DirectMappedICache>,
+    stack: Vec<Cursor>,
+    cycles: u64,
+    transitions: Transitions,
+    sb_stats: SbDynStats,
+}
+
+impl<'a> CycleSim<'a> {
+    /// Creates a sink charging cycles from `compacted`'s schedules; when
+    /// `layout` is given, the instruction cache is simulated too.
+    pub fn new(
+        compacted: &'a CompactedProgram,
+        machine: &MachineConfig,
+        layout: Option<&'a Layout>,
+    ) -> Self {
+        CycleSim {
+            compacted,
+            layout,
+            icache: layout.map(|_| DirectMappedICache::new(machine.icache)),
+            stack: Vec::new(),
+            cycles: 0,
+            transitions: Transitions::new(compacted),
+            sb_stats: SbDynStats::default(),
+        }
+    }
+
+    fn leave(&mut self, proc: ProcId, sb: u32, pos: u32) {
+        let scheduled = &self.compacted.proc(proc).superblocks[sb as usize];
+        let sched = &scheduled.schedule;
+        self.cycles += sched.cost_of_exit(pos as usize);
+        self.sb_stats.record(pos + 1, scheduled.spec.len() as u32);
+        if let (Some(layout), Some(icache)) = (self.layout, self.icache.as_mut()) {
+            let base = layout.base(proc, sb);
+            icache.fetch_range(base, sched.fetch_of_exit(pos as usize));
+        }
+    }
+
+    /// Consumes the sink, producing the run outcome.
+    pub fn finish(self, exec: ExecResult) -> SimOutcome {
+        debug_assert!(self.stack.is_empty(), "all activations closed");
+        SimOutcome {
+            exec,
+            cycles: self.cycles,
+            icache: self.icache.map(|c| c.stats()),
+            transitions: self.transitions,
+            sb_stats: self.sb_stats,
+        }
+    }
+}
+
+impl TraceSink for CycleSim<'_> {
+    fn enter_proc(&mut self, proc: ProcId) {
+        self.stack.push(Cursor { proc, at: None });
+        self.transitions.record_activation(proc);
+    }
+
+    fn exit_proc(&mut self, proc: ProcId) {
+        let cur = self.stack.pop().expect("activation open");
+        debug_assert_eq!(cur.proc, proc);
+        if let Some((sb, pos)) = cur.at {
+            self.leave(proc, sb, pos);
+        }
+    }
+
+    fn block(&mut self, proc: ProcId, block: BlockId) {
+        let (sb, pos) = self
+            .compacted
+            .proc(proc)
+            .location(block)
+            .unwrap_or_else(|| panic!("executed block {block} of {proc} not in any superblock"));
+        let cur = self.stack.last_mut().expect("activation open");
+        debug_assert_eq!(cur.proc, proc);
+        match cur.at {
+            Some((csb, cpos)) if csb == sb && pos == cpos + 1 => {
+                // Internal fall-through: inside the schedule, free.
+                cur.at = Some((sb, pos));
+            }
+            prev => {
+                debug_assert_eq!(pos, 0, "inter-superblock transfers target heads");
+                if let Some((psb, ppos)) = prev {
+                    self.leave(proc, psb, ppos);
+                    self.transitions.record(proc, psb, sb);
+                } else {
+                    self.transitions.record_entry(proc, sb);
+                }
+                let cur = self.stack.last_mut().expect("activation open");
+                cur.at = Some((sb, pos));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use pps_compact::{compact_program, singleton_partition, CompactConfig, SuperblockSpec};
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::{AluOp, Operand, Program, Reg};
+
+    /// Two-block straight-line program compiled as one superblock.
+    fn straight2() -> (Program, Vec<Vec<SuperblockSpec>>) {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let a = f.reg();
+        let nxt = f.new_block();
+        f.mov(a, 1i64);
+        f.jump(nxt);
+        f.switch_to(nxt);
+        f.out(a);
+        f.ret(None);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let part = vec![vec![SuperblockSpec::new(vec![BlockId::new(0), nxt])]];
+        (p, part)
+    }
+
+    #[test]
+    fn internal_fallthrough_is_free() {
+        let (mut p, part) = straight2();
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+        let m = MachineConfig::paper();
+        let out = simulate(&p, &compacted, &m, None, &[]).unwrap();
+        // One superblock traversal. Move renaming forwards the constant
+        // into `out`, so mov/out/ret all pack into cycle 0: 1 cycle.
+        assert_eq!(out.cycles, 1);
+        assert_eq!(out.sb_stats.traversals, 1);
+        assert_eq!(out.sb_stats.blocks_executed, 2);
+        assert_eq!(out.sb_stats.size_blocks, 2);
+
+        // Without move renaming the true dependence chain costs 2 cycles:
+        // mov@0 (jump elided), out@1, ret@1.
+        let (mut p2, part2) = straight2();
+        let cfg = CompactConfig { move_renaming: false, ..Default::default() };
+        let compacted2 = compact_program(&mut p2, &part2, &cfg);
+        let out2 = simulate(&p2, &compacted2, &m, None, &[]).unwrap();
+        assert_eq!(out2.cycles, 2);
+    }
+
+    #[test]
+    fn early_exit_charges_exit_cycle() {
+        // superblock [b0, fall]: the branch exit costs fewer cycles than
+        // completion.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 1);
+        let fall = f.new_block();
+        let off = f.new_block();
+        let a = f.reg();
+        f.mov(a, 1i64);
+        f.branch(Reg::new(0), off, fall);
+        f.switch_to(fall);
+        f.out(a);
+        let b = f.reg();
+        f.alu(AluOp::Add, b, a, 1i64);
+        f.out(b);
+        f.ret(None);
+        f.switch_to(off);
+        f.ret(None);
+        let main = f.finish();
+        let mut p = pb.finish(main);
+        let part = vec![vec![
+            SuperblockSpec::new(vec![BlockId::new(0), fall]),
+            SuperblockSpec::singleton(off),
+        ]];
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+        let m = MachineConfig::paper();
+        let taken = simulate(&p, &compacted, &m, None, &[1]).unwrap();
+        let fell = simulate(&p, &compacted, &m, None, &[0]).unwrap();
+        assert!(taken.cycles < fell.cycles, "early exit cheaper than completion");
+        // Early-exit traversal executed 1 of 2 blocks, plus the off
+        // singleton (1 of 1).
+        assert_eq!(taken.sb_stats.traversals, 2);
+        assert_eq!(taken.sb_stats.blocks_executed, 2);
+        assert_eq!(taken.sb_stats.size_blocks, 3);
+    }
+
+    #[test]
+    fn calls_do_not_break_caller_superblock() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare_proc("f", 0);
+        let mut g = pb.begin_declared(callee);
+        g.ret(Some(Operand::Imm(7)));
+        g.finish();
+        let mut f = pb.begin_proc("main", 0);
+        let r = f.reg();
+        let nxt = f.new_block();
+        f.call(callee, vec![], Some(r));
+        f.jump(nxt);
+        f.switch_to(nxt);
+        f.out(r);
+        f.ret(None);
+        let main = f.finish();
+        let mut p = pb.finish(main);
+        let part = vec![
+            vec![SuperblockSpec::singleton(BlockId::new(0))],
+            vec![SuperblockSpec::new(vec![BlockId::new(0), nxt])],
+        ];
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+        let m = MachineConfig::paper();
+        let out = simulate(&p, &compacted, &m, None, &[]).unwrap();
+        assert_eq!(out.exec.output, vec![7]);
+        // Two traversals: callee singleton + caller superblock (the call
+        // does not end the caller's traversal).
+        assert_eq!(out.sb_stats.traversals, 2);
+        assert_eq!(out.sb_stats.blocks_executed, 3);
+    }
+
+    #[test]
+    fn transitions_track_superblock_flow() {
+        let (mut p, _) = straight2();
+        let part = singleton_partition(&p);
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+        let m = MachineConfig::paper();
+        let out = simulate(&p, &compacted, &m, None, &[]).unwrap();
+        let pid = p.entry;
+        assert_eq!(out.transitions.activations(pid), 1);
+        // b0-singleton -> nxt-singleton transition recorded once.
+        assert_eq!(out.transitions.total(), 1);
+        let (sb0, _) = compacted.proc(pid).location(BlockId::new(0)).unwrap();
+        assert_eq!(out.transitions.entries(pid, sb0), 1);
+    }
+}

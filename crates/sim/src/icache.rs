@@ -1,0 +1,130 @@
+//! Direct-mapped instruction-cache simulation.
+
+use pps_machine::ICacheConfig;
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Instruction-fetch accesses.
+    pub accesses: u64,
+    /// Line misses.
+    pub misses: u64,
+    /// Total miss-penalty cycles.
+    pub penalty_cycles: u64,
+}
+
+impl CacheStats {
+    /// Misses per instruction access.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A direct-mapped instruction cache over byte addresses.
+#[derive(Debug, Clone)]
+pub struct DirectMappedICache {
+    config: ICacheConfig,
+    /// Resident line per slot (`u64::MAX` = empty).
+    tags: Vec<u64>,
+    stats: CacheStats,
+}
+
+impl DirectMappedICache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: ICacheConfig) -> Self {
+        DirectMappedICache {
+            tags: vec![u64::MAX; config.num_lines()],
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Fetches `n_instrs` consecutive instructions starting at byte address
+    /// `base`: one access per instruction; a line miss is charged once per
+    /// line transition.
+    pub fn fetch_range(&mut self, base: u64, n_instrs: u32) {
+        if n_instrs == 0 {
+            return;
+        }
+        let ib = self.config.instr_bytes as u64;
+        self.stats.accesses += u64::from(n_instrs);
+        let first_line = self.config.line_of(base);
+        let last_line = self.config.line_of(base + ib * u64::from(n_instrs) - 1);
+        for line in first_line..=last_line {
+            let slot = self.config.slot_of_line(line);
+            if self.tags[slot] != line {
+                self.tags[slot] = line;
+                self.stats.misses += 1;
+                self.stats.penalty_cycles += self.config.miss_penalty;
+            }
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DirectMappedICache {
+        // 4 lines of 32 bytes = 128-byte cache.
+        DirectMappedICache::new(ICacheConfig {
+            size_bytes: 128,
+            line_bytes: 32,
+            miss_penalty: 6,
+            instr_bytes: 4,
+        })
+    }
+
+    #[test]
+    fn compulsory_miss_then_hits() {
+        let mut c = small();
+        c.fetch_range(0, 8); // exactly one line
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 8);
+        c.fetch_range(0, 8);
+        assert_eq!(c.stats().misses, 1, "second fetch hits");
+        assert_eq!(c.stats().accesses, 16);
+        assert_eq!(c.stats().penalty_cycles, 6);
+    }
+
+    #[test]
+    fn range_spanning_lines_misses_per_line() {
+        let mut c = small();
+        c.fetch_range(16, 8); // bytes 16..48: lines 0 and 1
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = small();
+        c.fetch_range(0, 8); // line 0 -> slot 0
+        c.fetch_range(128, 8); // line 4 -> slot 0 (conflict)
+        c.fetch_range(0, 8); // line 0 again: miss (evicted)
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn zero_length_fetch_is_free() {
+        let mut c = small();
+        c.fetch_range(0, 0);
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        c.fetch_range(0, 8);
+        c.fetch_range(0, 8);
+        let s = c.stats();
+        assert!((s.miss_rate() - 1.0 / 16.0).abs() < 1e-12);
+    }
+}

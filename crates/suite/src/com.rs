@@ -1,0 +1,163 @@
+//! `com(press)` — Lempel/Ziv file compression (Table 1: MPEG movie data).
+//!
+//! The analog reproduces compress's dominant structure: a single hot loop
+//! that extends the current match through a hash-table probe; a *hit*
+//! extends the prefix (the common, fast path), a *miss* emits a code and
+//! inserts a new table entry. "The run times of compress … are dominated by
+//! few loops" (paper §4) — the hit/miss branch bias and the short probe
+//! loop are what formation sees.
+
+use crate::util::{gen_symbols, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+
+const SALT: u64 = 0xC0;
+/// Hash table size in words (two words per slot: key, code).
+const TABLE_SLOTS: i64 = 4096;
+
+/// Builds the `com` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let len = scale.iters(25_000) as usize;
+    // Symbol stream over a small alphabet: repetitive, as in image data.
+    let train = gen_symbols(SALT, len, 24);
+    let test = gen_symbols(SALT + 1, len, 24);
+    let table_words = (TABLE_SLOTS * 2) as usize;
+    let input_base = table_words as i64;
+    let mut data = vec![-1i64; table_words];
+    data.extend_from_slice(&train);
+    data.extend_from_slice(&test);
+    let mem = table_words + 2 * len + 1024;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0); // input base
+    let n = Reg::new(1);
+    let i = f.reg();
+    let prefix = f.reg();
+    let next_code = f.reg();
+    let emitted = f.reg();
+    let ch = f.reg();
+    let c = f.reg();
+    let key = f.reg();
+    let slot = f.reg();
+    let addr = f.reg();
+    let probe = f.reg();
+    f.mov(i, 0i64);
+    f.mov(prefix, 0i64);
+    f.mov(next_code, 256i64);
+    f.mov(emitted, 0i64);
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let probe_head = f.new_block();
+    let probe_hit = f.new_block();
+    let probe_empty = f.new_block();
+    let probe_next = f.new_block();
+    let latch = f.new_block();
+    let do_insert = f.new_block();
+    let reset = f.new_block();
+    let exit = f.new_block();
+
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(ch, addr, 0);
+    // key = prefix * 256 + ch; slot = key hashed into the table.
+    f.alu(AluOp::Mul, key, prefix, 256i64);
+    f.alu(AluOp::Add, key, key, ch);
+    f.alu(AluOp::Mul, slot, key, 2654435761i64);
+    f.alu(AluOp::Shr, slot, slot, 16i64);
+    f.alu(AluOp::And, slot, slot, TABLE_SLOTS - 1);
+    f.jump(probe_head);
+
+    // Linear probe: hit, empty, or collision.
+    f.switch_to(probe_head);
+    f.alu(AluOp::Mul, probe, slot, 2i64);
+    f.load(c, probe, 0); // stored key
+    let is_hit = f.reg();
+    f.alu(AluOp::CmpEq, is_hit, c, Operand::Reg(key));
+    f.branch(is_hit, probe_hit, probe_empty);
+
+    f.switch_to(probe_empty);
+    let is_empty = f.reg();
+    f.alu(AluOp::CmpEq, is_empty, c, Operand::Imm(-1));
+    f.branch(is_empty, latch, probe_next); // miss path handled at latch
+
+    f.switch_to(probe_next);
+    f.alu(AluOp::Add, slot, slot, 1i64);
+    f.alu(AluOp::And, slot, slot, TABLE_SLOTS - 1);
+    f.jump(probe_head);
+
+    // Hit: extend the prefix with the stored code.
+    f.switch_to(probe_hit);
+    f.load(prefix, probe, 1);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    // Miss (empty slot found): emit a code; insert while the table has
+    // room (compress freezes its dictionary when full), restart prefix.
+    f.switch_to(latch);
+    f.alu(AluOp::Add, emitted, emitted, 1i64);
+    let room = f.reg();
+    f.alu(AluOp::CmpLt, room, Operand::Reg(next_code), Operand::Imm(256 + TABLE_SLOTS * 3 / 4));
+    f.branch(room, do_insert, reset);
+    f.switch_to(do_insert);
+    f.store(Operand::Reg(key), probe, 0);
+    f.store(Operand::Reg(next_code), probe, 1);
+    f.alu(AluOp::Add, next_code, next_code, 1i64);
+    f.jump(reset);
+    f.switch_to(reset);
+    f.mov(prefix, Operand::Reg(ch));
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    f.out(emitted);
+    f.out(next_code);
+    f.ret(Some(Operand::Reg(emitted)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "com",
+        description: "Lempel/Ziv file compression",
+        category: Category::Spec92,
+        program,
+        train_args: vec![input_base, len as i64],
+        test_args: vec![input_base + len as i64, len as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn compresses_repetitive_input() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let emitted = r.output[0];
+        let len = b.train_args[1];
+        assert!(emitted > 0);
+        assert!(
+            emitted < len,
+            "repetitive input compresses: {emitted} codes for {len} symbols"
+        );
+    }
+
+    #[test]
+    fn table_is_shared_but_runs_are_deterministic() {
+        let b = build(Scale::quick());
+        let interp = Interp::new(&b.program, ExecConfig::default());
+        let a1 = interp.run(&b.train_args).unwrap();
+        let a2 = interp.run(&b.train_args).unwrap();
+        assert_eq!(a1.output, a2.output, "fresh memory per run");
+    }
+}

@@ -1,0 +1,210 @@
+//! `eqn(tott)` — translates boolean equations to truth tables (Table 1:
+//! priority encoder input).
+//!
+//! eqntott's run time is dominated by `cmppt`, a bit-vector comparison loop
+//! containing "a very high-frequency correlated branch" guarding a very
+//! small block (the difference case). The paper notes that because the
+//! guarded block is tiny, *loop unrolling* matters more to eqntott than
+//! correlation exploitation — this analog reproduces exactly that shape: a
+//! high-trip compare loop whose early-exit branch almost never fires.
+
+use crate::util::{rng, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+use rand::Rng;
+
+const SALT: u64 = 0xE9;
+/// Words per bit-vector.
+const VEC_LEN: i64 = 32;
+
+fn gen_vectors(salt: u64, count: usize) -> Vec<i64> {
+    let mut r = rng(salt);
+    // A common base pattern; vectors differ from it rarely, so adjacent
+    // pairs compare equal for long prefixes.
+    let base: Vec<i64> = (0..VEC_LEN).map(|_| r.gen_range(0..1 << 20)).collect();
+    let mut out = Vec::with_capacity(count * VEC_LEN as usize);
+    for _ in 0..count {
+        for &w in &base {
+            // ~3% of words perturbed.
+            if r.gen_range(0..100) < 3 {
+                out.push(w ^ (1 << r.gen_range(0..20)));
+            } else {
+                out.push(w);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the `eqn` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let count = scale.iters(220) as usize;
+    let train = gen_vectors(SALT, count);
+    let test = gen_vectors(SALT + 1, count);
+    let mut data = train;
+    data.extend_from_slice(&test);
+    let words = count * VEC_LEN as usize;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(2 * words + 1024, data);
+
+    // cmp(a_base, b_base) -> -1 | 0 | 1
+    let cmp = pb.declare_proc("cmppt", 2);
+    {
+        let mut f = pb.begin_declared(cmp);
+        let a = Reg::new(0);
+        let b = Reg::new(1);
+        let k = f.reg();
+        let va = f.reg();
+        let vb = f.reg();
+        let c = f.reg();
+        let aa = f.reg();
+        let ba = f.reg();
+        f.mov(k, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let diff = f.new_block();
+        let lt = f.new_block();
+        let gt = f.new_block();
+        let next = f.new_block();
+        let equal = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(k), Operand::Imm(VEC_LEN));
+        f.branch(c, body, equal);
+        f.switch_to(body);
+        f.alu(AluOp::Add, aa, a, k);
+        f.alu(AluOp::Add, ba, b, k);
+        f.load(va, aa, 0);
+        f.load(vb, ba, 0);
+        // The high-frequency branch: almost always equal.
+        f.alu(AluOp::CmpNe, c, va, vb);
+        f.branch(c, diff, next);
+        f.switch_to(diff);
+        f.alu(AluOp::CmpLt, c, va, vb);
+        f.branch(c, lt, gt);
+        f.switch_to(lt);
+        f.ret(Some(Operand::Imm(-1)));
+        f.switch_to(gt);
+        f.ret(Some(Operand::Imm(1)));
+        f.switch_to(next);
+        f.alu(AluOp::Add, k, k, 1i64);
+        f.jump(head);
+        f.switch_to(equal);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+    }
+
+    // main(base, count): compare every adjacent pair, tally the orderings.
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let c = f.reg();
+    let res = f.reg();
+    let less = f.reg();
+    let eq = f.reg();
+    let greater = f.reg();
+    let a_base = f.reg();
+    let b_base = f.reg();
+    f.mov(i, 0i64);
+    f.mov(less, 0i64);
+    f.mov(eq, 0i64);
+    f.mov(greater, 0i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let is_lt = f.new_block();
+    let not_lt = f.new_block();
+    let is_eq = f.new_block();
+    let is_gt = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    let lim = f.reg();
+    f.alu(AluOp::Sub, lim, n, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(lim));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Mul, a_base, i, VEC_LEN);
+    f.alu(AluOp::Add, a_base, a_base, base);
+    f.alu(AluOp::Add, b_base, a_base, VEC_LEN);
+    f.call(cmp, vec![Operand::Reg(a_base), Operand::Reg(b_base)], Some(res));
+    f.alu(AluOp::CmpEq, c, res, Operand::Imm(-1));
+    f.branch(c, is_lt, not_lt);
+    f.switch_to(is_lt);
+    f.alu(AluOp::Add, less, less, 1i64);
+    f.jump(latch);
+    f.switch_to(not_lt);
+    f.alu(AluOp::CmpEq, c, res, 0i64);
+    f.branch(c, is_eq, is_gt);
+    f.switch_to(is_eq);
+    f.alu(AluOp::Add, eq, eq, 1i64);
+    f.jump(latch);
+    f.switch_to(is_gt);
+    f.alu(AluOp::Add, greater, greater, 1i64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(less);
+    f.out(eq);
+    f.out(greater);
+    f.ret(Some(Operand::Reg(eq)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "eqn",
+        description: "Translates boolean eqns to truth tables",
+        category: Category::Spec92,
+        program,
+        train_args: vec![0, count as i64],
+        test_args: vec![words as i64, count as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn compare_loop_dominates_and_mostly_runs_full_length() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let (less, eq, greater) = (r.output[0], r.output[1], r.output[2]);
+        let pairs = b.train_args[1] - 1;
+        assert_eq!(less + eq + greater, pairs);
+        // With ~3% perturbed words over 32-word vectors, differences are
+        // common but the compare loop still dominates the branch count:
+        // roughly VEC_LEN compare branches per pair on equal runs.
+        assert!(r.counts.branches > (pairs as u64) * 8);
+        assert!(less > 0 && greater > 0, "both orderings observed");
+    }
+
+    #[test]
+    fn results_match_host_comparison() {
+        let b = build(Scale::quick());
+        let count = b.train_args[1] as usize;
+        let vecs = gen_vectors(SALT, count);
+        let mut less = 0;
+        let mut eq = 0;
+        let mut greater = 0;
+        for i in 0..count - 1 {
+            let a = &vecs[i * VEC_LEN as usize..(i + 1) * VEC_LEN as usize];
+            let bb = &vecs[(i + 1) * VEC_LEN as usize..(i + 2) * VEC_LEN as usize];
+            match a.cmp(bb) {
+                std::cmp::Ordering::Less => less += 1,
+                std::cmp::Ordering::Equal => eq += 1,
+                std::cmp::Ordering::Greater => greater += 1,
+            }
+        }
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        assert_eq!(r.output, vec![less, eq, greater]);
+    }
+}

@@ -1,0 +1,241 @@
+//! `esp(resso)` — two-level boolean minimization (Table 1: `tial` input).
+//!
+//! espresso spends its time in nested loops over *cubes* (bit-vector terms
+//! of a cover), testing containment and distance with data-dependent
+//! branches. The analog builds a cover of packed cubes and runs the
+//! classical pairwise sweep: for every cube pair, compute the bitwise
+//! distance word-by-word with early exits for "distance > 1" (the common
+//! case), and count containments and mergeable pairs.
+
+use crate::util::{rng, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+use rand::Rng;
+
+const SALT: u64 = 0xE5B;
+/// Words per cube.
+const CUBE_LEN: i64 = 4;
+
+fn gen_cover(salt: u64, cubes: usize) -> Vec<i64> {
+    let mut r = rng(salt);
+    let mut out = Vec::with_capacity(cubes * CUBE_LEN as usize);
+    // Cubes cluster around a handful of prototypes so containment and
+    // near-merge cases actually occur.
+    let protos: Vec<Vec<i64>> = (0..6)
+        .map(|_| (0..CUBE_LEN).map(|_| r.gen_range(0..1i64 << 30)).collect())
+        .collect();
+    for _ in 0..cubes {
+        let p = &protos[r.gen_range(0..protos.len())];
+        // 25% exact proto copies (distance-0 pairs), 35% single-bit
+        // variants (distance-1, mergeable), the rest multi-bit.
+        let variant = r.gen_range(0..100);
+        let flips = match variant {
+            0..=24 => 0,
+            25..=59 => 1,
+            _ => r.gen_range(2..6),
+        };
+        let mut cube: Vec<i64> = p.clone();
+        for _ in 0..flips {
+            let w = r.gen_range(0..CUBE_LEN as usize);
+            cube[w] ^= 1 << r.gen_range(0..30);
+        }
+        out.extend_from_slice(&cube);
+    }
+    out
+}
+
+/// Builds the `esp` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let cubes = (scale.iters(110) as f64).sqrt() as usize * 14;
+    let train = gen_cover(SALT, cubes);
+    let test = gen_cover(SALT + 1, cubes);
+    let words = cubes * CUBE_LEN as usize;
+    let mut data = train;
+    data.extend_from_slice(&test);
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(2 * words + 1024, data);
+
+    // popcount(x): software bit count over 32 bits (branchless inner math,
+    // loop-structured, as espresso's count_ones tables would be).
+    let popcnt = pb.declare_proc("popcount", 1);
+    {
+        let mut f = pb.begin_declared(popcnt);
+        let x = Reg::new(0);
+        let n = f.reg();
+        let k = f.reg();
+        let bit = f.reg();
+        let c = f.reg();
+        let v = f.reg();
+        f.mov(n, 0i64);
+        f.mov(k, 0i64);
+        f.mov(v, Operand::Reg(x));
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpNe, c, v, 0i64);
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.alu(AluOp::And, bit, v, 1i64);
+        f.alu(AluOp::Add, n, n, bit);
+        f.alu(AluOp::Shr, v, v, 1i64);
+        f.alu(AluOp::Add, k, k, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(Some(Operand::Reg(n)));
+        f.finish();
+    }
+
+    // distance(a_base, b_base): number of differing bits, with an early
+    // exit once the distance exceeds 1 (espresso's common fast path).
+    let dist = pb.declare_proc("cdist", 2);
+    {
+        let mut f = pb.begin_declared(dist);
+        let a = Reg::new(0);
+        let b = Reg::new(1);
+        let k = f.reg();
+        let d = f.reg();
+        let c = f.reg();
+        let va = f.reg();
+        let vb = f.reg();
+        let x = f.reg();
+        let pc = f.reg();
+        f.mov(k, 0i64);
+        f.mov(d, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let check = f.new_block();
+        let early = f.new_block();
+        let next = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(k), Operand::Imm(CUBE_LEN));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        let aa = f.reg();
+        let ba = f.reg();
+        f.alu(AluOp::Add, aa, a, k);
+        f.alu(AluOp::Add, ba, b, k);
+        f.load(va, aa, 0);
+        f.load(vb, ba, 0);
+        f.alu(AluOp::Xor, x, va, vb);
+        f.call(popcnt, vec![Operand::Reg(x)], Some(pc));
+        f.alu(AluOp::Add, d, d, pc);
+        f.jump(check);
+        f.switch_to(check);
+        f.alu(AluOp::CmpLt, c, Operand::Imm(1), Operand::Reg(d));
+        f.branch(c, early, next);
+        f.switch_to(early);
+        f.ret(Some(Operand::Reg(d)));
+        f.switch_to(next);
+        f.alu(AluOp::Add, k, k, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(Some(Operand::Reg(d)));
+        f.finish();
+    }
+
+    // main(base, cubes): pairwise sweep counting equal (d==0) and
+    // mergeable (d==1) pairs.
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let j = f.reg();
+    let c = f.reg();
+    let d = f.reg();
+    let same = f.reg();
+    let mergeable = f.reg();
+    let far = f.reg();
+    let a_base = f.reg();
+    let b_base = f.reg();
+    f.mov(i, 0i64);
+    f.mov(same, 0i64);
+    f.mov(mergeable, 0i64);
+    f.mov(far, 0i64);
+    let ohead = f.new_block();
+    let obody = f.new_block();
+    let ihead = f.new_block();
+    let ibody = f.new_block();
+    let d0 = f.new_block();
+    let not0 = f.new_block();
+    let d1 = f.new_block();
+    let dfar = f.new_block();
+    let ilatch = f.new_block();
+    let olatch = f.new_block();
+    let exit = f.new_block();
+    f.jump(ohead);
+    f.switch_to(ohead);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, obody, exit);
+    f.switch_to(obody);
+    f.alu(AluOp::Add, j, i, 1i64);
+    f.jump(ihead);
+    f.switch_to(ihead);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(j), Operand::Reg(n));
+    f.branch(c, ibody, olatch);
+    f.switch_to(ibody);
+    f.alu(AluOp::Mul, a_base, i, CUBE_LEN);
+    f.alu(AluOp::Add, a_base, a_base, base);
+    f.alu(AluOp::Mul, b_base, j, CUBE_LEN);
+    f.alu(AluOp::Add, b_base, b_base, base);
+    f.call(dist, vec![Operand::Reg(a_base), Operand::Reg(b_base)], Some(d));
+    f.alu(AluOp::CmpEq, c, d, 0i64);
+    f.branch(c, d0, not0);
+    f.switch_to(d0);
+    f.alu(AluOp::Add, same, same, 1i64);
+    f.jump(ilatch);
+    f.switch_to(not0);
+    f.alu(AluOp::CmpEq, c, d, 1i64);
+    f.branch(c, d1, dfar);
+    f.switch_to(d1);
+    f.alu(AluOp::Add, mergeable, mergeable, 1i64);
+    f.jump(ilatch);
+    f.switch_to(dfar);
+    f.alu(AluOp::Add, far, far, 1i64);
+    f.jump(ilatch);
+    f.switch_to(ilatch);
+    f.alu(AluOp::Add, j, j, 1i64);
+    f.jump(ihead);
+    f.switch_to(olatch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(ohead);
+    f.switch_to(exit);
+    f.out(same);
+    f.out(mergeable);
+    f.out(far);
+    f.ret(Some(Operand::Reg(far)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "esp",
+        description: "Boolean minimization",
+        category: Category::Spec92,
+        program,
+        train_args: vec![0, cubes as i64],
+        test_args: vec![words as i64, cubes as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn pair_counts_sum_correctly() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let n = b.train_args[1];
+        let pairs = n * (n - 1) / 2;
+        assert_eq!(r.output.iter().sum::<i64>(), pairs);
+        // Clustered cubes: all three outcomes occur.
+        assert!(r.output[0] > 0, "identical cubes exist");
+        assert!(r.output[2] > 0, "distant cubes exist");
+    }
+}

@@ -1,0 +1,254 @@
+//! `gcc` — the GNU C compiler (Table 1: `cccp.i` input).
+//!
+//! The paper singles out gcc for its non-trivial instruction-cache miss
+//! rate: a large, call-heavy, irregular, switch-driven code base where no
+//! single loop dominates. The analog processes a skewed token stream
+//! through a dispatch switch over many distinct handler procedures, each
+//! with its own small branchy CFG and calls into shared utilities — enough
+//! static code and irregular control flow to stress code layout and
+//! enlargement heuristics the way gcc does.
+
+use crate::util::{gen_symbols, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, ProcId, Reg};
+
+const SALT: u64 = 0x9CC;
+/// Number of token kinds / handler procedures. Large on purpose: gcc's
+/// 5.6MB binary is the paper's instruction-cache stress case, so the
+/// analog needs enough static code that enlargement-driven expansion
+/// actually pressures the 32KB cache.
+const KINDS: i64 = 48;
+
+/// Builds the `gcc` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let len = scale.iters(12_000) as usize;
+    let train = gen_symbols(SALT, len, KINDS);
+    let test = gen_symbols(SALT + 1, len, KINDS);
+    let mut data = train;
+    data.extend_from_slice(&test);
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(2 * len + 4096, data);
+
+    // Shared utilities: hash, clamp, and a small table walk.
+    let hash = pb.declare_proc("hash", 1);
+    {
+        let mut f = pb.begin_declared(hash);
+        let x = Reg::new(0);
+        let h = f.reg();
+        f.alu(AluOp::Mul, h, x, 0x9E37_79B9i64);
+        f.alu(AluOp::Xor, h, h, x);
+        f.alu(AluOp::Shr, h, h, 7i64);
+        f.alu(AluOp::And, h, h, 0xFFFFi64);
+        f.ret(Some(Operand::Reg(h)));
+        f.finish();
+    }
+    let clamp = pb.declare_proc("clamp", 1);
+    {
+        let mut f = pb.begin_declared(clamp);
+        let x = Reg::new(0);
+        let c = f.reg();
+        let neg = f.new_block();
+        let big = f.new_block();
+        let chk = f.new_block();
+        let ok = f.new_block();
+        f.alu(AluOp::CmpLt, c, Operand::Reg(x), Operand::Imm(0));
+        f.branch(c, neg, chk);
+        f.switch_to(neg);
+        f.ret(Some(Operand::Imm(0)));
+        f.switch_to(chk);
+        f.alu(AluOp::CmpLt, c, Operand::Imm(1 << 20), Operand::Reg(x));
+        f.branch(c, big, ok);
+        f.switch_to(big);
+        f.ret(Some(Operand::Imm(1 << 20)));
+        f.switch_to(ok);
+        f.ret(Some(Operand::Reg(x)));
+        f.finish();
+    }
+
+    // Handler procedures: each handler(state, tok) -> new state with a
+    // distinct small CFG; handlers alternate among a few structural shapes
+    // so the code base is large and heterogeneous like a compiler's.
+    let mut handlers: Vec<ProcId> = Vec::new();
+    for k in 0..KINDS {
+        let name = format!("handle_{k}");
+        let h = pb.declare_proc(name, 2);
+        let mut f = pb.begin_declared(h);
+        let state = Reg::new(0);
+        let tok = Reg::new(1);
+        let s = f.reg();
+        let c = f.reg();
+        let t = f.reg();
+        f.mov(s, Operand::Reg(state));
+        // Per-handler straight-line "semantic action" prologue: distinct
+        // constants per handler keep the code bodies from being identical.
+        let mix = f.reg();
+        f.alu(AluOp::Mul, mix, tok, 0x100 + 2 * k + 1);
+        f.alu(AluOp::Xor, mix, mix, 0x1234 + 7 * k);
+        f.alu(AluOp::Shl, t, mix, 2i64);
+        f.alu(AluOp::Add, mix, mix, t);
+        f.alu(AluOp::Shr, t, mix, 5i64);
+        f.alu(AluOp::Xor, mix, mix, t);
+        f.alu(AluOp::And, mix, mix, 0xFFFFi64);
+        f.alu(AluOp::Add, s, s, mix);
+        match k % 4 {
+            0 => {
+                // Diamond over token parity + hash call.
+                let even = f.new_block();
+                let odd = f.new_block();
+                let join = f.new_block();
+                f.alu(AluOp::And, t, tok, 1i64);
+                f.alu(AluOp::CmpEq, c, t, 0i64);
+                f.branch(c, even, odd);
+                f.switch_to(even);
+                f.alu(AluOp::Add, s, s, 3 + k);
+                f.jump(join);
+                f.switch_to(odd);
+                f.alu(AluOp::Xor, s, s, 5 + k);
+                f.jump(join);
+                f.switch_to(join);
+                let hh = f.reg();
+                f.call(hash, vec![Operand::Reg(s)], Some(hh));
+                f.alu(AluOp::Add, s, s, hh);
+                f.ret(Some(Operand::Reg(s)));
+            }
+            1 => {
+                // Short data-dependent loop (1..=4 iterations).
+                let i = f.reg();
+                f.alu(AluOp::And, t, tok, 3i64);
+                f.alu(AluOp::Add, t, t, 1i64);
+                f.mov(i, 0i64);
+                let head = f.new_block();
+                let body = f.new_block();
+                let exit = f.new_block();
+                f.jump(head);
+                f.switch_to(head);
+                f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(t));
+                f.branch(c, body, exit);
+                f.switch_to(body);
+                f.alu(AluOp::Mul, s, s, 3i64);
+                f.alu(AluOp::Add, s, s, k + 1);
+                f.alu(AluOp::And, s, s, 0xF_FFFFi64);
+                f.alu(AluOp::Add, i, i, 1i64);
+                f.jump(head);
+                f.switch_to(exit);
+                f.ret(Some(Operand::Reg(s)));
+            }
+            2 => {
+                // Nested conditionals + clamp call.
+                let b1 = f.new_block();
+                let b2 = f.new_block();
+                let b3 = f.new_block();
+                let b4 = f.new_block();
+                let join = f.new_block();
+                f.alu(AluOp::And, t, tok, 7i64);
+                f.alu(AluOp::CmpLt, c, t, 3i64);
+                f.branch(c, b1, b2);
+                f.switch_to(b1);
+                f.alu(AluOp::Add, s, s, 17 + k);
+                f.jump(join);
+                f.switch_to(b2);
+                f.alu(AluOp::CmpLt, c, t, 6i64);
+                f.branch(c, b3, b4);
+                f.switch_to(b3);
+                f.alu(AluOp::Sub, s, s, 9 + k);
+                f.jump(join);
+                f.switch_to(b4);
+                f.alu(AluOp::Xor, s, s, 0x55i64);
+                f.jump(join);
+                f.switch_to(join);
+                let cc = f.reg();
+                f.call(clamp, vec![Operand::Reg(s)], Some(cc));
+                f.ret(Some(Operand::Reg(cc)));
+            }
+            _ => {
+                // Straight-line arithmetic (leaf, no calls).
+                f.alu(AluOp::Mul, t, tok, 2 * k + 1);
+                f.alu(AluOp::Add, s, s, t);
+                f.alu(AluOp::Shl, t, s, 3i64);
+                f.alu(AluOp::Xor, s, s, t);
+                f.alu(AluOp::And, s, s, 0xFF_FFFFi64);
+                f.ret(Some(Operand::Reg(s)));
+            }
+        }
+        handlers.push(f.finish());
+    }
+
+    // main(base, len): dispatch loop.
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let state = f.reg();
+    let tok = f.reg();
+    let c = f.reg();
+    let addr = f.reg();
+    f.mov(i, 0i64);
+    f.mov(state, 1i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    let cases: Vec<_> = (0..KINDS).map(|_| f.new_block()).collect();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(tok, addr, 0);
+    f.switch(tok, cases.clone(), latch);
+    for (k, &case) in cases.iter().enumerate() {
+        f.switch_to(case);
+        f.call(
+            handlers[k],
+            vec![Operand::Reg(state), Operand::Reg(tok)],
+            Some(state),
+        );
+        f.jump(latch);
+    }
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(state);
+    f.ret(Some(Operand::Reg(state)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "gcc",
+        description: "GNU C compiler",
+        category: Category::Spec95,
+        program,
+        train_args: vec![0, len as i64],
+        test_args: vec![len as i64, len as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn dispatch_reaches_many_handlers() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        // One activation per token handled, plus main.
+        assert!(r.counts.calls > b.train_args[1] as u64);
+        assert!(!r.output.is_empty());
+    }
+
+    #[test]
+    fn static_size_is_substantial() {
+        let b = build(Scale::quick());
+        assert!(
+            b.program.static_size() > 800,
+            "gcc analog must carry real code bulk: {}",
+            b.program.static_size()
+        );
+        assert!(b.program.procs.len() >= 50, "many procedures");
+    }
+}

@@ -1,0 +1,180 @@
+//! `go` — plays the game of Go (Table 1: `9stone21` input).
+//!
+//! The paper uses go (with li) to show that "unrolling alone is
+//! insufficient when an application's performance is dominated by low
+//! iteration count loops and/or frequent procedure calls". The analog is a
+//! recursive game-tree search: every node iterates a data-dependent,
+//! *small* move loop (2–4 moves), recursing per move and calling a leaf
+//! evaluator — call-dominated control flow with no high-trip loop
+//! anywhere.
+
+use crate::util::{gen_uniform, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+
+const SALT: u64 = 0x90;
+const DEPTH: i64 = 6;
+
+/// Builds the `go` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let roots = scale.iters(12) as usize;
+    let train = gen_uniform(SALT, roots, 1 << 16);
+    let test = gen_uniform(SALT + 1, roots, 1 << 16);
+    let mut data = train;
+    data.extend_from_slice(&test);
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(2 * roots + 1024, data);
+
+    // evaluate(pos): a short branchy leaf evaluation.
+    let eval = pb.declare_proc("evaluate", 1);
+    {
+        let mut f = pb.begin_declared(eval);
+        let pos = Reg::new(0);
+        let v = f.reg();
+        let c = f.reg();
+        let t = f.reg();
+        f.alu(AluOp::Mul, v, pos, 2654435761i64);
+        f.alu(AluOp::Shr, v, v, 13i64);
+        f.alu(AluOp::And, v, v, 0xFFi64);
+        let hi = f.new_block();
+        let lo = f.new_block();
+        let join = f.new_block();
+        f.alu(AluOp::CmpLt, c, Operand::Imm(128), Operand::Reg(v));
+        f.branch(c, hi, lo);
+        f.switch_to(hi);
+        f.alu(AluOp::Sub, t, v, 128i64);
+        f.jump(join);
+        f.switch_to(lo);
+        f.alu(AluOp::Sub, t, Operand::Imm(128), Operand::Reg(v));
+        f.jump(join);
+        f.switch_to(join);
+        f.ret(Some(Operand::Reg(t)));
+        f.finish();
+    }
+
+    // search(pos, depth) -> best score. Low-iteration move loop, recursive
+    // calls, max-reduction branch.
+    let search = pb.declare_proc("search", 2);
+    {
+        let mut f = pb.begin_declared(search);
+        let pos = Reg::new(0);
+        let depth = Reg::new(1);
+        let c = f.reg();
+        let best = f.reg();
+        let moves = f.reg();
+        let m = f.reg();
+        let child = f.reg();
+        let score = f.reg();
+        let d1 = f.reg();
+        let leaf = f.new_block();
+        let interior = f.new_block();
+        let head = f.new_block();
+        let body = f.new_block();
+        let better = f.new_block();
+        let ilatch = f.new_block();
+        let done = f.new_block();
+        // Leaf?
+        f.alu(AluOp::CmpEq, c, depth, 0i64);
+        f.branch(c, leaf, interior);
+        f.switch_to(leaf);
+        let lv = f.reg();
+        f.call(eval, vec![Operand::Reg(pos)], Some(lv));
+        f.ret(Some(Operand::Reg(lv)));
+        f.switch_to(interior);
+        // moves = 2 + (pos % 3): a 2-4 iteration loop.
+        f.alu(AluOp::Rem, moves, pos, 3i64);
+        f.alu(AluOp::Add, moves, moves, 2i64);
+        f.mov(best, Operand::Imm(-1_000_000));
+        f.mov(m, 0i64);
+        f.alu(AluOp::Sub, d1, depth, 1i64);
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(m), Operand::Reg(moves));
+        f.branch(c, body, done);
+        f.switch_to(body);
+        // child = combine(pos, m)
+        f.alu(AluOp::Mul, child, pos, 31i64);
+        f.alu(AluOp::Add, child, child, m);
+        f.alu(AluOp::Add, child, child, 7i64);
+        f.alu(AluOp::And, child, child, 0xFFFFi64);
+        f.call(search, vec![Operand::Reg(child), Operand::Reg(d1)], Some(score));
+        f.alu(AluOp::CmpLt, c, best, score);
+        f.branch(c, better, ilatch);
+        f.switch_to(better);
+        f.mov(best, Operand::Reg(score));
+        f.jump(ilatch);
+        f.switch_to(ilatch);
+        f.alu(AluOp::Add, m, m, 1i64);
+        f.jump(head);
+        f.switch_to(done);
+        // Interior nodes contribute position-dependent territory value, so
+        // scores vary across positions instead of saturating at the leaf
+        // maximum.
+        let terr = f.reg();
+        f.alu(AluOp::And, terr, pos, 7i64);
+        f.alu(AluOp::Add, best, best, terr);
+        f.ret(Some(Operand::Reg(best)));
+        f.finish();
+    }
+
+    // main(base, roots): search from each root position.
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let acc = f.reg();
+    let pos = f.reg();
+    let score = f.reg();
+    let c = f.reg();
+    let addr = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(pos, addr, 0);
+    f.call(search, vec![Operand::Reg(pos), Operand::Imm(DEPTH)], Some(score));
+    f.alu(AluOp::Add, acc, acc, score);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "go",
+        description: "Plays the game of Go",
+        category: Category::Spec95,
+        program,
+        train_args: vec![0, roots as i64],
+        test_args: vec![roots as i64, roots as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn search_is_call_dominated() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        // Tree of depth 6 with 2-4 children: hundreds of activations per
+        // root search.
+        assert!(r.counts.calls > 100 * b.train_args[1] as u64);
+        // Branches per call stay small (low-iteration loops).
+        let per_call = r.counts.branches as f64 / r.counts.calls as f64;
+        assert!(per_call < 12.0, "no high-trip loops: {per_call:.1}");
+    }
+}

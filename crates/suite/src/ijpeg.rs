@@ -1,0 +1,226 @@
+//! `ijpeg` — JPEG encoder (Table 1: `vigo` image input).
+//!
+//! ijpeg is dominated by deep, regular loop nests (DCT, quantization) with
+//! high trip counts and few data-dependent branches — the workload where
+//! classical unrolling already does well and "the run times … are
+//! dominated by few loops". The analog runs an 8×8 transform over image
+//! blocks: a triply-nested multiply–accumulate kernel plus a quantization
+//! pass with a rarely-taken saturation branch.
+
+use crate::util::{gen_uniform, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+
+const SALT: u64 = 0x19E9;
+/// 8x8 blocks.
+const BLOCK: i64 = 8;
+
+/// Builds the `ijpeg` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let blocks = scale.iters(12) as usize;
+    let words = blocks * (BLOCK * BLOCK) as usize;
+    let train = gen_uniform(SALT, words, 256);
+    let test = gen_uniform(SALT + 1, words, 256);
+    let mut data = train;
+    data.extend_from_slice(&test);
+    // Scratch area for one transformed block after the two images.
+    let scratch = 2 * words;
+    let mem = scratch + (BLOCK * BLOCK) as usize + 1024;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+
+    // transform(src_base, dst_base): out[u][v] = sum_k in[u][k]*w(k,v),
+    // an 8x8x8 multiply-accumulate nest (integer "DCT").
+    let transform = pb.declare_proc("transform", 2);
+    {
+        let mut f = pb.begin_declared(transform);
+        let src = Reg::new(0);
+        let dst = Reg::new(1);
+        let u = f.reg();
+        let v = f.reg();
+        let k = f.reg();
+        let acc = f.reg();
+        let c = f.reg();
+        let a = f.reg();
+        let w = f.reg();
+        let addr = f.reg();
+        f.mov(u, 0i64);
+        let uh = f.new_block();
+        let ub = f.new_block();
+        let vh = f.new_block();
+        let vb = f.new_block();
+        let kh = f.new_block();
+        let kb = f.new_block();
+        let kdone = f.new_block();
+        let vlatch = f.new_block();
+        let ulatch = f.new_block();
+        let exit = f.new_block();
+        f.jump(uh);
+        f.switch_to(uh);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(u), Operand::Imm(BLOCK));
+        f.branch(c, ub, exit);
+        f.switch_to(ub);
+        f.mov(v, 0i64);
+        f.jump(vh);
+        f.switch_to(vh);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(v), Operand::Imm(BLOCK));
+        f.branch(c, vb, ulatch);
+        f.switch_to(vb);
+        f.mov(acc, 0i64);
+        f.mov(k, 0i64);
+        f.jump(kh);
+        f.switch_to(kh);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(k), Operand::Imm(BLOCK));
+        f.branch(c, kb, kdone);
+        f.switch_to(kb);
+        // a = src[u*8+k]
+        f.alu(AluOp::Mul, addr, u, BLOCK);
+        f.alu(AluOp::Add, addr, addr, k);
+        f.alu(AluOp::Add, addr, addr, src);
+        f.load(a, addr, 0);
+        // w = ((k+1)*(v+3)) % 13 - 6 : a fixed small "cosine" table value.
+        f.alu(AluOp::Add, w, k, 1i64);
+        let t = f.reg();
+        f.alu(AluOp::Add, t, v, 3i64);
+        f.alu(AluOp::Mul, w, w, t);
+        f.alu(AluOp::Rem, w, w, 13i64);
+        f.alu(AluOp::Sub, w, w, 6i64);
+        f.alu(AluOp::Mul, a, a, w);
+        f.alu(AluOp::Add, acc, acc, a);
+        f.alu(AluOp::Add, k, k, 1i64);
+        f.jump(kh);
+        f.switch_to(kdone);
+        f.alu(AluOp::Mul, addr, u, BLOCK);
+        f.alu(AluOp::Add, addr, addr, v);
+        f.alu(AluOp::Add, addr, addr, dst);
+        f.store(Operand::Reg(acc), addr, 0);
+        f.alu(AluOp::Add, v, v, 1i64);
+        f.jump(vh);
+        f.switch_to(vlatch);
+        // (unused; kept for CFG shape symmetry)
+        f.jump(uh);
+        f.switch_to(ulatch);
+        f.alu(AluOp::Add, u, u, 1i64);
+        f.jump(uh);
+        f.switch_to(exit);
+        f.ret(None);
+        f.finish();
+    }
+
+    // quantize(dst_base) -> sum of quantized coefficients; the saturation
+    // branch is rare.
+    let quant = pb.declare_proc("quantize", 1);
+    {
+        let mut f = pb.begin_declared(quant);
+        let dst = Reg::new(0);
+        let i = f.reg();
+        let s = f.reg();
+        let c = f.reg();
+        let v = f.reg();
+        let addr = f.reg();
+        f.mov(i, 0i64);
+        f.mov(s, 0i64);
+        let head = f.new_block();
+        let body = f.new_block();
+        let sat = f.new_block();
+        let nosat = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(BLOCK * BLOCK));
+        f.branch(c, body, exit);
+        f.switch_to(body);
+        f.alu(AluOp::Add, addr, dst, i);
+        f.load(v, addr, 0);
+        f.alu(AluOp::Div, v, v, 16i64);
+        // Rare saturation.
+        f.alu(AluOp::CmpLt, c, Operand::Imm(400), Operand::Reg(v));
+        f.branch(c, sat, nosat);
+        f.switch_to(sat);
+        f.mov(v, 400i64);
+        f.jump(latch);
+        f.switch_to(nosat);
+        f.jump(latch);
+        f.switch_to(latch);
+        f.alu(AluOp::Add, s, s, v);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.jump(head);
+        f.switch_to(exit);
+        f.ret(Some(Operand::Reg(s)));
+        f.finish();
+    }
+
+    // main(base, blocks)
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let acc = f.reg();
+    let c = f.reg();
+    let src = f.reg();
+    let q = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Mul, src, i, BLOCK * BLOCK);
+    f.alu(AluOp::Add, src, src, base);
+    f.call(
+        transform,
+        vec![Operand::Reg(src), Operand::Imm(scratch as i64)],
+        None,
+    );
+    f.call(quant, vec![Operand::Imm(scratch as i64)], Some(q));
+    f.alu(AluOp::Add, acc, acc, q);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "ijpeg",
+        description: "JPEG encoder",
+        category: Category::Spec95,
+        program,
+        train_args: vec![0, blocks as i64],
+        test_args: vec![words as i64, blocks as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn loop_nest_dominates() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        // 8*8*8 inner iterations per block plus quantization: branch count
+        // per block is high, calls per block are just 2.
+        let blocks = b.train_args[1] as u64;
+        assert!(r.counts.branches > blocks * 500);
+        assert_eq!(r.counts.calls, 1 + 2 * blocks);
+    }
+
+    #[test]
+    fn deterministic_checksum() {
+        let b = build(Scale::quick());
+        let interp = Interp::new(&b.program, ExecConfig::default());
+        let a = interp.run(&b.train_args).unwrap();
+        let bb = interp.run(&b.train_args).unwrap();
+        assert_eq!(a.output, bb.output);
+    }
+}

@@ -1,0 +1,295 @@
+//! `li` — the XLISP interpreter (Table 1: SPEC95 ref input).
+//!
+//! li's time goes to recursive `xleval` dispatch over heap cells and very
+//! short list traversals — with go, the paper's example of call-dominated,
+//! low-iteration-count behavior that unrolling cannot help. The analog
+//! builds expression trees of tagged 4-word heap cells and evaluates them
+//! recursively: a switch over the cell tag, recursion for operators, and a
+//! 1–4 element list walk for list cells.
+
+use crate::util::{rng, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+use rand::Rng;
+
+const SALT: u64 = 0x11;
+
+/// Cell tags.
+const T_NUM: i64 = 0;
+const T_ADD: i64 = 1;
+const T_MUL: i64 = 2;
+const T_IF: i64 = 3;
+const T_LIST: i64 = 4;
+
+/// Host-side heap builder: returns (cells, roots).
+#[allow(clippy::type_complexity)]
+fn gen_heap(salt: u64, n_roots: usize) -> (Vec<i64>, Vec<i64>) {
+    let mut r = rng(salt);
+    let mut cells: Vec<i64> = Vec::new();
+    let mut alloc = |tag: i64, a: i64, b: i64, c: i64, cells: &mut Vec<i64>| -> i64 {
+        let at = cells.len() as i64;
+        cells.extend_from_slice(&[tag, a, b, c]);
+        at
+    };
+    // Recursive tree generation, depth-bounded.
+    fn tree(
+        r: &mut impl Rng,
+        depth: u32,
+        cells: &mut Vec<i64>,
+        alloc: &mut dyn FnMut(i64, i64, i64, i64, &mut Vec<i64>) -> i64,
+    ) -> i64 {
+        if depth == 0 || r.gen_range(0..100) < 25 {
+            return alloc(T_NUM, r.gen_range(0..100), 0, 0, cells);
+        }
+        match r.gen_range(0..10) {
+            0..=3 => {
+                let a = tree(r, depth - 1, cells, alloc);
+                let b = tree(r, depth - 1, cells, alloc);
+                alloc(T_ADD, a, b, 0, cells)
+            }
+            4..=6 => {
+                let a = tree(r, depth - 1, cells, alloc);
+                let b = tree(r, depth - 1, cells, alloc);
+                alloc(T_MUL, a, b, 0, cells)
+            }
+            7..=8 => {
+                let c = tree(r, depth - 1, cells, alloc);
+                let t = tree(r, depth - 1, cells, alloc);
+                let e = tree(r, depth - 1, cells, alloc);
+                alloc(T_IF, c, t, e, cells)
+            }
+            _ => {
+                // A short list (1-4 nodes) of numbers.
+                let len = r.gen_range(1..=4);
+                let mut next = -1;
+                for _ in 0..len {
+                    next = alloc(T_LIST, r.gen_range(0..50), next, 0, cells);
+                }
+                next
+            }
+        }
+    }
+    let roots: Vec<i64> = (0..n_roots)
+        .map(|_| tree(&mut r, 6, &mut cells, &mut alloc))
+        .collect();
+    (cells, roots)
+}
+
+/// Builds the `li` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let n_roots = scale.iters(40) as usize;
+    let (train_cells, train_roots) = gen_heap(SALT, n_roots);
+    let (test_cells, test_roots) = gen_heap(SALT + 1, n_roots);
+
+    // Memory: [train heap][train roots][test heap (rebased)][test roots].
+    let train_roots_base = train_cells.len() as i64;
+    let test_heap_base = train_roots_base + n_roots as i64;
+    let test_roots_base = test_heap_base + test_cells.len() as i64;
+    let mut data = train_cells;
+    data.extend(train_roots.iter().copied());
+    // Rebase test-heap cell pointers.
+    let rebased: Vec<i64> = test_cells
+        .chunks(4)
+        .flat_map(|cell| {
+            let (tag, a, b, c) = (cell[0], cell[1], cell[2], cell[3]);
+            match tag {
+                T_NUM => vec![tag, a, b, c],
+                T_ADD | T_MUL => vec![tag, a + test_heap_base, b + test_heap_base, c],
+                T_IF => vec![tag, a + test_heap_base, b + test_heap_base, c + test_heap_base],
+                T_LIST => vec![
+                    tag,
+                    a,
+                    if b < 0 { b } else { b + test_heap_base },
+                    c,
+                ],
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    data.extend(rebased);
+    data.extend(test_roots.iter().map(|&r| r + test_heap_base));
+    let mem = data.len() + 1024;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+
+    // eval(cell) -> value
+    let eval = pb.declare_proc("xleval", 1);
+    {
+        let mut f = pb.begin_declared(eval);
+        let cell = Reg::new(0);
+        let tag = f.reg();
+        let a = f.reg();
+        let b = f.reg();
+        let cc = f.reg();
+        let va = f.reg();
+        let vb = f.reg();
+        let res = f.reg();
+        let cond = f.reg();
+        f.load(tag, cell, 0);
+        f.load(a, cell, 1);
+        f.load(b, cell, 2);
+        let case_num = f.new_block();
+        let case_add = f.new_block();
+        let case_mul = f.new_block();
+        let case_if = f.new_block();
+        let if_then = f.new_block();
+        let if_else = f.new_block();
+        let case_list = f.new_block();
+        let list_head = f.new_block();
+        let list_body = f.new_block();
+        let list_done = f.new_block();
+        let dflt = f.new_block();
+        f.switch(
+            tag,
+            vec![case_num, case_add, case_mul, case_if, case_list],
+            dflt,
+        );
+        f.switch_to(case_num);
+        f.ret(Some(Operand::Reg(a)));
+        f.switch_to(case_add);
+        f.call(eval, vec![Operand::Reg(a)], Some(va));
+        f.call(eval, vec![Operand::Reg(b)], Some(vb));
+        f.alu(AluOp::Add, res, va, vb);
+        f.ret(Some(Operand::Reg(res)));
+        f.switch_to(case_mul);
+        f.call(eval, vec![Operand::Reg(a)], Some(va));
+        f.call(eval, vec![Operand::Reg(b)], Some(vb));
+        f.alu(AluOp::Mul, res, va, vb);
+        f.alu(AluOp::And, res, res, 0xFFFFi64);
+        f.ret(Some(Operand::Reg(res)));
+        f.switch_to(case_if);
+        f.call(eval, vec![Operand::Reg(a)], Some(cond));
+        f.alu(AluOp::And, cond, cond, 1i64);
+        f.alu(AluOp::CmpNe, cc, cond, 0i64);
+        f.branch(cc, if_then, if_else);
+        f.switch_to(if_then);
+        f.call(eval, vec![Operand::Reg(b)], Some(res));
+        f.ret(Some(Operand::Reg(res)));
+        f.switch_to(if_else);
+        let e = f.reg();
+        f.load(e, cell, 3);
+        f.call(eval, vec![Operand::Reg(e)], Some(res));
+        f.ret(Some(Operand::Reg(res)));
+        // List: walk the chain summing values (1-4 iterations).
+        f.switch_to(case_list);
+        let cur = f.reg();
+        f.mov(res, 0i64);
+        f.mov(cur, Operand::Reg(cell));
+        f.jump(list_head);
+        f.switch_to(list_head);
+        f.alu(AluOp::CmpLt, cc, Operand::Reg(cur), Operand::Imm(0));
+        f.branch(cc, list_done, list_body);
+        f.switch_to(list_body);
+        let v = f.reg();
+        let nxt = f.reg();
+        f.load(v, cur, 1);
+        f.load(nxt, cur, 2);
+        f.alu(AluOp::Add, res, res, v);
+        f.mov(cur, Operand::Reg(nxt));
+        f.jump(list_head);
+        f.switch_to(list_done);
+        f.ret(Some(Operand::Reg(res)));
+        f.switch_to(dflt);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+    }
+
+    // main(roots_base, n)
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let acc = f.reg();
+    let c = f.reg();
+    let root = f.reg();
+    let v = f.reg();
+    let addr = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(root, addr, 0);
+    f.call(eval, vec![Operand::Reg(root)], Some(v));
+    f.alu(AluOp::Add, acc, acc, v);
+    f.alu(AluOp::And, acc, acc, 0xFF_FFFFi64);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "li",
+        description: "XLISP interpreter",
+        category: Category::Spec95,
+        program,
+        train_args: vec![train_roots_base, n_roots as i64],
+        test_args: vec![test_roots_base, n_roots as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    /// Host-side evaluator for cross-checking.
+    fn host_eval(cells: &[i64], at: i64) -> i64 {
+        let i = at as usize;
+        let (tag, a, b, c) = (cells[i], cells[i + 1], cells[i + 2], cells[i + 3]);
+        match tag {
+            T_NUM => a,
+            T_ADD => host_eval(cells, a) + host_eval(cells, b),
+            T_MUL => (host_eval(cells, a) * host_eval(cells, b)) & 0xFFFF,
+            T_IF => {
+                if host_eval(cells, a) & 1 != 0 {
+                    host_eval(cells, b)
+                } else {
+                    host_eval(cells, c)
+                }
+            }
+            T_LIST => {
+                let mut sum = 0;
+                let mut cur = at;
+                while cur >= 0 {
+                    sum += cells[cur as usize + 1];
+                    cur = cells[cur as usize + 2];
+                }
+                sum
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn eval_matches_host_reference() {
+        let b = build(Scale::quick());
+        let (cells, roots) = gen_heap(SALT, b.train_args[1] as usize);
+        let mut acc: i64 = 0;
+        for &r in &roots {
+            acc = (acc + host_eval(&cells, r)) & 0xFF_FFFF;
+        }
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        assert_eq!(r.output, vec![acc]);
+    }
+
+    #[test]
+    fn call_heavy() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        assert!(r.counts.calls as i64 > 5 * b.train_args[1]);
+    }
+}

@@ -1,0 +1,247 @@
+//! `m88k(sim)` — Motorola 88100 microprocessor simulator (Table 1: `dhry`
+//! input).
+//!
+//! m88ksim's hot code is the fetch–decode–dispatch–execute loop: decode
+//! bit-fields from an instruction word, switch on the opcode, execute a
+//! short operation against the simulated register file. The analog
+//! simulates a small register machine whose "binary" (a synthetic
+//! Dhrystone-ish instruction stream) lives in memory.
+
+use crate::util::{rng, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+use rand::Rng;
+
+const SALT: u64 = 0x88;
+/// Simulated register count.
+const SIM_REGS: i64 = 16;
+/// Opcodes: 0 add, 1 sub, 2 and, 3 or, 4 xor, 5 shl, 6 shr, 7 li,
+/// 8 beq (skip next if eq), 9 bne, 10 mul, 11 nop.
+const OPS: i64 = 12;
+
+/// Encodes an instruction word: op | rd<<4 | rs<<8 | rt<<12 | imm<<16.
+fn encode(op: i64, rd: i64, rs: i64, rt: i64, imm: i64) -> i64 {
+    op | rd << 4 | rs << 8 | rt << 12 | imm << 16
+}
+
+/// Generates a short "program" that the simulated machine executes in a
+/// loop (Dhrystone is a small, highly repetitive benchmark — the dispatch
+/// sequence is periodic, which is precisely what makes m88ksim
+/// path-predictable in the paper).
+fn gen_binary(salt: u64, len: usize) -> Vec<i64> {
+    let mut r = rng(salt);
+    (0..len)
+        .map(|_| {
+            // Dhrystone-like mix: mostly ALU, some immediates, ~15%
+            // compare-skips.
+            let op = match r.gen_range(0..100) {
+                0..=24 => 0,            // add
+                25..=39 => 1,           // sub
+                40..=49 => 2,           // and
+                50..=59 => 3,           // or
+                60..=66 => 4,           // xor
+                67..=71 => 5,           // shl
+                72..=76 => 6,           // shr
+                77..=84 => 7,           // li
+                85..=91 => 8,           // beq
+                92..=97 => 9,           // bne
+                _ => 10,                // mul
+            };
+            encode(
+                op,
+                r.gen_range(0..SIM_REGS),
+                r.gen_range(0..SIM_REGS),
+                r.gen_range(0..SIM_REGS),
+                r.gen_range(0..256),
+            )
+        })
+        .collect()
+}
+
+/// Length of the simulated program (instruction words).
+const PROG_LEN: usize = 48;
+
+/// Builds the `m88k` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let steps = scale.iters(9_000);
+    let len = PROG_LEN;
+    let train = gen_binary(SALT, len);
+    let test = gen_binary(SALT + 1, len);
+    // Memory: [simulated regfile][train binary][test binary].
+    let regfile = 0i64;
+    let train_base = SIM_REGS;
+    let test_base = SIM_REGS + len as i64;
+    let mut data = vec![0i64; SIM_REGS as usize];
+    data.extend_from_slice(&train);
+    data.extend_from_slice(&test);
+    let mem = data.len() + 1024;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+
+    let mut f = pb.begin_proc("main", 3);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let steps_lim = Reg::new(2);
+    let pc = f.reg();
+    let word = f.reg();
+    let op = f.reg();
+    let rd = f.reg();
+    let rs = f.reg();
+    let rt = f.reg();
+    let imm = f.reg();
+    let vs = f.reg();
+    let vt = f.reg();
+    let vres = f.reg();
+    let c = f.reg();
+    let addr = f.reg();
+    let executed = f.reg();
+    f.mov(pc, 0i64);
+    f.mov(executed, 0i64);
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let writeback = f.new_block();
+    let latch = f.new_block();
+    let skip2 = f.new_block();
+    let exit = f.new_block();
+    let cases: Vec<_> = (0..OPS).map(|_| f.new_block()).collect();
+
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(executed), Operand::Reg(steps_lim));
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    // Wrap the program counter (the simulated program loops, Dhrystone
+    // style).
+    f.alu(AluOp::Rem, pc, pc, n);
+    // Fetch and decode.
+    f.alu(AluOp::Add, addr, base, pc);
+    f.load(word, addr, 0);
+    f.alu(AluOp::And, op, word, 0xFi64);
+    f.alu(AluOp::Shr, rd, word, 4i64);
+    f.alu(AluOp::And, rd, rd, 0xFi64);
+    f.alu(AluOp::Shr, rs, word, 8i64);
+    f.alu(AluOp::And, rs, rs, 0xFi64);
+    f.alu(AluOp::Shr, rt, word, 12i64);
+    f.alu(AluOp::And, rt, rt, 0xFi64);
+    f.alu(AluOp::Shr, imm, word, 16i64);
+    // Read simulated sources.
+    f.alu(AluOp::Add, addr, rs, regfile);
+    f.load(vs, addr, 0);
+    f.alu(AluOp::Add, addr, rt, regfile);
+    f.load(vt, addr, 0);
+    f.alu(AluOp::Add, executed, executed, 1i64);
+    f.switch(op, cases.clone(), latch);
+
+    // ALU ops write vres then fall to writeback.
+    let alu_cases: [(usize, AluOp); 7] = [
+        (0, AluOp::Add),
+        (1, AluOp::Sub),
+        (2, AluOp::And),
+        (3, AluOp::Or),
+        (4, AluOp::Xor),
+        (10, AluOp::Mul),
+        (11, AluOp::Or), // nop: rd = rs | rs
+    ];
+    for (k, aop) in alu_cases {
+        f.switch_to(cases[k]);
+        f.alu(aop, vres, vs, vt);
+        f.jump(writeback);
+    }
+    // Shifts mask the amount.
+    f.switch_to(cases[5]);
+    f.alu(AluOp::And, vt, vt, 7i64);
+    f.alu(AluOp::Shl, vres, vs, vt);
+    f.alu(AluOp::And, vres, vres, 0xFFFF_FFFFi64);
+    f.jump(writeback);
+    f.switch_to(cases[6]);
+    f.alu(AluOp::And, vt, vt, 7i64);
+    f.alu(AluOp::Shr, vres, vs, vt);
+    f.jump(writeback);
+    // li
+    f.switch_to(cases[7]);
+    f.mov(vres, Operand::Reg(imm));
+    f.jump(writeback);
+    // beq / bne: conditionally skip the next instruction.
+    f.switch_to(cases[8]);
+    f.alu(AluOp::CmpEq, c, vs, vt);
+    f.branch(c, skip2, latch);
+    f.switch_to(cases[9]);
+    f.alu(AluOp::CmpNe, c, vs, vt);
+    f.branch(c, skip2, latch);
+    f.switch_to(skip2);
+    f.alu(AluOp::Add, pc, pc, 1i64);
+    f.jump(latch);
+
+    f.switch_to(writeback);
+    f.alu(AluOp::Add, addr, rd, regfile);
+    f.store(Operand::Reg(vres), addr, 0);
+    f.jump(latch);
+
+    f.switch_to(latch);
+    f.alu(AluOp::Add, pc, pc, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    // Checksum the simulated register file.
+    let i = f.reg();
+    let acc = f.reg();
+    let v = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let ck_head = f.new_block();
+    let ck_body = f.new_block();
+    let done = f.new_block();
+    f.jump(ck_head);
+    f.switch_to(ck_head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(SIM_REGS));
+    f.branch(c, ck_body, done);
+    f.switch_to(ck_body);
+    f.alu(AluOp::Add, addr, i, regfile);
+    f.load(v, addr, 0);
+    f.alu(AluOp::Xor, acc, acc, v);
+    f.alu(AluOp::Add, acc, acc, 1i64);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(ck_head);
+    f.switch_to(done);
+    f.out(acc);
+    f.out(executed);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "m88k",
+        description: "Microprocessor simulator",
+        category: Category::Spec95,
+        program,
+        train_args: vec![train_base, len as i64, steps],
+        test_args: vec![test_base, len as i64, steps + steps / 3],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn executes_requested_step_count() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let executed = r.output[1];
+        assert_eq!(executed, b.train_args[2], "runs exactly `steps` instructions");
+    }
+
+    #[test]
+    fn different_binaries_different_checksums() {
+        let b = build(Scale::quick());
+        let interp = Interp::new(&b.program, ExecConfig::default());
+        let a = interp.run(&b.train_args).unwrap();
+        let t = interp.run(&b.test_args).unwrap();
+        assert_ne!(a.output[0], t.output[0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The three microbenchmarks of Table 1.
+//!
+//! - `alt` — "a single loop containing a conditional that follows the
+//!   repeated pattern TTTF TTTF …". Path profiles of depth ≥ 4 branches see
+//!   the alternation exactly; edge profiles only see a 75% taken rate.
+//! - `ph` — "a single loop containing a conditional … following the pattern
+//!   TTT…TFFF…F" (phased behavior; Figure 3's PATH2).
+//! - `corr` — the simple branch-correlation example of Young & Smith: a
+//!   second branch whose direction is fully determined by an earlier one,
+//!   invisible to point profiles.
+
+use crate::util::{Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Program};
+
+fn single_cond_loop(pattern_alt: bool, iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.begin_proc("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let c = f.reg();
+    let t = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let then_b = f.new_block();
+    let else_b = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    if pattern_alt {
+        // TTTF: taken when i % 4 != 3.
+        f.alu(AluOp::Rem, t, i, 4i64);
+        f.alu(AluOp::CmpNe, c, t, 3i64);
+    } else {
+        // Phased: taken during the first half of the run.
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(iters / 2));
+    }
+    f.branch(c, then_b, else_b);
+    f.switch_to(then_b);
+    f.alu(AluOp::Add, acc, acc, 3i64);
+    f.alu(AluOp::Xor, acc, acc, i);
+    f.jump(latch);
+    f.switch_to(else_b);
+    f.alu(AluOp::Mul, acc, acc, 5i64);
+    f.alu(AluOp::And, acc, acc, 0xFFFFi64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(iters));
+    f.branch(c, head, exit);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.finish(main)
+}
+
+/// The `alt` microbenchmark: TTTF-repeating conditional inside one loop.
+pub fn alt(scale: Scale) -> Benchmark {
+    let iters = scale.iters(20_000);
+    Benchmark {
+        name: "alt",
+        description: "Sorted example",
+        category: Category::Micro,
+        program: single_cond_loop(true, iters),
+        train_args: vec![],
+        test_args: vec![],
+    }
+}
+
+/// The `ph` microbenchmark: phased TTT…TFFF…F conditional inside one loop.
+pub fn ph(scale: Scale) -> Benchmark {
+    let iters = scale.iters(20_000);
+    Benchmark {
+        name: "ph",
+        description: "Phased example",
+        category: Category::Micro,
+        program: single_cond_loop(false, iters),
+        train_args: vec![],
+        test_args: vec![],
+    }
+}
+
+/// The `corr` microbenchmark: the second branch's direction is a function
+/// of the first branch's direction within the same iteration.
+pub fn corr(scale: Scale) -> Benchmark {
+    let iters = scale.iters(5_000);
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.begin_proc("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let x = f.reg();
+    let c = f.reg();
+    let t = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let a1 = f.new_block();
+    let a2 = f.new_block();
+    let mid = f.new_block();
+    let b1 = f.new_block();
+    let b2 = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    // First branch: i % 2.
+    f.alu(AluOp::Rem, t, i, 2i64);
+    f.alu(AluOp::CmpEq, c, t, 0i64);
+    f.branch(c, a1, a2);
+    f.switch_to(a1);
+    f.mov(x, 1i64);
+    f.alu(AluOp::Add, acc, acc, 7i64);
+    f.jump(mid);
+    f.switch_to(a2);
+    f.mov(x, 0i64);
+    f.alu(AluOp::Add, acc, acc, 11i64);
+    f.jump(mid);
+    f.switch_to(mid);
+    // Some shared work separating the correlated pair.
+    f.alu(AluOp::Xor, acc, acc, i);
+    // Second branch: fully correlated with the first (x == 1).
+    f.alu(AluOp::CmpEq, c, x, 1i64);
+    f.branch(c, b1, b2);
+    f.switch_to(b1);
+    f.alu(AluOp::Add, acc, acc, 1i64);
+    f.jump(latch);
+    f.switch_to(b2);
+    f.alu(AluOp::Sub, acc, acc, 1i64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(iters));
+    f.branch(c, head, exit);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    Benchmark {
+        name: "corr",
+        description: "Branch corr. example",
+        category: Category::Micro,
+        program: pb.finish(main),
+        train_args: vec![],
+        test_args: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::BlockId;
+    use pps_profile::PathProfiler;
+
+    #[test]
+    fn alt_pattern_is_tttf() {
+        let b = alt(Scale::quick());
+        let mut pp = PathProfiler::new(&b.program, 15);
+        Interp::new(&b.program, ExecConfig::default())
+            .run_traced(&[], &mut pp)
+            .unwrap();
+        let pp = pp.finish();
+        let pid = b.program.entry;
+        // Blocks: 0 entry, 1 head, 2 then, 3 else, 4 latch, 5 exit.
+        let (head, then_b, else_b, latch) =
+            (BlockId::new(1), BlockId::new(2), BlockId::new(3), BlockId::new(4));
+        let taken = pp.freq(pid, &[head, then_b]);
+        let not = pp.freq(pid, &[head, else_b]);
+        assert!(taken > 0 && not > 0);
+        assert_eq!(taken, 3 * not, "3:1 taken ratio");
+        // Path evidence of alternation: T after three Ts never happens.
+        let four_taken = [
+            head, then_b, latch, head, then_b, latch, head, then_b, latch, head, then_b,
+        ];
+        assert_eq!(pp.freq(pid, &four_taken), 0, "TTTT never occurs");
+        // But TTTF always follows.
+        let tttf = [
+            head, then_b, latch, head, then_b, latch, head, then_b, latch, head, else_b,
+        ];
+        assert!(pp.freq(pid, &tttf) > 0);
+    }
+
+    #[test]
+    fn corr_second_branch_fully_correlated() {
+        let b = corr(Scale::quick());
+        let mut pp = PathProfiler::new(&b.program, 15);
+        Interp::new(&b.program, ExecConfig::default())
+            .run_traced(&[], &mut pp)
+            .unwrap();
+        let pp = pp.finish();
+        let pid = b.program.entry;
+        // Blocks: 0 entry, 1 head, 2 a1, 3 a2, 4 mid, 5 b1, 6 b2, 7 latch.
+        let (a1, a2, mid, b1, b2) = (
+            BlockId::new(2),
+            BlockId::new(3),
+            BlockId::new(4),
+            BlockId::new(5),
+            BlockId::new(6),
+        );
+        assert!(pp.freq(pid, &[a1, mid, b1]) > 0);
+        assert_eq!(pp.freq(pid, &[a1, mid, b2]), 0, "a1 implies b1");
+        assert!(pp.freq(pid, &[a2, mid, b2]) > 0);
+        assert_eq!(pp.freq(pid, &[a2, mid, b1]), 0, "a2 implies b2");
+    }
+
+    #[test]
+    fn ph_is_phased() {
+        let b = ph(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default()).run(&[]).unwrap();
+        // Branch count: one conditional + one loop branch per iteration.
+        assert_eq!(r.counts.branches, 2 * 20_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! `perl` — interpreted programming language (Table 1: `primes` input).
+//!
+//! perl's profile is a stack-machine opcode dispatch loop with a skewed
+//! opcode distribution. Matching the paper's `primes` workload, the
+//! synthetic "script" computes a prime sieve: the analog interprets a
+//! bytecode program (push/arith/compare/jump/store ops) that counts primes
+//! by trial division — an interpreter loop whose *interpreted* program
+//! supplies the characteristic opcode stream.
+
+use crate::util::{Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+
+/// Opcodes of the interpreted stack machine.
+const OP_PUSH: i64 = 0; // push imm
+const OP_LOAD: i64 = 1; // push var[imm]
+const OP_STORE: i64 = 2; // var[imm] = pop
+const OP_ADD: i64 = 3;
+const OP_REM: i64 = 4;
+const OP_LT: i64 = 5;
+const OP_EQZ: i64 = 6; // top = (top == 0)
+const OP_JZ: i64 = 7; // jump to imm if pop == 0
+const OP_JMP: i64 = 8;
+const OP_HALT: i64 = 9;
+
+fn op(code: i64, imm: i64) -> i64 {
+    code | imm << 8
+}
+
+/// The interpreted "script": count primes in 2..limit by trial division.
+///
+/// vars: 0 = n (candidate), 1 = d (divisor), 2 = count, 3 = limit,
+/// 4 = scratch.
+fn primes_script() -> Vec<i64> {
+    // n = 2; count = 0
+    let mut s = vec![
+        op(OP_PUSH, 2),  // 0
+        op(OP_STORE, 0), // 1
+        op(OP_PUSH, 0),  // 2
+        op(OP_STORE, 2), // 3
+    ];
+    let outer = s.len() as i64; // 4
+    // if !(n < limit) halt
+    s.push(op(OP_LOAD, 0)); // 4
+    s.push(op(OP_LOAD, 3)); // 5
+    s.push(op(OP_LT, 0)); // 6
+    let jz_halt_at = s.len();
+    s.push(op(OP_JZ, 0)); // 7 (patched)
+    // d = 2
+    s.push(op(OP_PUSH, 2)); // 8
+    s.push(op(OP_STORE, 1)); // 9
+    let inner = s.len() as i64; // 10
+    // if !(d < n) -> prime
+    s.push(op(OP_LOAD, 1));
+    s.push(op(OP_LOAD, 0));
+    s.push(op(OP_LT, 0));
+    let jz_prime_at = s.len();
+    s.push(op(OP_JZ, 0)); // patched -> prime
+    // if n % d == 0 -> not prime
+    s.push(op(OP_LOAD, 0));
+    s.push(op(OP_LOAD, 1));
+    s.push(op(OP_REM, 0));
+    s.push(op(OP_EQZ, 0));
+    let jz_cont_at = s.len();
+    s.push(op(OP_JZ, 0)); // patched -> continue divisor loop
+    let jmp_notprime_at = s.len();
+    s.push(op(OP_JMP, 0)); // patched -> next candidate
+    // continue divisor loop: d += 1; goto inner
+    let cont = s.len() as i64;
+    s.push(op(OP_LOAD, 1));
+    s.push(op(OP_PUSH, 1));
+    s.push(op(OP_ADD, 0));
+    s.push(op(OP_STORE, 1));
+    s.push(op(OP_JMP, inner));
+    // prime: count += 1
+    let prime = s.len() as i64;
+    s.push(op(OP_LOAD, 2));
+    s.push(op(OP_PUSH, 1));
+    s.push(op(OP_ADD, 0));
+    s.push(op(OP_STORE, 2));
+    // next: n += 1; goto outer
+    let next = s.len() as i64;
+    s.push(op(OP_LOAD, 0));
+    s.push(op(OP_PUSH, 1));
+    s.push(op(OP_ADD, 0));
+    s.push(op(OP_STORE, 0));
+    s.push(op(OP_JMP, outer));
+    let halt = s.len() as i64;
+    s.push(op(OP_HALT, 0));
+    // Patch forward jumps.
+    s[jz_halt_at] = op(OP_JZ, halt);
+    s[jz_prime_at] = op(OP_JZ, prime);
+    s[jz_cont_at] = op(OP_JZ, cont);
+    s[jmp_notprime_at] = op(OP_JMP, next);
+    s
+}
+
+/// Builds the `perl` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let script = primes_script();
+    let script_base = 0i64;
+    let vars_base = script.len() as i64;
+    let stack_base = vars_base + 8;
+    let mut data = script;
+    data.extend_from_slice(&[0; 8]);
+    let mem = (stack_base + 256) as usize + 1024;
+
+    // Train and test differ by the sieve limit (different dynamic opcode
+    // streams).
+    let train_limit = scale.iters(260);
+    let test_limit = scale.iters(300) + 17;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+
+    let mut f = pb.begin_proc("main", 1);
+    let limit = Reg::new(0);
+    let pc = f.reg();
+    let sp = f.reg();
+    let word = f.reg();
+    let opc = f.reg();
+    let imm = f.reg();
+    let a = f.reg();
+    let b = f.reg();
+    let c = f.reg();
+    let addr = f.reg();
+    let steps = f.reg();
+    // var[3] = limit
+    f.mov(addr, vars_base + 3);
+    f.store(Operand::Reg(limit), addr, 0);
+    f.mov(pc, 0i64);
+    f.mov(sp, stack_base);
+    f.mov(steps, 0i64);
+
+    let head = f.new_block();
+    let exit = f.new_block();
+    let cases: Vec<_> = (0..10).map(|_| f.new_block()).collect();
+    let jz_taken = f.new_block();
+    let jz_not = f.new_block();
+    let next_pc = f.new_block();
+
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::Add, addr, pc, script_base);
+    f.load(word, addr, 0);
+    f.alu(AluOp::And, opc, word, 0xFFi64);
+    f.alu(AluOp::Shr, imm, word, 8i64);
+    f.alu(AluOp::Add, steps, steps, 1i64);
+    f.switch(opc, cases.clone(), exit);
+
+    // push imm
+    f.switch_to(cases[OP_PUSH as usize]);
+    f.store(Operand::Reg(imm), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // load var
+    f.switch_to(cases[OP_LOAD as usize]);
+    f.alu(AluOp::Add, addr, imm, vars_base);
+    f.load(a, addr, 0);
+    f.store(Operand::Reg(a), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // store var
+    f.switch_to(cases[OP_STORE as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::Add, addr, imm, vars_base);
+    f.store(Operand::Reg(a), addr, 0);
+    f.jump(next_pc);
+    // add
+    f.switch_to(cases[OP_ADD as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(b, sp, 0);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::Add, a, a, b);
+    f.store(Operand::Reg(a), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // rem
+    f.switch_to(cases[OP_REM as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(b, sp, 0);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::Rem, a, a, b);
+    f.store(Operand::Reg(a), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // lt
+    f.switch_to(cases[OP_LT as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(b, sp, 0);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::CmpLt, a, a, b);
+    f.store(Operand::Reg(a), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // eqz
+    f.switch_to(cases[OP_EQZ as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::CmpEq, a, a, 0i64);
+    f.store(Operand::Reg(a), sp, 0);
+    f.alu(AluOp::Add, sp, sp, 1i64);
+    f.jump(next_pc);
+    // jz
+    f.switch_to(cases[OP_JZ as usize]);
+    f.alu(AluOp::Sub, sp, sp, 1i64);
+    f.load(a, sp, 0);
+    f.alu(AluOp::CmpEq, c, a, 0i64);
+    f.branch(c, jz_taken, jz_not);
+    f.switch_to(jz_taken);
+    f.mov(pc, Operand::Reg(imm));
+    f.jump(head);
+    f.switch_to(jz_not);
+    f.jump(next_pc);
+    // jmp
+    f.switch_to(cases[OP_JMP as usize]);
+    f.mov(pc, Operand::Reg(imm));
+    f.jump(head);
+    // halt
+    f.switch_to(cases[OP_HALT as usize]);
+    f.jump(exit);
+
+    f.switch_to(next_pc);
+    f.alu(AluOp::Add, pc, pc, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    // Output the prime count (var 2) and dynamic step count.
+    f.mov(addr, vars_base + 2);
+    f.load(a, addr, 0);
+    f.out(a);
+    f.out(steps);
+    f.ret(Some(Operand::Reg(a)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "perl",
+        description: "Interpreted programming lang.",
+        category: Category::Spec95,
+        program,
+        train_args: vec![train_limit],
+        test_args: vec![test_limit],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    fn host_primes(limit: i64) -> i64 {
+        (2..limit).filter(|&n| (2..n).all(|d| n % d != 0)).count() as i64
+    }
+
+    #[test]
+    fn interpreted_sieve_counts_primes() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        assert_eq!(r.output[0], host_primes(b.train_args[0]));
+    }
+
+    #[test]
+    fn dispatch_dominates() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let steps = r.output[1] as u64;
+        assert!(steps > 1000, "interpreted steps: {steps}");
+        // Each step executes one switch; branch count is dominated by
+        // dispatch.
+        assert!(r.counts.branches >= steps);
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared benchmark infrastructure: the [`Benchmark`] type, scaling, and
+//! deterministic synthetic-input generation.
+
+use pps_ir::Program;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Benchmark category, mirroring Table 1's grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Idealized examples of path-visible behavior (`alt`, `ph`, `corr`).
+    Micro,
+    /// SPECint92 analogs (`com`, `eqn`, `esp`).
+    Spec92,
+    /// SPECint95 analogs (the rest).
+    Spec95,
+}
+
+/// Workload scale multiplier: iteration counts grow linearly with the inner
+/// value. [`Scale::quick`] keeps debug-mode tests fast; [`Scale::paper`] is
+/// the harness default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u32);
+
+impl Scale {
+    /// Tiny scale for unit tests.
+    pub fn quick() -> Scale {
+        Scale(1)
+    }
+
+    /// Harness scale (hundreds of thousands to millions of dynamic
+    /// branches per benchmark).
+    pub fn paper() -> Scale {
+        Scale(64)
+    }
+
+    /// Scaled iteration count.
+    pub fn iters(&self, base: u32) -> i64 {
+        i64::from(base) * i64::from(self.0)
+    }
+}
+
+/// One benchmark: a program plus its training and testing inputs.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Short name as used in the paper's tables and figures.
+    pub name: &'static str,
+    /// Table 1 description.
+    pub description: &'static str,
+    /// Table 1 grouping.
+    pub category: Category,
+    /// The executable program (both input datasets in its data section).
+    pub program: Program,
+    /// Arguments selecting the training input.
+    pub train_args: Vec<i64>,
+    /// Arguments selecting the testing input.
+    pub test_args: Vec<i64>,
+}
+
+/// Deterministic RNG for synthetic inputs; `salt` separates train/test and
+/// per-benchmark streams.
+pub fn rng(salt: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0x5EED_0000 ^ salt)
+}
+
+/// Generates synthetic "text": a stream of byte-like values in 0..128 with
+/// word/whitespace/newline structure (for `wc`-style benchmarks).
+pub fn gen_text(salt: u64, len: usize) -> Vec<i64> {
+    let mut r = rng(salt);
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let word_len = r.gen_range(1..=9);
+        for _ in 0..word_len {
+            if out.len() >= len {
+                break;
+            }
+            out.push(i64::from(r.gen_range(b'a'..=b'z')));
+        }
+        if out.len() >= len {
+            break;
+        }
+        // Separator: mostly space, sometimes newline, occasionally tab.
+        let sep = match r.gen_range(0..10) {
+            0..=6 => b' ',
+            7..=8 => b'\n',
+            _ => b'\t',
+        };
+        out.push(i64::from(sep));
+    }
+    out.truncate(len);
+    out
+}
+
+/// Generates a skewed "symbol" stream over `0..kinds`: a few kinds dominate
+/// (Zipf-ish), as in token/opcode streams.
+pub fn gen_symbols(salt: u64, len: usize, kinds: i64) -> Vec<i64> {
+    let mut r = rng(salt);
+    (0..len)
+        .map(|_| {
+            // Square a uniform draw to skew toward 0.
+            let u: f64 = r.gen_range(0.0..1.0);
+            ((u * u) * kinds as f64) as i64
+        })
+        .map(|k| k.min(kinds - 1))
+        .collect()
+}
+
+/// Generates uniform values in `0..bound`.
+pub fn gen_uniform(salt: u64, len: usize, bound: i64) -> Vec<i64> {
+    let mut r = rng(salt);
+    (0..len).map(|_| r.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_salted() {
+        let a = gen_uniform(1, 16, 100);
+        let b = gen_uniform(1, 16, 100);
+        let c = gen_uniform(2, 16, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn text_has_separators_and_letters() {
+        let t = gen_text(7, 500);
+        assert_eq!(t.len(), 500);
+        assert!(t.iter().any(|&c| c == i64::from(b' ')));
+        assert!(t.iter().any(|&c| c == i64::from(b'\n')));
+        assert!(t.iter().any(|&c| (97..=122).contains(&c)));
+        assert!(t.iter().all(|&c| (0..128).contains(&c)));
+    }
+
+    #[test]
+    fn symbols_are_skewed() {
+        let s = gen_symbols(3, 10_000, 16);
+        assert!(s.iter().all(|&k| (0..16).contains(&k)));
+        let low = s.iter().filter(|&&k| k < 4).count();
+        assert!(low > 4000, "skew toward low kinds: {low}");
+    }
+
+    #[test]
+    fn scale_scales() {
+        assert_eq!(Scale::quick().iters(100), 100);
+        assert_eq!(Scale(8).iters(100), 800);
+    }
+}

@@ -1,0 +1,261 @@
+//! `vortex` — object-oriented database (Table 1: SPEC95 test input).
+//!
+//! vortex is method-call-heavy: transactions look objects up in an index,
+//! then dispatch through per-class methods that touch object fields. The
+//! analog stores class-tagged objects in memory, processes a transaction
+//! stream (lookup / update / query), probes a hash index with a short
+//! collision loop, and dispatches on the object's class tag to one of
+//! several method procedures.
+
+use crate::util::{gen_uniform, rng, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, ProcId, Reg};
+use rand::Rng;
+
+const SALT: u64 = 0x7EC;
+/// Objects: [class, key, field_a, field_b] (4 words).
+const OBJ_WORDS: i64 = 4;
+const CLASSES: i64 = 5;
+const INDEX_SLOTS: i64 = 1024;
+
+/// Builds the `vortex` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let n_objects = 300usize;
+    let n_txns = scale.iters(3_000) as usize;
+    let mut r = rng(SALT);
+    // Object store.
+    let mut objects = Vec::with_capacity(n_objects * OBJ_WORDS as usize);
+    for k in 0..n_objects {
+        objects.push(r.gen_range(0..CLASSES)); // class
+        objects.push(k as i64 * 7 + 13); // key
+        objects.push(r.gen_range(0..1000)); // field_a
+        objects.push(r.gen_range(0..1000)); // field_b
+    }
+    // Hash index: slot -> object id + 1 (0 = empty), linear probing,
+    // built host-side.
+    let mut index = vec![0i64; INDEX_SLOTS as usize];
+    for k in 0..n_objects {
+        let key = k as i64 * 7 + 13;
+        let mut slot = (key.wrapping_mul(2654435761) >> 8) & (INDEX_SLOTS - 1);
+        while index[slot as usize] != 0 {
+            slot = (slot + 1) & (INDEX_SLOTS - 1);
+        }
+        index[slot as usize] = k as i64 + 1;
+    }
+    // Transactions: key selectors (some missing keys).
+    let train: Vec<i64> = gen_uniform(SALT + 1, n_txns, n_objects as i64 + 40);
+    let test: Vec<i64> = gen_uniform(SALT + 2, n_txns, n_objects as i64 + 40);
+
+    let objects_base = 0i64;
+    let index_base = objects.len() as i64;
+    let train_base = index_base + INDEX_SLOTS;
+    let test_base = train_base + n_txns as i64;
+    let mut data = objects;
+    data.extend_from_slice(&index);
+    data.extend_from_slice(&train);
+    data.extend_from_slice(&test);
+    let mem = data.len() + 1024;
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory(mem, data);
+
+    // Per-class method procedures: method(obj_base) -> value.
+    let mut methods: Vec<ProcId> = Vec::new();
+    for cls in 0..CLASSES {
+        let m = pb.declare_proc(format!("method_{cls}"), 1);
+        let mut f = pb.begin_declared(m);
+        let obj = Reg::new(0);
+        let a = f.reg();
+        let b = f.reg();
+        let v = f.reg();
+        let c = f.reg();
+        f.load(a, obj, 2);
+        f.load(b, obj, 3);
+        match cls % 3 {
+            0 => {
+                // Compare-and-pick.
+                let hi = f.new_block();
+                let lo = f.new_block();
+                f.alu(AluOp::CmpLt, c, a, b);
+                f.branch(c, hi, lo);
+                f.switch_to(hi);
+                f.alu(AluOp::Add, v, b, cls + 1);
+                f.ret(Some(Operand::Reg(v)));
+                f.switch_to(lo);
+                f.alu(AluOp::Add, v, a, cls + 1);
+                f.ret(Some(Operand::Reg(v)));
+            }
+            1 => {
+                // Field update (writes back).
+                f.alu(AluOp::Add, v, a, b);
+                f.alu(AluOp::And, v, v, 0x3FFi64);
+                f.store(Operand::Reg(v), obj, 2);
+                f.ret(Some(Operand::Reg(v)));
+            }
+            _ => {
+                // Small reduction loop over both fields.
+                let i = f.reg();
+                let acc = f.reg();
+                f.mov(i, 0i64);
+                f.mov(acc, 0i64);
+                let head = f.new_block();
+                let body = f.new_block();
+                let exit = f.new_block();
+                f.jump(head);
+                f.switch_to(head);
+                f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(3));
+                f.branch(c, body, exit);
+                f.switch_to(body);
+                f.alu(AluOp::Add, acc, acc, a);
+                f.alu(AluOp::Xor, acc, acc, b);
+                f.alu(AluOp::Add, i, i, 1i64);
+                f.jump(head);
+                f.switch_to(exit);
+                f.ret(Some(Operand::Reg(acc)));
+            }
+        }
+        methods.push(f.finish());
+    }
+
+    // lookup(key) -> object id + 1, or 0. Hash probe with collision loop.
+    let lookup = pb.declare_proc("lookup", 1);
+    {
+        let mut f = pb.begin_declared(lookup);
+        let key = Reg::new(0);
+        let slot = f.reg();
+        let id = f.reg();
+        let c = f.reg();
+        let addr = f.reg();
+        let probes = f.reg();
+        f.alu(AluOp::Mul, slot, key, 2654435761i64);
+        f.alu(AluOp::Shr, slot, slot, 8i64);
+        f.alu(AluOp::And, slot, slot, INDEX_SLOTS - 1);
+        f.mov(probes, 0i64);
+        let head = f.new_block();
+        let occupied = f.new_block();
+        let check_key = f.new_block();
+        let hit = f.new_block();
+        let next = f.new_block();
+        let miss = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::Add, addr, slot, index_base);
+        f.load(id, addr, 0);
+        f.alu(AluOp::CmpNe, c, id, 0i64);
+        f.branch(c, occupied, miss);
+        f.switch_to(occupied);
+        // Verify the stored object's key.
+        let obj = f.reg();
+        let k2 = f.reg();
+        f.alu(AluOp::Sub, obj, id, 1i64);
+        f.alu(AluOp::Mul, obj, obj, OBJ_WORDS);
+        f.alu(AluOp::Add, obj, obj, objects_base);
+        f.load(k2, obj, 1);
+        f.jump(check_key);
+        f.switch_to(check_key);
+        f.alu(AluOp::CmpEq, c, k2, Operand::Reg(key));
+        f.branch(c, hit, next);
+        f.switch_to(hit);
+        f.ret(Some(Operand::Reg(id)));
+        f.switch_to(next);
+        f.alu(AluOp::Add, slot, slot, 1i64);
+        f.alu(AluOp::And, slot, slot, INDEX_SLOTS - 1);
+        f.alu(AluOp::Add, probes, probes, 1i64);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(probes), Operand::Imm(INDEX_SLOTS));
+        f.branch(c, head, miss);
+        f.switch_to(miss);
+        f.ret(Some(Operand::Imm(0)));
+        f.finish();
+    }
+
+    // main(txn_base, n)
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let acc = f.reg();
+    let missing = f.reg();
+    let c = f.reg();
+    let sel = f.reg();
+    let key = f.reg();
+    let id = f.reg();
+    let obj = f.reg();
+    let v = f.reg();
+    let cls = f.reg();
+    let addr = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    f.mov(missing, 0i64);
+    let head = f.new_block();
+    let body = f.new_block();
+    let found = f.new_block();
+    let not_found = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    let dispatch: Vec<_> = (0..CLASSES).map(|_| f.new_block()).collect();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(sel, addr, 0);
+    f.alu(AluOp::Mul, key, sel, 7i64);
+    f.alu(AluOp::Add, key, key, 13i64);
+    f.call(lookup, vec![Operand::Reg(key)], Some(id));
+    f.alu(AluOp::CmpNe, c, id, 0i64);
+    f.branch(c, found, not_found);
+    f.switch_to(found);
+    f.alu(AluOp::Sub, obj, id, 1i64);
+    f.alu(AluOp::Mul, obj, obj, OBJ_WORDS);
+    f.alu(AluOp::Add, obj, obj, objects_base);
+    f.load(cls, obj, 0);
+    f.switch(cls, dispatch.clone(), latch);
+    for (k, &d) in dispatch.iter().enumerate() {
+        f.switch_to(d);
+        f.call(methods[k], vec![Operand::Reg(obj)], Some(v));
+        f.alu(AluOp::Add, acc, acc, v);
+        f.jump(latch);
+    }
+    f.switch_to(not_found);
+    f.alu(AluOp::Add, missing, missing, 1i64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::And, acc, acc, 0xFF_FFFFi64);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+    f.switch_to(exit);
+    f.out(acc);
+    f.out(missing);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "vortex",
+        description: "Object-oriented database",
+        category: Category::Spec95,
+        program,
+        train_args: vec![train_base, n_txns as i64],
+        test_args: vec![test_base, n_txns as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    #[test]
+    fn lookups_mostly_hit_with_some_misses() {
+        let b = build(Scale::quick());
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        let missing = r.output[1];
+        let n = b.train_args[1];
+        assert!(missing > 0, "some transactions miss");
+        assert!(missing < n / 4, "most hit: {missing}/{n}");
+        // Call-heavy: lookup per txn + method per hit.
+        assert!(r.counts.calls as i64 > n);
+    }
+}

@@ -1,0 +1,157 @@
+//! `wc` — the UNIX word-count program (Table 1: "PostScript conference
+//! paper" input).
+//!
+//! One hot loop classifies each input byte as whitespace or word material,
+//! maintaining an in-word flag; lines, words and characters are counted.
+//! The branch structure (separator tests plus the in-word state test) is
+//! what superblock formation must capture; word-length regularity in the
+//! input is visible to path profiles but not to edge profiles.
+
+use crate::util::{gen_text, Benchmark, Category, Scale};
+use pps_ir::builder::ProgramBuilder;
+use pps_ir::{AluOp, Operand, Reg};
+
+/// RNG salt for this benchmark's synthetic inputs.
+const SALT: u64 = 0x77C;
+
+/// Builds the `wc` analog at the given scale.
+pub fn build(scale: Scale) -> Benchmark {
+    let len = scale.iters(30_000) as usize;
+    let train = gen_text(SALT, len);
+    let test = gen_text(SALT + 1, len);
+    let mut data = Vec::with_capacity(2 * len);
+    data.extend_from_slice(&train);
+    data.extend_from_slice(&test);
+
+    let mut pb = ProgramBuilder::new();
+    pb.set_memory((2 * len).max(1024), data);
+    let mut f = pb.begin_proc("main", 2);
+    let base = Reg::new(0);
+    let n = Reg::new(1);
+    let i = f.reg();
+    let chars = f.reg();
+    let words = f.reg();
+    let lines = f.reg();
+    let in_word = f.reg();
+    let ch = f.reg();
+    let c = f.reg();
+    let addr = f.reg();
+    f.mov(i, 0i64);
+    f.mov(chars, 0i64);
+    f.mov(words, 0i64);
+    f.mov(lines, 0i64);
+    f.mov(in_word, 0i64);
+
+    let head = f.new_block();
+    let body = f.new_block();
+    let is_nl = f.new_block();
+    let after_nl = f.new_block();
+    let sep_case = f.new_block();
+    let word_case = f.new_block();
+    let new_word = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, body, exit);
+
+    f.switch_to(body);
+    f.alu(AluOp::Add, addr, base, i);
+    f.load(ch, addr, 0);
+    f.alu(AluOp::Add, chars, chars, 1i64);
+    // Newline?
+    f.alu(AluOp::CmpEq, c, ch, 10i64);
+    f.branch(c, is_nl, after_nl);
+    f.switch_to(is_nl);
+    f.alu(AluOp::Add, lines, lines, 1i64);
+    f.jump(after_nl);
+    f.switch_to(after_nl);
+    // Separator? (space, tab, newline)
+    let is_sp = f.reg();
+    let is_tb = f.reg();
+    f.alu(AluOp::CmpEq, is_sp, ch, 32i64);
+    f.alu(AluOp::CmpEq, is_tb, ch, 9i64);
+    f.alu(AluOp::Or, c, is_sp, is_tb);
+    let is_n2 = f.reg();
+    f.alu(AluOp::CmpEq, is_n2, ch, 10i64);
+    f.alu(AluOp::Or, c, c, is_n2);
+    f.branch(c, sep_case, word_case);
+    f.switch_to(sep_case);
+    f.mov(in_word, 0i64);
+    f.jump(latch);
+    f.switch_to(word_case);
+    // Start of a new word?
+    f.alu(AluOp::CmpEq, c, in_word, 0i64);
+    f.branch(c, new_word, latch);
+    f.switch_to(new_word);
+    f.alu(AluOp::Add, words, words, 1i64);
+    f.mov(in_word, 1i64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.jump(head);
+
+    f.switch_to(exit);
+    f.out(lines);
+    f.out(words);
+    f.out(chars);
+    f.ret(Some(Operand::Reg(words)));
+    let main = f.finish();
+    let program = pb.finish(main);
+    Benchmark {
+        name: "wc",
+        description: "UNIX word count program",
+        category: Category::Spec92,
+        program,
+        train_args: vec![0, len as i64],
+        test_args: vec![len as i64, len as i64],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_ir::interp::{ExecConfig, Interp};
+
+    /// Host-side reference word count for cross-checking the IR program.
+    fn reference(text: &[i64]) -> (i64, i64, i64) {
+        let mut lines = 0;
+        let mut words = 0;
+        let mut in_word = false;
+        for &c in text {
+            if c == 10 {
+                lines += 1;
+            }
+            if c == 32 || c == 9 || c == 10 {
+                in_word = false;
+            } else if !in_word {
+                words += 1;
+                in_word = true;
+            }
+        }
+        (lines, words, text.len() as i64)
+    }
+
+    #[test]
+    fn counts_match_host_reference() {
+        let b = build(Scale::quick());
+        let len = b.train_args[1] as usize;
+        let train_text = gen_text(SALT, len);
+        let (lines, words, chars) = reference(&train_text);
+        let r = Interp::new(&b.program, ExecConfig::default())
+            .run(&b.train_args)
+            .unwrap();
+        assert_eq!(r.output, vec![lines, words, chars]);
+    }
+
+    #[test]
+    fn test_input_differs() {
+        let b = build(Scale::quick());
+        let interp = Interp::new(&b.program, ExecConfig::default());
+        let a = interp.run(&b.train_args).unwrap();
+        let t = interp.run(&b.test_args).unwrap();
+        assert_ne!(a.output, t.output);
+    }
+}

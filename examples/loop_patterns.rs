@@ -1,0 +1,138 @@
+//! Figure 3 of the paper, executable: the same edge profile, two different
+//! path profiles, two different unrollings.
+//!
+//! The paper's loop contains a conditional: block `B` is taken 40 times and
+//! `C` 20 times per 60 iterations — identical edge profiles for two very
+//! different behaviors:
+//!
+//! - `Path1` (the `alt` pattern): the loop repeats B,B,C — a 3-iteration
+//!   period. Path-based unrolling discovers the period and builds the
+//!   superblock A-B-D, A-B-D, A-C-D that completes almost every entry.
+//! - `Path2` (the `ph` pattern): phased — B for the first 40 iterations,
+//!   then C for 20. Path-based formation builds *two* superblocks, one per
+//!   phase, each unrolled on its own branch direction.
+//!
+//! Classical edge-based unrolling can only build B-loop bodies for both.
+//!
+//! ```sh
+//! cargo run --release --example loop_patterns
+//! ```
+
+use pps::compact::CompactConfig;
+use pps::core::{form_program, FormConfig, Scheme};
+use pps::ir::builder::ProgramBuilder;
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::trace::TeeSink;
+use pps::ir::{AluOp, BlockId, Operand, Program};
+use pps::machine::MachineConfig;
+use pps::profile::{EdgeProfiler, PathProfiler};
+use pps::sim::simulate;
+
+/// One loop iterating `n` times; the conditional takes `B` except when
+/// `select(i)` says `C`. `alternating = true` gives the Path1 pattern
+/// (period 3: B,B,C), false gives Path2 (phased: B then C).
+fn figure3_loop(n: i64, alternating: bool) -> (Program, [BlockId; 4]) {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.begin_proc("main", 0);
+    let i = f.reg();
+    let acc = f.reg();
+    let c = f.reg();
+    let m = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let a = f.new_block();
+    let b = f.new_block();
+    let cc = f.new_block();
+    let d = f.new_block();
+    let exit = f.new_block();
+    f.jump(a);
+    f.switch_to(a);
+    if alternating {
+        // Path1: C on every third iteration.
+        f.alu(AluOp::Rem, m, i, 3i64);
+        f.alu(AluOp::CmpNe, c, m, 2i64);
+    } else {
+        // Path2: B for the first two thirds, C afterwards.
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(n * 2 / 3));
+    }
+    f.branch(c, b, cc);
+    f.switch_to(b);
+    f.alu(AluOp::Add, acc, acc, 7i64);
+    f.jump(d);
+    f.switch_to(cc);
+    f.alu(AluOp::Xor, acc, acc, i);
+    f.jump(d);
+    f.switch_to(d);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(n));
+    f.branch(c, a, exit);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(None);
+    let main = f.finish();
+    (pb.finish(main), [a, b, cc, d])
+}
+
+fn names(ids: &[BlockId; 4], orig: &[BlockId], blocks: &[BlockId]) -> String {
+    blocks
+        .iter()
+        .map(|&blk| {
+            let o = orig[blk.index()];
+            if o == ids[0] {
+                "A"
+            } else if o == ids[1] {
+                "B"
+            } else if o == ids[2] {
+                "C"
+            } else if o == ids[3] {
+                "D"
+            } else {
+                "·"
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::paper();
+    for (label, alternating) in [("Path1 (alternating B,B,C)", true), ("Path2 (phased B…C)", false)] {
+        println!("== {label} ==");
+        let n = 60_000i64;
+        for scheme in [Scheme::M4, Scheme::P4] {
+            let (mut program, ids) = figure3_loop(n, alternating);
+            let mut tee =
+                TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
+            Interp::new(&program, ExecConfig::default()).run_traced(&[], &mut tee)?;
+            let edge = tee.a.finish();
+            let path = tee.b.finish();
+            let formed = form_program(
+                &mut program,
+                &edge,
+                Some(&path),
+                scheme,
+                &FormConfig::default(),
+            );
+            // Show the unrolled bodies of the hottest superblocks.
+            let pid = program.entry;
+            for sb in formed.partition[pid.index()].iter().take(4) {
+                if sb.len() >= 3 {
+                    println!(
+                        "  {}: {}",
+                        scheme.name(),
+                        names(&ids, &formed.orig_of[pid.index()], &sb.blocks)
+                    );
+                }
+            }
+            let compacted = pps::compact::compact_program(
+                &mut program,
+                &formed.partition,
+                &CompactConfig::default(),
+            );
+            let out = simulate(&program, &compacted, &machine, None, &[])?;
+            println!("  {} cycles: {}", scheme.name(), out.cycles);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Quickstart: profile a small program, form superblocks from the path
+//! profile, compact them, and measure the cycle improvement.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pps::compact::{compact_program, singleton_partition, CompactConfig};
+use pps::core::{form_and_compact, FormConfig, Scheme};
+use pps::ir::builder::ProgramBuilder;
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::trace::TeeSink;
+use pps::ir::{AluOp, Operand, Program, Reg};
+use pps::machine::MachineConfig;
+use pps::profile::{EdgeProfiler, PathProfiler};
+use pps::sim::simulate;
+
+/// Builds a program with a hot loop whose conditional alternates T,T,F —
+/// behavior that a path profile captures exactly and an edge profile can
+/// only average (the branch looks "67% taken").
+fn build_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.begin_proc("main", 1);
+    let n = Reg::new(0);
+    let i = f.reg();
+    let acc = f.reg();
+    let c = f.reg();
+    let m = f.reg();
+    f.mov(i, 0i64);
+    f.mov(acc, 0i64);
+    let head = f.new_block();
+    let yes = f.new_block();
+    let no = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.jump(head);
+    f.switch_to(head);
+    f.alu(AluOp::Rem, m, i, 3i64);
+    f.alu(AluOp::CmpNe, c, m, 2i64);
+    f.branch(c, yes, no);
+    f.switch_to(yes);
+    f.alu(AluOp::Add, acc, acc, 5i64);
+    f.alu(AluOp::Xor, acc, acc, i);
+    f.jump(latch);
+    f.switch_to(no);
+    f.alu(AluOp::Mul, acc, acc, 3i64);
+    f.alu(AluOp::And, acc, acc, 0xFFFFi64);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+    f.branch(c, head, exit);
+    f.switch_to(exit);
+    f.out(acc);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.finish(main)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::paper();
+    let train_input = [30_000i64];
+    let test_input = [50_000i64];
+
+    // Baseline: basic-block scheduling.
+    let mut baseline = build_program();
+    let part = singleton_partition(&baseline);
+    let compacted = compact_program(&mut baseline, &part, &CompactConfig::default());
+    let base = simulate(&baseline, &compacted, &machine, None, &test_input)?;
+    println!("basic-block scheduled : {:>9} cycles", base.cycles);
+
+    // Profile once on the training input (both profilers share the run).
+    for scheme in [Scheme::M4, Scheme::P4] {
+        let mut program = build_program();
+        let mut tee =
+            TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
+        Interp::new(&program, ExecConfig::default())
+            .run_traced(&train_input, &mut tee)?;
+        let (compacted, stats) = form_and_compact(
+            &mut program,
+            &tee.a.finish(),
+            Some(&tee.b.finish()),
+            scheme,
+            &FormConfig::default(),
+            &CompactConfig::default(),
+        );
+        let out = simulate(&program, &compacted, &machine, None, &test_input)?;
+        assert_eq!(out.exec.output, base.exec.output, "semantics preserved");
+        println!(
+            "{:<22}: {:>9} cycles  ({:.1}% vs baseline, {} superblocks, {} blocks copied)",
+            format!("{} scheduled", scheme.name()),
+            out.cycles,
+            100.0 * out.cycles as f64 / base.cycles as f64,
+            stats.superblocks,
+            stats.enlarged_blocks + stats.tail_dup_blocks,
+        );
+    }
+    println!("\nThe TTF pattern is invisible to the edge profile (the branch just");
+    println!("looks 67% taken), but the path profile sees the exact 3-iteration");
+    println!("period, so P4 builds a superblock that completes almost always.");
+    Ok(())
+}

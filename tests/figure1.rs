@@ -1,0 +1,128 @@
+//! Paper Figure 1, executable: edge profiles only *bound* the frequency of
+//! a trace; general path profiles give it exactly.
+//!
+//! The CFG is the figure's: side entrance X→B into trace A-B-C, side exit
+//! B→Y. We drive it with two different behaviors that produce the *same*
+//! edge profile but opposite trace-completion frequencies, and show the
+//! path profile distinguishes them while the edge profile cannot.
+
+use pps::ir::builder::ProgramBuilder;
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::{AluOp, BlockId, Operand, Program};
+use pps::profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler};
+
+/// Figure 1's shape, iterated: driver -> (A | X); A -> B directly; X -> B;
+/// B -> (C | Y); C, Y -> latch -> driver.
+///
+/// `correlated` decides who takes the side exit Y:
+/// - `true`:  A-entries always continue to C (f(ABC) = f(AB)); X-entries
+///   take Y.
+/// - `false`: A-entries always take Y (f(ABC) = 0); X-entries go to C.
+fn figure1(correlated: bool, iters: i64) -> (Program, [BlockId; 5]) {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.begin_proc("main", 0);
+    let i = f.reg();
+    let via_a = f.reg();
+    let c = f.reg();
+    let m = f.reg();
+    f.mov(i, 0i64);
+    let driver = f.new_block();
+    let a = f.new_block();
+    let x = f.new_block();
+    let b = f.new_block();
+    let y = f.new_block();
+    let cc = f.new_block();
+    let latch = f.new_block();
+    let exit = f.new_block();
+    f.jump(driver);
+    f.switch_to(driver);
+    // Half the iterations enter via A, half via X.
+    f.alu(AluOp::Rem, m, i, 2i64);
+    f.alu(AluOp::CmpEq, c, m, 0i64);
+    f.branch(c, a, x);
+    f.switch_to(a);
+    f.mov(via_a, 1i64);
+    f.jump(b);
+    f.switch_to(x);
+    f.mov(via_a, 0i64);
+    f.jump(b);
+    f.switch_to(b);
+    if correlated {
+        // A-entries complete (go to C); X-entries exit via Y.
+        f.alu(AluOp::CmpEq, c, via_a, 1i64);
+    } else {
+        // A-entries exit via Y; X-entries complete.
+        f.alu(AluOp::CmpEq, c, via_a, 0i64);
+    }
+    f.branch(c, cc, y);
+    f.switch_to(y);
+    f.jump(latch);
+    f.switch_to(cc);
+    f.jump(latch);
+    f.switch_to(latch);
+    f.alu(AluOp::Add, i, i, 1i64);
+    f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(iters));
+    f.branch(c, driver, exit);
+    f.switch_to(exit);
+    f.ret(None);
+    let main = f.finish();
+    (pb.finish(main), [a, x, b, y, cc])
+}
+
+fn profiles(p: &Program) -> (EdgeProfile, PathProfile) {
+    let interp = Interp::new(p, ExecConfig::default());
+    let mut ep = EdgeProfiler::new(p);
+    interp.run_traced(&[], &mut ep).unwrap();
+    let mut pp = PathProfiler::new(p, 15);
+    interp.run_traced(&[], &mut pp).unwrap();
+    (ep.finish(), pp.finish())
+}
+
+#[test]
+fn edge_profiles_identical_but_completion_opposite() {
+    let n = 1000;
+    let (p1, [a1, x1, b1, y1, c1]) = figure1(true, n);
+    let (p2, [a2, x2, b2, y2, c2]) = figure1(false, n);
+    let (e1, pp1) = profiles(&p1);
+    let (e2, pp2) = profiles(&p2);
+    let pid1 = p1.entry;
+    let pid2 = p2.entry;
+
+    // Identical edge profiles on the Figure 1 edges (the paper's 500/1000
+    // numbers, here 500 each out of 1000 iterations).
+    assert_eq!(e1.edge_freq(pid1, a1, b1), e2.edge_freq(pid2, a2, b2));
+    assert_eq!(e1.edge_freq(pid1, x1, b1), e2.edge_freq(pid2, x2, b2));
+    assert_eq!(e1.edge_freq(pid1, b1, y1), e2.edge_freq(pid2, b2, y2));
+    assert_eq!(e1.edge_freq(pid1, b1, c1), e2.edge_freq(pid2, b2, c2));
+    assert_eq!(e1.edge_freq(pid1, b1, y1), n as u64 / 2);
+
+    // The path profile separates them exactly: f(ABC) is everything in one
+    // behavior, zero in the other.
+    assert_eq!(pp1.freq(pid1, &[a1, b1, c1]), n as u64 / 2, "ABC certain");
+    assert_eq!(pp1.freq(pid1, &[a1, b1, y1]), 0);
+    assert_eq!(pp2.freq(pid2, &[a2, b2, c2]), 0, "ABC never completes");
+    assert_eq!(pp2.freq(pid2, &[a2, b2, y2]), n as u64 / 2);
+
+    // The paper's identity: f(ABC) + f(ABY) = f(AB).
+    for (pp, pid, [a, _x, b, y, c]) in [(&pp1, pid1, [a1, x1, b1, y1, c1]), (&pp2, pid2, [a2, x2, b2, y2, c2])] {
+        assert_eq!(
+            pp.freq(pid, &[a, b, c]) + pp.freq(pid, &[a, b, y]),
+            pp.freq(pid, &[a, b])
+        );
+    }
+}
+
+#[test]
+fn point_statistics_derive_from_path_profile() {
+    let (p, [a, x, b, y, c]) = figure1(true, 500);
+    let (edge, path) = profiles(&p);
+    let pid = p.entry;
+    // "One can derive any desired point statistic" (paper §2.2): block and
+    // edge frequencies from the path table equal the edge profiler's.
+    for blk in [a, x, b, y, c] {
+        assert_eq!(path.block_freq(pid, blk), edge.block_freq(pid, blk), "{blk}");
+    }
+    for (s, t) in [(a, b), (x, b), (b, y), (b, c)] {
+        assert_eq!(path.edge_freq(pid, s, t), edge.edge_freq(pid, s, t), "{s}->{t}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the profilers over random programs: the general
+//! path profile must agree with a brute-force recount of the raw trace,
+//! and its derived point statistics must equal the edge profiler's.
+
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::{BlockId, ProcId, VecSink};
+use pps::profile::{EdgeProfiler, ForwardPathProfiler, PathProfiler};
+use pps::testgen::{gen_program, GenConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Recomputes, per procedure, every maximal window of the block trace and
+/// counts all suffix occurrences — the specification the trie implements.
+fn brute_force_freqs(
+    program: &pps::ir::Program,
+    events: &[pps::ir::BlockEvent],
+    depth: usize,
+) -> Vec<HashMap<Vec<BlockId>, u64>> {
+    use pps::ir::BlockEvent;
+    let mut per_proc: Vec<HashMap<Vec<BlockId>, u64>> =
+        program.procs.iter().map(|_| HashMap::new()).collect();
+    // Reconstruct per-activation block sequences.
+    let mut stacks: Vec<Vec<Vec<BlockId>>> = program.procs.iter().map(|_| Vec::new()).collect();
+    let mut order: Vec<(ProcId, Vec<BlockId>)> = Vec::new();
+    for e in events {
+        match e {
+            BlockEvent::Enter(p) => stacks[p.index()].push(Vec::new()),
+            BlockEvent::Exit(p) => {
+                let seq = stacks[p.index()].pop().expect("activation");
+                order.push((*p, seq));
+            }
+            BlockEvent::Block(p, b) => {
+                stacks[p.index()].last_mut().expect("activation").push(*b)
+            }
+        }
+    }
+    for (pid, seq) in order {
+        let proc = program.proc(pid);
+        let is_branch =
+            |b: BlockId| proc.block(b).term.is_counted_branch();
+        for end in 0..seq.len() {
+            let mut start = end;
+            let mut branches = 0;
+            while start > 0 {
+                let b = seq[start - 1];
+                if branches + usize::from(is_branch(b)) > depth {
+                    break;
+                }
+                branches += usize::from(is_branch(b));
+                start -= 1;
+            }
+            // The maximal window ending at `end` contributes one count to
+            // every suffix of itself.
+            for s in start..=end {
+                *per_proc[pid.index()]
+                    .entry(seq[s..=end].to_vec())
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    per_proc
+}
+
+fn check_seed(seed: u64, depth: usize) {
+    let program = gen_program(seed, GenConfig { max_depth: 2, ..GenConfig::default() });
+    let interp = Interp::new(&program, ExecConfig::default());
+
+    let mut sink = VecSink::new();
+    interp.run_traced(&[], &mut sink).unwrap();
+    // Keep brute force tractable.
+    if sink.events.len() > 8_000 {
+        return;
+    }
+
+    let mut pp = PathProfiler::new(&program, depth);
+    interp.run_traced(&[], &mut pp).unwrap();
+    let path = pp.finish();
+
+    let expected = brute_force_freqs(&program, &sink.events, depth);
+    for (pi, table) in expected.iter().enumerate() {
+        let pid = ProcId::new(pi as u32);
+        for (seq, &count) in table {
+            assert_eq!(
+                path.freq(pid, seq),
+                count,
+                "seed {seed} depth {depth} {pid} seq {seq:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn path_profile_matches_brute_force(seed in 0u64..100_000, depth in 0usize..6) {
+        check_seed(seed, depth);
+    }
+
+    #[test]
+    fn derived_point_stats_match_edge_profiler(seed in 0u64..100_000) {
+        let program = gen_program(seed, GenConfig::default());
+        let interp = Interp::new(&program, ExecConfig::default());
+        let mut ep = EdgeProfiler::new(&program);
+        interp.run_traced(&[], &mut ep).unwrap();
+        let edge = ep.finish();
+        let mut pp = PathProfiler::new(&program, 15);
+        interp.run_traced(&[], &mut pp).unwrap();
+        let path = pp.finish();
+        for (pid, proc) in program.iter_procs() {
+            for (b, _) in proc.iter_blocks() {
+                prop_assert_eq!(path.block_freq(pid, b), edge.block_freq(pid, b));
+                for (s, f) in edge.out_edges(pid, b) {
+                    prop_assert_eq!(path.edge_freq(pid, b, s), f);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_paths_partition_the_trace(seed in 0u64..100_000) {
+        // Every block event belongs to exactly one forward path, so the
+        // length-weighted path counts must sum to the block-event count.
+        let program = gen_program(seed, GenConfig::default());
+        let interp = Interp::new(&program, ExecConfig::default());
+        let mut fp = ForwardPathProfiler::new(&program);
+        let result = interp.run_traced(&[], &mut fp).unwrap();
+        let fwd = fp.finish();
+        let total: u64 = program
+            .proc_ids()
+            .map(|pid| {
+                fwd.iter_paths(pid)
+                    .map(|(p, c)| p.len() as u64 * c)
+                    .sum::<u64>()
+            })
+            .sum();
+        prop_assert_eq!(total, result.counts.blocks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialized_profiles_round_trip(seed in 0u64..100_000) {
+        use pps::profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
+        let program = gen_program(seed, GenConfig::default());
+        let interp = Interp::new(&program, ExecConfig::default());
+        let mut ep = EdgeProfiler::new(&program);
+        interp.run_traced(&[], &mut ep).unwrap();
+        let edge = ep.finish();
+        let mut pp = PathProfiler::new(&program, 15);
+        interp.run_traced(&[], &mut pp).unwrap();
+        let path = pp.finish();
+
+        let edge2 = edge_from_text(&edge_to_text(&edge)).unwrap();
+        prop_assert_eq!(edge_to_text(&edge2), edge_to_text(&edge));
+        let path2 = path_from_text(&path_to_text(&path)).unwrap();
+        prop_assert_eq!(path_to_text(&path2), path_to_text(&path));
+
+        // Formation from the reloaded profiles is identical to formation
+        // from the originals.
+        use pps::core::{form_program, FormConfig, Scheme};
+        let mut p1 = program.clone();
+        let mut p2 = program.clone();
+        let f1 = form_program(&mut p1, &edge, Some(&path), Scheme::P4, &FormConfig::default());
+        let f2 = form_program(&mut p2, &edge2, Some(&path2), Scheme::P4, &FormConfig::default());
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(f1.partition, f2.partition);
+    }
+}

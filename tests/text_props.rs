@@ -1,0 +1,63 @@
+//! Property test: the textual IR round-trips every generated program, and
+//! the parsed result executes identically.
+
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::text::{parse_program, print_program};
+use pps::testgen::{gen_program, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn textual_ir_round_trips(seed in 0u64..1_000_000) {
+        let p = gen_program(seed, GenConfig::default());
+        let text = print_program(&p);
+        let q = parse_program(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        prop_assert_eq!(&p, &q);
+        // Printing is a fixpoint.
+        prop_assert_eq!(print_program(&q), text);
+    }
+
+    #[test]
+    fn parsed_programs_execute_identically(seed in 0u64..1_000_000) {
+        let p = gen_program(seed, GenConfig::default());
+        let q = parse_program(&print_program(&p)).unwrap();
+        let a = Interp::new(&p, ExecConfig::default()).run(&[]).unwrap();
+        let b = Interp::new(&q, ExecConfig::default()).run(&[]).unwrap();
+        prop_assert_eq!(a.output, b.output);
+        prop_assert_eq!(a.return_value, b.return_value);
+        prop_assert_eq!(a.counts.instrs, b.counts.instrs);
+    }
+}
+
+/// The transformed (formed + compacted) program also round-trips: the text
+/// format must cover everything the pipeline produces (speculative loads,
+/// stubs, compensation chains).
+#[test]
+fn transformed_programs_round_trip() {
+    use pps::compact::{compact_program, CompactConfig};
+    use pps::core::{form_program, FormConfig, Scheme};
+    use pps::ir::trace::TeeSink;
+    use pps::profile::{EdgeProfiler, PathProfiler};
+
+    for seed in 0..40u64 {
+        let mut p = gen_program(seed, GenConfig::default());
+        let mut tee = TeeSink::new(EdgeProfiler::new(&p), PathProfiler::new(&p, 15));
+        Interp::new(&p, ExecConfig::default())
+            .run_traced(&[], &mut tee)
+            .unwrap();
+        let formed = form_program(
+            &mut p,
+            &tee.a.finish(),
+            Some(&tee.b.finish()),
+            Scheme::P4,
+            &FormConfig::default(),
+        );
+        let _ = compact_program(&mut p, &formed.partition, &CompactConfig::default());
+        let text = print_program(&p);
+        let q = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(p, q, "seed {seed}");
+    }
+}
