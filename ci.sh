@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate. Everything here must pass with no network access:
+# all external crate names resolve to local shims under shims/ (see
+# shims/README.md), so `cargo` never touches a registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== CI green =="

@@ -20,7 +20,8 @@ fn run(bench: &pps_suite::Benchmark, cc: &CompactConfig) -> u64 {
         Scheme::P4,
         &FormConfig::default(),
         cc,
-    );
+    )
+    .expect("pipeline");
     simulate(&program, &compacted, &cc.machine, None, &bench.test_args)
         .unwrap()
         .cycles

@@ -53,7 +53,8 @@ pub fn pipeline_ideal(
         scheme,
         &FormConfig::default(),
         &CompactConfig::default(),
-    );
+    )
+    .expect("pipeline");
     let machine = MachineConfig::paper();
     let out = simulate(&program, &compacted, &machine, None, &bench.test_args)
         .expect("test run");
@@ -71,7 +72,8 @@ pub fn pipeline_icache(bench: &Benchmark, scheme: Scheme) -> SimOutcome {
         scheme,
         &FormConfig::default(),
         &CompactConfig::default(),
-    );
+    )
+    .expect("pipeline");
     let machine = MachineConfig::paper();
     let train = simulate(&program, &compacted, &machine, None, &bench.train_args)
         .expect("layout run");

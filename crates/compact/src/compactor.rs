@@ -7,12 +7,13 @@
 //! consumes.
 
 use crate::ddg::{build_ddg, ItemKind};
+use crate::error::CompactError;
 use crate::liveness::Liveness;
 use crate::rename::{rename_superblock, RenameConfig};
 use crate::sched::{check_schedule, schedule, Schedule};
 use crate::superblock::SuperblockSpec;
 use pps_ir::analysis::Cfg;
-use pps_ir::{Instr, ProcId, Program};
+use pps_ir::{Instr, Proc, ProcId, Program};
 use pps_machine::MachineConfig;
 
 /// Compaction options.
@@ -119,83 +120,129 @@ pub fn singleton_partition(program: &Program) -> Vec<Vec<SuperblockSpec>> {
 /// # Panics
 /// Panics when `validate` is set and a superblock violates its invariants,
 /// or when a produced schedule fails verification — both indicate formation
-/// or compaction bugs.
+/// or compaction bugs. Use [`try_compact_program`] to receive these as
+/// typed [`CompactError`]s instead.
 pub fn compact_program(
     program: &mut Program,
     partition: &[Vec<SuperblockSpec>],
     config: &CompactConfig,
 ) -> CompactedProgram {
-    assert_eq!(partition.len(), program.procs.len(), "partition covers all procs");
+    try_compact_program(program, partition, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`compact_program`].
+///
+/// On `Err` the program may be left partially compacted (procedures before
+/// the failing one are already renamed); callers that need atomicity must
+/// snapshot and restore, which is exactly what the pipeline guard in
+/// `pps-core` does per procedure.
+pub fn try_compact_program(
+    program: &mut Program,
+    partition: &[Vec<SuperblockSpec>],
+    config: &CompactConfig,
+) -> Result<CompactedProgram, CompactError> {
+    if partition.len() != program.procs.len() {
+        return Err(CompactError::PartitionSize {
+            expected: program.procs.len(),
+            got: partition.len(),
+        });
+    }
+    let mut procs = Vec::with_capacity(program.procs.len());
+    for (pi, specs) in partition.iter().enumerate() {
+        let proc = program.proc_mut(ProcId::new(pi as u32));
+        procs.push(try_compact_proc(proc, specs, config)?);
+    }
+    Ok(CompactedProgram { procs })
+}
+
+/// Compacts a single procedure under its superblock list.
+///
+/// This is the per-procedure unit of work [`try_compact_program`] iterates;
+/// it is public so the recovery boundary in `pps-core` can compact (and on
+/// failure roll back) one procedure at a time.
+pub fn try_compact_proc(
+    proc: &mut Proc,
+    specs: &[SuperblockSpec],
+    config: &CompactConfig,
+) -> Result<CompactedProc, CompactError> {
     let rename_config = RenameConfig {
         enabled: config.renaming,
         move_renaming: config.move_renaming,
         max_registers: config.machine.num_registers,
     };
-
-    let mut procs = Vec::with_capacity(program.procs.len());
-    for (pi, specs) in partition.iter().enumerate() {
-        let pid = ProcId::new(pi as u32);
-        let proc = program.proc_mut(pid);
-        let base_reg_count = proc.reg_count;
-        let cfg = Cfg::compute(proc);
-        if config.validate {
-            for spec in specs {
-                if let Err(e) = spec.validate(proc, &cfg) {
-                    panic!("invalid superblock in {}: {e}", proc.name);
-                }
-            }
-            // Coverage: every reachable block in exactly one superblock.
-            let mut seen = vec![false; proc.blocks.len()];
-            for spec in specs {
-                for &b in &spec.blocks {
-                    assert!(!seen[b.index()], "block {b} in two superblocks");
-                    seen[b.index()] = true;
-                }
-            }
-            for b in proc.block_ids() {
-                if cfg.is_reachable(b) {
-                    assert!(seen[b.index()], "reachable block {b} not covered");
-                }
-            }
-        }
-        let liveness = Liveness::compute(proc, &cfg);
-
-        let mut superblocks = Vec::with_capacity(specs.len());
-        let mut stub_specs: Vec<SuperblockSpec> = Vec::new();
+    let base_reg_count = proc.reg_count;
+    let cfg = Cfg::compute(proc);
+    if config.validate {
         for spec in specs {
-            let rename = rename_superblock(proc, spec, &liveness, base_reg_count, &rename_config);
-            for &(stub, _) in &rename.stubs {
-                stub_specs.push(SuperblockSpec::singleton(stub));
-            }
-            let ddg = build_ddg(proc, spec, &rename.exit_reads, &config.machine, config.speculate_loads);
-            let sched = schedule(&ddg, &config.machine);
-            if config.validate {
-                check_schedule(&ddg, &config.machine, &sched)
-                    .unwrap_or_else(|e| panic!("bad schedule in {}: {e}", proc.name));
-            }
-            // Convert loads actually hoisted above an earlier exit to the
-            // non-excepting (speculative) form.
-            if config.speculate_loads {
-                mark_speculated_loads(proc, spec, &ddg, &sched);
-            }
-            superblocks.push(ScheduledSuperblock { spec: spec.clone(), schedule: sched });
-        }
-        // Schedule compensation stubs as singleton superblocks.
-        for spec in stub_specs {
-            let ddg = build_ddg(proc, &spec, &[Vec::new()], &config.machine, config.speculate_loads);
-            let sched = schedule(&ddg, &config.machine);
-            superblocks.push(ScheduledSuperblock { spec, schedule: sched });
-        }
-
-        let mut block_loc = vec![None; proc.blocks.len()];
-        for (si, sb) in superblocks.iter().enumerate() {
-            for (bi, &b) in sb.spec.blocks.iter().enumerate() {
-                block_loc[b.index()] = Some((si as u32, bi as u32));
+            if let Err(e) = spec.validate(proc, &cfg) {
+                return Err(CompactError::InvalidSuperblock {
+                    proc: proc.name.clone(),
+                    detail: e.to_string(),
+                });
             }
         }
-        procs.push(CompactedProc { superblocks, block_loc });
+        // Coverage: every reachable block in exactly one superblock.
+        let mut seen = vec![false; proc.blocks.len()];
+        for spec in specs {
+            for &b in &spec.blocks {
+                if seen[b.index()] {
+                    return Err(CompactError::DuplicateBlock {
+                        proc: proc.name.clone(),
+                        block: b,
+                    });
+                }
+                seen[b.index()] = true;
+            }
+        }
+        for b in proc.block_ids() {
+            if cfg.is_reachable(b) && !seen[b.index()] {
+                return Err(CompactError::UncoveredBlock {
+                    proc: proc.name.clone(),
+                    block: b,
+                });
+            }
+        }
     }
-    CompactedProgram { procs }
+    let liveness = Liveness::compute(proc, &cfg);
+
+    let mut superblocks = Vec::with_capacity(specs.len());
+    let mut stub_specs: Vec<SuperblockSpec> = Vec::new();
+    for spec in specs {
+        let rename = rename_superblock(proc, spec, &liveness, base_reg_count, &rename_config);
+        for &(stub, _) in &rename.stubs {
+            stub_specs.push(SuperblockSpec::singleton(stub));
+        }
+        let ddg = build_ddg(proc, spec, &rename.exit_reads, &config.machine, config.speculate_loads);
+        let sched = schedule(&ddg, &config.machine);
+        if config.validate {
+            if let Err(e) = check_schedule(&ddg, &config.machine, &sched) {
+                return Err(CompactError::BadSchedule {
+                    proc: proc.name.clone(),
+                    detail: e.to_string(),
+                });
+            }
+        }
+        // Convert loads actually hoisted above an earlier exit to the
+        // non-excepting (speculative) form.
+        if config.speculate_loads {
+            mark_speculated_loads(proc, spec, &ddg, &sched);
+        }
+        superblocks.push(ScheduledSuperblock { spec: spec.clone(), schedule: sched });
+    }
+    // Schedule compensation stubs as singleton superblocks.
+    for spec in stub_specs {
+        let ddg = build_ddg(proc, &spec, &[Vec::new()], &config.machine, config.speculate_loads);
+        let sched = schedule(&ddg, &config.machine);
+        superblocks.push(ScheduledSuperblock { spec, schedule: sched });
+    }
+
+    let mut block_loc = vec![None; proc.blocks.len()];
+    for (si, sb) in superblocks.iter().enumerate() {
+        for (bi, &b) in sb.spec.blocks.iter().enumerate() {
+            block_loc[b.index()] = Some((si as u32, bi as u32));
+        }
+    }
+    Ok(CompactedProc { superblocks, block_loc })
 }
 
 /// Marks loads scheduled at or above an earlier exit's cycle as
@@ -417,5 +464,34 @@ mod tests {
         // Duplicate a block across superblocks.
         part[1].push(SuperblockSpec::singleton(BlockId::new(0)));
         let _ = compact_program(&mut p, &part, &CompactConfig::default());
+    }
+
+    #[test]
+    fn try_compact_reports_typed_errors() {
+        let mut p = sample();
+        let mut part = singleton_partition(&p);
+        part[1].push(SuperblockSpec::singleton(BlockId::new(0)));
+        match try_compact_program(&mut p, &part, &CompactConfig::default()) {
+            Err(CompactError::DuplicateBlock { proc, block }) => {
+                assert_eq!(proc, "main");
+                assert_eq!(block, BlockId::new(0));
+            }
+            other => panic!("expected DuplicateBlock, got {other:?}"),
+        }
+
+        let mut p = sample();
+        let mut part = singleton_partition(&p);
+        part[1].pop();
+        assert!(matches!(
+            try_compact_program(&mut p, &part, &CompactConfig::default()),
+            Err(CompactError::UncoveredBlock { .. })
+        ));
+
+        let mut p = sample();
+        let part = vec![Vec::new()];
+        assert!(matches!(
+            try_compact_program(&mut p, &part, &CompactConfig::default()),
+            Err(CompactError::PartitionSize { expected: 2, got: 1 })
+        ));
     }
 }

@@ -1,0 +1,88 @@
+//! Typed compaction failures.
+//!
+//! Compaction validates its inputs (superblock invariants, partition
+//! coverage) and its own output (schedule verification). Each check that
+//! previously panicked now has a variant here so callers — in particular
+//! the pipeline guard in `pps-core` — can degrade per procedure instead of
+//! aborting the process.
+
+use pps_ir::BlockId;
+use std::fmt;
+
+/// A failure detected while compacting a procedure or program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// The partition does not have one entry per procedure.
+    PartitionSize {
+        /// Number of procedures in the program.
+        expected: usize,
+        /// Number of per-procedure superblock lists supplied.
+        got: usize,
+    },
+    /// A superblock violates its structural invariants (side entrance,
+    /// non-successor chain, empty region, ...).
+    InvalidSuperblock {
+        /// Procedure name.
+        proc: String,
+        /// Human-readable invariant violation from `SuperblockSpec::validate`.
+        detail: String,
+    },
+    /// A block appears in more than one superblock of the partition.
+    DuplicateBlock {
+        /// Procedure name.
+        proc: String,
+        /// The doubly-covered block.
+        block: BlockId,
+    },
+    /// A reachable block is not covered by any superblock.
+    UncoveredBlock {
+        /// Procedure name.
+        proc: String,
+        /// The uncovered block.
+        block: BlockId,
+    },
+    /// A produced schedule failed verification.
+    BadSchedule {
+        /// Procedure name.
+        proc: String,
+        /// Human-readable violation from `check_schedule`.
+        detail: String,
+    },
+}
+
+impl CompactError {
+    /// The procedure the failure occurred in, when it is per-procedure.
+    pub fn proc_name(&self) -> Option<&str> {
+        match self {
+            CompactError::PartitionSize { .. } => None,
+            CompactError::InvalidSuperblock { proc, .. }
+            | CompactError::DuplicateBlock { proc, .. }
+            | CompactError::UncoveredBlock { proc, .. }
+            | CompactError::BadSchedule { proc, .. } => Some(proc),
+        }
+    }
+}
+
+impl fmt::Display for CompactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompactError::PartitionSize { expected, got } => {
+                write!(f, "partition has {got} proc entries, program has {expected}")
+            }
+            CompactError::InvalidSuperblock { proc, detail } => {
+                write!(f, "invalid superblock in {proc}: {detail}")
+            }
+            CompactError::DuplicateBlock { proc, block } => {
+                write!(f, "block {block} in two superblocks (proc {proc})")
+            }
+            CompactError::UncoveredBlock { proc, block } => {
+                write!(f, "reachable block {block} not covered (proc {proc})")
+            }
+            CompactError::BadSchedule { proc, detail } => {
+                write!(f, "bad schedule in {proc}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}

@@ -32,14 +32,16 @@
 
 pub mod compactor;
 pub mod ddg;
+pub mod error;
 pub mod liveness;
 pub mod rename;
 pub mod sched;
 pub mod superblock;
 
 pub use compactor::{
-    compact_program, singleton_partition, CompactConfig, CompactedProc, CompactedProgram,
-    ScheduledSuperblock,
+    compact_program, singleton_partition, try_compact_proc, try_compact_program, CompactConfig,
+    CompactedProc, CompactedProgram, ScheduledSuperblock,
 };
+pub use error::CompactError;
 pub use sched::Schedule;
 pub use superblock::SuperblockSpec;

@@ -1,0 +1,847 @@
+//! Pipeline guardrails: typed errors, per-procedure recovery, and graceful
+//! degradation.
+//!
+//! The formation + compaction pipeline rewrites programs aggressively (tail
+//! duplication, enlargement, renaming, speculation). A bug anywhere in that
+//! chain used to abort the whole experiment with a panic — or worse, ship a
+//! miscompiled program into the timing simulation, silently corrupting the
+//! paper's numbers. This module makes the pipeline *fail safe* instead:
+//!
+//! - every failure class has a typed [`PipelineError`];
+//! - [`guarded_form_and_compact`] processes one procedure at a time inside a
+//!   recovery boundary: panics are caught, the structural verifier and a
+//!   seeded differential-interpretation oracle check the result, and on any
+//!   failure the procedure is rolled back to its pre-pass state;
+//! - in [`GuardMode::Degrade`] a failed procedure falls back to the
+//!   basic-block (singleton superblock) baseline and the run continues,
+//!   with a structured [`Incident`] recorded; in [`GuardMode::Strict`] the
+//!   first failure is returned as a hard `Err` — the right setting for CI
+//!   and for producing paper tables, where silent degradation would skew
+//!   comparisons.
+//!
+//! The oracle compares observable behaviour (output stream, return value,
+//! final memory) of the original and transformed program on configurable
+//! inputs under an instruction budget, using [`Interp::run_bounded`] so
+//! long-running programs are compared on output *prefixes* instead of being
+//! misreported as failures. A transformed procedure that blows through a
+//! generous multiple of the original's budget is reported as
+//! [`PipelineError::StepBudgetExceeded`] — the symptom of a miscompiled
+//! loop exit.
+//!
+//! The companion fault-injection harness (`pps_ir::fault`) corrupts
+//! post-pass IR the way a buggy pass would; `tests/guardrails.rs` drives
+//! hundreds of generated programs through this guard with injected faults
+//! to prove every one is caught here and degraded away.
+
+use crate::config::{FormConfig, Scheme};
+use crate::pipeline::{form_proc_partition, FormStats};
+use pps_compact::{
+    try_compact_proc, CompactConfig, CompactError, CompactedProc, CompactedProgram,
+    SuperblockSpec,
+};
+use pps_ir::analysis::Cfg;
+use pps_ir::interp::{BoundedRun, ExecConfig, ExecError, Interp};
+use pps_ir::verify::{verify_program, VerifyError};
+use pps_ir::{ProcId, Program};
+use pps_profile::{EdgeProfile, PathProfile};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Any failure the scheduling pipeline can produce, by pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A path-based scheme was requested without a path profile.
+    MissingPathProfile {
+        /// Name of the scheme that needed the profile.
+        scheme: String,
+    },
+    /// Superblock formation panicked (caught at the recovery boundary).
+    Formation {
+        /// Procedure being formed.
+        proc: String,
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// Compaction rejected its input or its own output.
+    Compaction(CompactError),
+    /// The structural verifier rejected the transformed program.
+    Verification(VerifyError),
+    /// The transformed program's observable behaviour diverged from the
+    /// original's on an oracle input.
+    Divergence {
+        /// Procedure whose transformation introduced the divergence.
+        proc: String,
+        /// Index into the oracle input list.
+        input_index: usize,
+        /// What differed (output / return value / memory).
+        detail: String,
+    },
+    /// The transformed program failed to finish within `budget_factor`
+    /// times the original's instruction budget — a miscompiled loop exit
+    /// until proven otherwise.
+    StepBudgetExceeded {
+        /// Procedure whose transformation blew the budget.
+        proc: String,
+        /// Index into the oracle input list.
+        input_index: usize,
+    },
+    /// The transformed program hit a runtime error the original did not.
+    Execution {
+        /// Procedure whose transformation introduced the error.
+        proc: String,
+        /// Index into the oracle input list.
+        input_index: usize,
+        /// The interpreter error.
+        error: ExecError,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::MissingPathProfile { scheme } => {
+                write!(f, "scheme {scheme} needs a path profile")
+            }
+            PipelineError::Formation { proc, message } => {
+                write!(f, "formation panicked in {proc}: {message}")
+            }
+            PipelineError::Compaction(e) => write!(f, "compaction: {e}"),
+            PipelineError::Verification(e) => write!(f, "verification: {e}"),
+            PipelineError::Divergence { proc, input_index, detail } => {
+                write!(f, "divergence after scheduling {proc} on input #{input_index}: {detail}")
+            }
+            PipelineError::StepBudgetExceeded { proc, input_index } => {
+                write!(f, "step budget exceeded after scheduling {proc} on input #{input_index}")
+            }
+            PipelineError::Execution { proc, input_index, error } => {
+                write!(
+                    f,
+                    "execution error after scheduling {proc} on input #{input_index}: {error}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Compaction(e) => Some(e),
+            PipelineError::Verification(e) => Some(e),
+            PipelineError::Execution { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompactError> for PipelineError {
+    fn from(e: CompactError) -> Self {
+        PipelineError::Compaction(e)
+    }
+}
+
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> Self {
+        PipelineError::Verification(e)
+    }
+}
+
+/// What to do when a procedure fails its post-pass checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardMode {
+    /// Fail fast: the first incident aborts the run with a hard `Err`.
+    /// Right for CI and for producing paper tables, where a silently
+    /// degraded procedure would skew scheme comparisons.
+    Strict,
+    /// Roll the procedure back to its original (unscheduled) form, record
+    /// an [`Incident`], and continue — the production default.
+    #[default]
+    Degrade,
+}
+
+impl fmt::Display for GuardMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardMode::Strict => f.write_str("strict"),
+            GuardMode::Degrade => f.write_str("degrade"),
+        }
+    }
+}
+
+/// Configuration of the recovery boundary.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Strict (fail-fast) or degrade (fallback-and-continue).
+    pub mode: GuardMode,
+    /// Inputs for the differential oracle. Empty disables the oracle;
+    /// verification and panic recovery still apply.
+    pub oracle_inputs: Vec<Vec<i64>>,
+    /// Instruction budget for the *original* program's oracle runs. Runs
+    /// that exceed it are compared on output prefixes.
+    pub step_budget: u64,
+    /// The transformed program may use `budget_factor * step_budget`
+    /// instructions before [`PipelineError::StepBudgetExceeded`] is raised
+    /// (scheduling never changes dynamic instruction counts by much; the
+    /// slack only needs to absorb compensation code).
+    pub budget_factor: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            mode: GuardMode::Degrade,
+            oracle_inputs: Vec::new(),
+            step_budget: 1_000_000,
+            budget_factor: 8,
+        }
+    }
+}
+
+/// Which pass an incident was detected in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Superblock formation (selection, tail duplication, enlargement,
+    /// fixup).
+    Formation,
+    /// Renaming + scheduling.
+    Compaction,
+    /// Post-pass structural verification.
+    Verification,
+    /// Post-pass differential interpretation.
+    Oracle,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pass::Formation => "formation",
+            Pass::Compaction => "compaction",
+            Pass::Verification => "verification",
+            Pass::Oracle => "oracle",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recovered (or, in strict mode, fatal) pipeline failure.
+#[derive(Debug, Clone)]
+pub struct Incident {
+    /// Procedure the failure occurred in.
+    pub proc: String,
+    /// Pass that detected it.
+    pub pass: Pass,
+    /// The typed failure.
+    pub error: PipelineError,
+    /// True when the procedure was rolled back to the basic-block baseline
+    /// and the run continued.
+    pub fallback: bool,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {}{}",
+            self.pass,
+            self.proc,
+            self.error,
+            if self.fallback { " (degraded to basic-block baseline)" } else { "" }
+        )
+    }
+}
+
+/// Summary of a guarded pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct GuardReport {
+    /// Every failure encountered, in procedure order.
+    pub incidents: Vec<Incident>,
+    /// Procedures degraded to the basic-block baseline.
+    pub degraded_procs: usize,
+    /// Total procedures processed.
+    pub total_procs: usize,
+}
+
+impl GuardReport {
+    /// True when every procedure was scheduled as requested.
+    pub fn clean(&self) -> bool {
+        self.incidents.is_empty()
+    }
+}
+
+/// The output of [`guarded_form_and_compact`].
+#[derive(Debug, Clone)]
+pub struct GuardedResult {
+    /// Per-procedure schedules (degraded procedures carry their baseline
+    /// singleton schedules).
+    pub compacted: CompactedProgram,
+    /// The final superblock partition per procedure.
+    pub partition: Vec<Vec<SuperblockSpec>>,
+    /// Formation statistics (contributions of degraded procedures rolled
+    /// back).
+    pub stats: FormStats,
+    /// What happened.
+    pub report: GuardReport,
+}
+
+/// Forms and compacts `program` with per-procedure recovery.
+///
+/// Procedures are processed in order. For each one, formation + compaction
+/// run inside `catch_unwind`; afterwards the structural verifier and (when
+/// `guard.oracle_inputs` is non-empty) the differential oracle check the
+/// whole transformed program. On failure the procedure is restored from a
+/// snapshot and — in degrade mode — re-compacted as basic-block singletons,
+/// so the returned schedules always cover every procedure.
+///
+/// When nothing fails this computes exactly what
+/// [`crate::pipeline::form_and_compact`] computes (same per-procedure
+/// iteration order, same results).
+///
+/// # Errors
+/// In strict mode, the first incident is returned as its underlying
+/// [`PipelineError`]. In degrade mode an error is returned only when the
+/// scheme needed a missing path profile, or when even the basic-block
+/// fallback of a procedure failed (which indicates corruption outside the
+/// pipeline's control).
+pub fn guarded_form_and_compact(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+) -> Result<GuardedResult, PipelineError> {
+    guarded_form_and_compact_hooked(
+        program,
+        edge,
+        path,
+        scheme,
+        form_config,
+        compact_config,
+        guard,
+        &mut |_, _| {},
+    )
+}
+
+/// [`guarded_form_and_compact`] with a post-pass hook.
+///
+/// `post_pass` runs after each procedure's formation + compaction, *before*
+/// verification and the oracle — the seam the fault-injection harness uses
+/// to emulate a buggy pass (`pps_ir::fault::FaultInjector` corrupting the
+/// just-scheduled procedure). The hook must only mutate procedure `pid`:
+/// the recovery boundary snapshots and restores exactly that procedure.
+///
+/// # Errors
+/// As [`guarded_form_and_compact`].
+#[allow(clippy::too_many_arguments)]
+pub fn guarded_form_and_compact_hooked(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+    post_pass: &mut dyn FnMut(&mut Program, ProcId),
+) -> Result<GuardedResult, PipelineError> {
+    if scheme.needs_path_profile() && path.is_none() {
+        return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
+    }
+
+    // Ground truth for the oracle: the untransformed program's behaviour.
+    let baseline_config = ExecConfig {
+        max_instrs: guard.step_budget,
+        ..ExecConfig::default()
+    };
+    let baselines: Vec<Result<BoundedRun, ExecError>> = guard
+        .oracle_inputs
+        .iter()
+        .map(|args| Interp::new(program, baseline_config).run_bounded(args))
+        .collect();
+
+    let mut stats = FormStats {
+        static_before: program.static_size() as u64,
+        ..FormStats::default()
+    };
+    // `static_after` measures the *formed* program (pre-compaction stubs),
+    // matching `form_program`; accumulated per procedure since formation and
+    // compaction interleave here.
+    let mut static_after: u64 = 0;
+    let mut partition: Vec<Vec<SuperblockSpec>> = Vec::with_capacity(program.procs.len());
+    let mut compacted: Vec<CompactedProc> = Vec::with_capacity(program.procs.len());
+    let mut report = GuardReport {
+        total_procs: program.procs.len(),
+        ..GuardReport::default()
+    };
+
+    for pi in 0..program.procs.len() {
+        let pid = ProcId::new(pi as u32);
+        let proc_name = program.proc(pid).name.clone();
+        let snapshot = program.proc(pid).clone();
+        let stats_snapshot = stats;
+
+        let attempt = attempt_proc(
+            program, pid, edge, path, scheme, form_config, compact_config, guard, &baselines,
+            &mut stats, post_pass,
+        );
+        match attempt {
+            Ok((specs, cp, formed_size)) => {
+                static_after += formed_size;
+                partition.push(specs);
+                compacted.push(cp);
+            }
+            Err((pass, error)) => {
+                // Roll back: only procedure `pid` was touched.
+                *program.proc_mut(pid) = snapshot;
+                stats = stats_snapshot;
+                let fallback = guard.mode == GuardMode::Degrade;
+                report.incidents.push(Incident {
+                    proc: proc_name.clone(),
+                    pass,
+                    error: error.clone(),
+                    fallback,
+                });
+                if !fallback {
+                    return Err(error);
+                }
+                // Degrade: schedule the pristine procedure as basic-block
+                // singletons. This is the baseline path every scheme shares;
+                // if even it fails, recovery is impossible.
+                static_after += program.proc(pid).static_size() as u64;
+                let specs = singleton_specs(program, pid);
+                let cp = try_compact_proc(program.proc_mut(pid), &specs, compact_config)?;
+                verify_program(program)?;
+                report.degraded_procs += 1;
+                partition.push(specs);
+                compacted.push(cp);
+            }
+        }
+    }
+
+    stats.static_after = static_after;
+    stats.superblocks = partition.iter().map(|p| p.len() as u64).sum();
+    Ok(GuardedResult {
+        compacted: CompactedProgram { procs: compacted },
+        partition,
+        stats,
+        report,
+    })
+}
+
+/// One procedure's form + compact + verify + oracle attempt. On `Err`, the
+/// caller rolls the procedure back; the pass tag says where it failed.
+#[allow(clippy::too_many_arguments)]
+fn attempt_proc(
+    program: &mut Program,
+    pid: ProcId,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+    baselines: &[Result<BoundedRun, ExecError>],
+    stats: &mut FormStats,
+    post_pass: &mut dyn FnMut(&mut Program, ProcId),
+) -> Result<(Vec<SuperblockSpec>, CompactedProc, u64), (Pass, PipelineError)> {
+    let proc_name = program.proc(pid).name.clone();
+
+    // Formation + compaction under a panic boundary. Everything these
+    // passes mutate is the procedure itself (restored by the caller on
+    // failure) and `stats` (snapshot-restored likewise), so unwinding here
+    // cannot leave broken shared state behind.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (specs, _orig) =
+            form_proc_partition(program, pid, edge, path, scheme, form_config, stats)
+                .map_err(|e| (Pass::Formation, e))?;
+        // Code-growth accounting happens on the formed procedure, before
+        // compaction appends singleton stubs (same point `form_program`
+        // measures `static_after`).
+        let formed_size = program.proc(pid).static_size() as u64;
+        let cp = try_compact_proc(program.proc_mut(pid), &specs, compact_config)
+            .map_err(|e| (Pass::Compaction, PipelineError::Compaction(e)))?;
+        Ok((specs, cp, formed_size))
+    }));
+    let (specs, cp, formed_size) = match outcome {
+        Ok(result) => result?,
+        Err(payload) => {
+            return Err((
+                Pass::Formation,
+                PipelineError::Formation {
+                    proc: proc_name,
+                    message: panic_message(payload.as_ref()),
+                },
+            ));
+        }
+    };
+
+    post_pass(program, pid);
+
+    // Post-pass structural check over the whole program (procedures before
+    // `pid` are already validated; later ones untouched — a failure here is
+    // attributable to `pid`).
+    if let Err(e) = verify_program(program) {
+        return Err((Pass::Verification, PipelineError::Verification(e)));
+    }
+
+    // Differential oracle: the transformed program must reproduce the
+    // original's observable behaviour on every oracle input.
+    let transformed_config = ExecConfig {
+        max_instrs: guard.step_budget.saturating_mul(guard.budget_factor.max(1)),
+        ..ExecConfig::default()
+    };
+    for (input_index, baseline) in baselines.iter().enumerate() {
+        let run = Interp::new(program, transformed_config)
+            .run_bounded(&guard.oracle_inputs[input_index]);
+        if let Some(error) = oracle_check(&proc_name, input_index, baseline, &run) {
+            return Err((Pass::Oracle, error));
+        }
+    }
+
+    Ok((specs, cp, formed_size))
+}
+
+/// Compares one oracle input's baseline and transformed runs. `None` means
+/// consistent.
+fn oracle_check(
+    proc: &str,
+    input_index: usize,
+    baseline: &Result<BoundedRun, ExecError>,
+    run: &Result<BoundedRun, ExecError>,
+) -> Option<PipelineError> {
+    let divergence = |detail: String| {
+        Some(PipelineError::Divergence {
+            proc: proc.to_string(),
+            input_index,
+            detail,
+        })
+    };
+    match (baseline, run) {
+        (Ok(b), Ok(r)) => {
+            if b.completed {
+                if !r.completed {
+                    // The original finished within the base budget; the
+                    // transformed program got `budget_factor` times that
+                    // and still didn't.
+                    return Some(PipelineError::StepBudgetExceeded {
+                        proc: proc.to_string(),
+                        input_index,
+                    });
+                }
+                if b.result.output != r.result.output {
+                    return divergence("output streams differ".to_string());
+                }
+                if b.result.return_value != r.result.return_value {
+                    return divergence(format!(
+                        "return value {:?} != {:?}",
+                        b.result.return_value, r.result.return_value
+                    ));
+                }
+                if b.result.memory != r.result.memory {
+                    return divergence("final memory images differ".to_string());
+                }
+                None
+            } else {
+                // Baseline truncated: the transformed run (complete or not)
+                // must agree on the observable prefix.
+                let n = b.result.output.len().min(r.result.output.len());
+                if b.result.output[..n] != r.result.output[..n] {
+                    return divergence("output prefixes differ".to_string());
+                }
+                if r.completed && r.result.output.len() < b.result.output.len() {
+                    return divergence(
+                        "transformed program finished with less output".to_string(),
+                    );
+                }
+                None
+            }
+        }
+        (Ok(_), Err(e)) => Some(PipelineError::Execution {
+            proc: proc.to_string(),
+            input_index,
+            error: e.clone(),
+        }),
+        // The original program itself errors on this input: the
+        // transformed program must reproduce the same error.
+        (Err(be), Err(re)) if be == re => None,
+        (Err(be), re) => divergence(format!("baseline error {be:?}, transformed {re:?}")),
+    }
+}
+
+/// The basic-block baseline partition for one procedure.
+fn singleton_specs(program: &Program, pid: ProcId) -> Vec<SuperblockSpec> {
+    let proc = program.proc(pid);
+    let cfg = Cfg::compute(proc);
+    proc.block_ids()
+        .filter(|b| cfg.is_reachable(*b))
+        .map(SuperblockSpec::singleton)
+        .collect()
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::form_and_compact;
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::fault::FaultInjector;
+    use pps_ir::text::print_program;
+    use pps_ir::{AluOp, Operand, Reg};
+    use pps_profile::{EdgeProfiler, PathProfiler};
+
+    /// Loop + diamond + call workload (mirrors the pipeline tests).
+    fn workload() -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.set_memory(1 << 12, (0..64).map(|x| (x * 7 + 3) % 13).collect());
+        let helper = pb.declare_proc("mix", 2);
+        let mut h = pb.begin_declared(helper);
+        let a = Reg::new(0);
+        let b = Reg::new(1);
+        let r = h.reg();
+        h.alu(AluOp::Xor, r, a, b);
+        h.alu(AluOp::Mul, r, r, 31i64);
+        h.ret(Some(Operand::Reg(r)));
+        h.finish();
+
+        let mut f = pb.begin_proc("main", 1);
+        let n = Reg::new(0);
+        let i = f.reg();
+        let acc = f.reg();
+        let c = f.reg();
+        let v = f.reg();
+        let m = f.reg();
+        f.mov(i, 0i64);
+        f.mov(acc, 0i64);
+        let head = f.new_block();
+        let odd = f.new_block();
+        let even = f.new_block();
+        let latch = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::Rem, m, i, 64i64);
+        f.load(v, m, 0);
+        f.alu(AluOp::Rem, m, i, 3i64);
+        f.branch(m, odd, even);
+        f.switch_to(odd);
+        f.alu(AluOp::Add, acc, acc, v);
+        f.jump(latch);
+        f.switch_to(even);
+        let t = f.reg();
+        f.call(helper, vec![Operand::Reg(acc), Operand::Reg(v)], Some(t));
+        f.alu(AluOp::Add, acc, acc, t);
+        f.jump(latch);
+        f.switch_to(latch);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Reg(n));
+        f.branch(c, head, exit);
+        f.switch_to(exit);
+        f.out(acc);
+        f.ret(Some(Operand::Reg(acc)));
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    fn profiles(p: &Program, arg: i64) -> (EdgeProfile, PathProfile) {
+        let mut ep = EdgeProfiler::new(p);
+        Interp::new(p, ExecConfig::default())
+            .run_traced(&[arg], &mut ep)
+            .unwrap();
+        let mut pp = PathProfiler::new(p, 15);
+        Interp::new(p, ExecConfig::default())
+            .run_traced(&[arg], &mut pp)
+            .unwrap();
+        (ep.finish(), pp.finish())
+    }
+
+    fn test_guard(mode: GuardMode) -> GuardConfig {
+        GuardConfig {
+            mode,
+            oracle_inputs: vec![vec![87], vec![13]],
+            step_budget: 500_000,
+            budget_factor: 8,
+        }
+    }
+
+    #[test]
+    fn clean_run_matches_unguarded_pipeline() {
+        for scheme in [Scheme::BasicBlock, Scheme::M4, Scheme::P4, Scheme::P4E] {
+            let base = workload();
+            let (ep, pp) = profiles(&base, 150);
+
+            let mut unguarded = base.clone();
+            let (_, stats_u) = form_and_compact(
+                &mut unguarded,
+                &ep,
+                Some(&pp),
+                scheme,
+                &FormConfig::default(),
+                &CompactConfig::default(),
+            )
+            .unwrap();
+
+            let mut guarded = base.clone();
+            let result = guarded_form_and_compact(
+                &mut guarded,
+                &ep,
+                Some(&pp),
+                scheme,
+                &FormConfig::default(),
+                &CompactConfig::default(),
+                &test_guard(GuardMode::Strict),
+            )
+            .unwrap();
+
+            assert!(result.report.clean(), "{}: {:?}", scheme.name(), result.report);
+            assert_eq!(result.report.degraded_procs, 0);
+            assert_eq!(
+                print_program(&unguarded),
+                print_program(&guarded),
+                "{}: guarded transform must be byte-identical",
+                scheme.name()
+            );
+            assert_eq!(result.stats, stats_u, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn missing_path_profile_is_typed() {
+        let mut p = workload();
+        let (ep, _) = profiles(&p, 50);
+        for mode in [GuardMode::Strict, GuardMode::Degrade] {
+            let err = guarded_form_and_compact(
+                &mut p.clone(),
+                &ep,
+                None,
+                Scheme::P4,
+                &FormConfig::default(),
+                &CompactConfig::default(),
+                &test_guard(mode),
+            )
+            .unwrap_err();
+            assert!(matches!(err, PipelineError::MissingPathProfile { .. }), "{err}");
+        }
+        let err =
+            crate::pipeline::form_program(&mut p, &ep, None, Scheme::P4, &FormConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, PipelineError::MissingPathProfile { .. }));
+    }
+
+    #[test]
+    fn injected_fault_degrades_and_preserves_semantics() {
+        let base = workload();
+        let (ep, pp) = profiles(&base, 150);
+        let expected = Interp::new(&base, ExecConfig::default()).run(&[87]).unwrap();
+        let inputs = vec![vec![87], vec![13]];
+
+        let mut program = base.clone();
+        let mut injector = FaultInjector::new(0xFA11);
+        let mut injected = Vec::new();
+        let result = guarded_form_and_compact_hooked(
+            &mut program,
+            &ep,
+            Some(&pp),
+            Scheme::P4,
+            &FormConfig::default(),
+            &CompactConfig::default(),
+            &test_guard(GuardMode::Degrade),
+            &mut |prog, pid| {
+                if let Some(r) = injector.inject_effective(prog, pid, &inputs, 500_000, 32) {
+                    injected.push(r);
+                }
+            },
+        )
+        .unwrap();
+
+        assert!(!injected.is_empty(), "injector found no effective fault");
+        assert_eq!(
+            result.report.incidents.len(),
+            injected.len(),
+            "every effective fault must raise an incident: {:?}",
+            result.report.incidents
+        );
+        assert_eq!(result.report.degraded_procs, injected.len());
+        assert!(result.report.incidents.iter().all(|i| i.fallback));
+        // The degraded program still computes the original's answer.
+        verify_program(&program).unwrap();
+        let got = Interp::new(&program, ExecConfig::default()).run(&[87]).unwrap();
+        assert_eq!(expected.output, got.output);
+        assert_eq!(expected.return_value, got.return_value);
+        // Every procedure still has a schedule.
+        assert_eq!(result.compacted.procs.len(), program.procs.len());
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_injected_fault() {
+        let base = workload();
+        let (ep, pp) = profiles(&base, 150);
+        let inputs = vec![vec![87], vec![13]];
+        let mut program = base.clone();
+        let mut injector = FaultInjector::new(7);
+        let err = guarded_form_and_compact_hooked(
+            &mut program,
+            &ep,
+            Some(&pp),
+            Scheme::M4,
+            &FormConfig::default(),
+            &CompactConfig::default(),
+            &test_guard(GuardMode::Strict),
+            &mut |prog, pid| {
+                let _ = injector.inject_effective(prog, pid, &inputs, 500_000, 32);
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Verification(_)
+                    | PipelineError::Divergence { .. }
+                    | PipelineError::Execution { .. }
+                    | PipelineError::StepBudgetExceeded { .. }
+            ),
+            "unexpected error class: {err}"
+        );
+    }
+
+    #[test]
+    fn oracle_prefix_logic_handles_truncation() {
+        let mk = |completed, output: Vec<i64>| {
+            Ok(BoundedRun {
+                result: pps_ir::interp::ExecResult {
+                    output,
+                    return_value: None,
+                    counts: Default::default(),
+                    memory: Vec::new(),
+                },
+                completed,
+            })
+        };
+        // Consistent prefixes: no error.
+        assert!(oracle_check("p", 0, &mk(false, vec![1, 2]), &mk(false, vec![1, 2, 3])).is_none());
+        // Prefix mismatch: divergence.
+        assert!(matches!(
+            oracle_check("p", 0, &mk(false, vec![1, 2]), &mk(true, vec![1, 9])),
+            Some(PipelineError::Divergence { .. })
+        ));
+        // Transformed completes with *less* output than the baseline saw.
+        assert!(matches!(
+            oracle_check("p", 0, &mk(false, vec![1, 2, 3]), &mk(true, vec![1, 2])),
+            Some(PipelineError::Divergence { .. })
+        ));
+        // Baseline completed, transformed truncated at 8x budget.
+        assert!(matches!(
+            oracle_check("p", 3, &mk(true, vec![1]), &mk(false, vec![1])),
+            Some(PipelineError::StepBudgetExceeded { input_index: 3, .. })
+        ));
+    }
+}

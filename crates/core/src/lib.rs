@@ -29,9 +29,14 @@
 pub mod config;
 pub mod enlarge;
 pub mod fixup;
+pub mod guard;
 pub mod pipeline;
 pub mod select;
 pub mod tail_dup;
 
 pub use config::{FormConfig, Scheme};
+pub use guard::{
+    guarded_form_and_compact, guarded_form_and_compact_hooked, GuardConfig, GuardMode,
+    GuardReport, GuardedResult, Incident, Pass, PipelineError,
+};
 pub use pipeline::{form_and_compact, form_program, FormStats, FormedProgram};

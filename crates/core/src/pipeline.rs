@@ -3,9 +3,10 @@
 use crate::config::{FormConfig, Scheme};
 use crate::enlarge::{enlarge_edge, enlarge_path, snapshot_terms, SbBuild, SbIndex};
 use crate::fixup::split_side_entrances;
+use crate::guard::PipelineError;
 use crate::select::{select_traces_edge, select_traces_path, Trace};
 use crate::tail_dup::tail_duplicate;
-use pps_compact::{compact_program, CompactConfig, CompactedProgram, SuperblockSpec};
+use pps_compact::{try_compact_program, CompactConfig, CompactedProgram, SuperblockSpec};
 use pps_ir::analysis::{Cfg, ProcAnalysis};
 use pps_ir::{BlockId, ProcId, Program};
 use pps_profile::{EdgeProfile, PathProfile};
@@ -49,17 +50,18 @@ pub struct FormedProgram {
 /// been collected on the program *before* this call; original-id bookkeeping
 /// keeps the queries valid.
 ///
-/// # Panics
-/// Panics if `scheme` needs a path profile and `path` is `None`.
+/// # Errors
+/// Returns [`PipelineError::MissingPathProfile`] when `scheme` needs a path
+/// profile and `path` is `None`.
 pub fn form_program(
     program: &mut Program,
     edge: &EdgeProfile,
     path: Option<&PathProfile>,
     scheme: Scheme,
     config: &FormConfig,
-) -> FormedProgram {
-    if scheme.needs_path_profile() {
-        assert!(path.is_some(), "scheme {} needs a path profile", scheme.name());
+) -> Result<FormedProgram, PipelineError> {
+    if scheme.needs_path_profile() && path.is_none() {
+        return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
     }
     let mut stats = FormStats {
         static_before: program.static_size() as u64,
@@ -80,7 +82,39 @@ pub fn form_program(
     }
     stats.static_after = program.static_size() as u64;
     stats.superblocks = partition.iter().map(|p: &Vec<SuperblockSpec>| p.len() as u64).sum();
-    FormedProgram { partition, orig_of: orig_maps, stats }
+    Ok(FormedProgram { partition, orig_of: orig_maps, stats })
+}
+
+/// Forms superblocks for a single procedure — the per-procedure unit of
+/// work [`form_program`] iterates, exposed for the recovery boundary in
+/// [`crate::guard`], which must be able to form, validate, and on failure
+/// roll back one procedure at a time.
+///
+/// Only procedure `pid` is mutated. `stats` is updated in place (snapshot
+/// it before the call to support rollback); program-level fields
+/// (`static_before`/`static_after`/`superblocks`) are left to the caller.
+///
+/// # Errors
+/// Returns [`PipelineError::MissingPathProfile`] when `scheme` needs a path
+/// profile and `path` is `None`.
+pub fn form_proc_partition(
+    program: &mut Program,
+    pid: ProcId,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    stats: &mut FormStats,
+) -> Result<(Vec<SuperblockSpec>, Vec<BlockId>), PipelineError> {
+    if scheme.needs_path_profile() && path.is_none() {
+        return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
+    }
+    let (sbs, orig_of) = form_proc(program, pid, edge, path, scheme, config, stats);
+    let specs = sbs
+        .into_iter()
+        .map(|sb| SuperblockSpec::new(sb.blocks))
+        .collect();
+    Ok((specs, orig_of))
 }
 
 fn form_proc(
@@ -236,6 +270,16 @@ fn form_proc(
 
 /// Forms superblocks and immediately compacts them: the paper's complete
 /// `form` + `compact` back end.
+///
+/// This is the *unguarded* pipeline: any internal invariant violation
+/// surfaces as an `Err` (or, for bugs that panic outright, a panic). Use
+/// [`crate::guard::guarded_form_and_compact`] for the fault-tolerant entry
+/// point with per-procedure recovery.
+///
+/// # Errors
+/// Returns [`PipelineError::MissingPathProfile`] when `scheme` needs a path
+/// profile none was given, and [`PipelineError::Compaction`] when the formed
+/// partition fails compaction validation.
 pub fn form_and_compact(
     program: &mut Program,
     edge: &EdgeProfile,
@@ -243,10 +287,11 @@ pub fn form_and_compact(
     scheme: Scheme,
     form_config: &FormConfig,
     compact_config: &CompactConfig,
-) -> (CompactedProgram, FormStats) {
-    let formed = form_program(program, edge, path, scheme, form_config);
-    let compacted = compact_program(program, &formed.partition, compact_config);
-    (compacted, formed.stats)
+) -> Result<(CompactedProgram, FormStats), PipelineError> {
+    let formed = form_program(program, edge, path, scheme, form_config)?;
+    let compacted = try_compact_program(program, &formed.partition, compact_config)
+        .map_err(PipelineError::Compaction)?;
+    Ok((compacted, formed.stats))
 }
 
 #[cfg(test)]
@@ -255,6 +300,7 @@ mod tests {
     use pps_ir::builder::ProgramBuilder;
     use pps_ir::interp::{ExecConfig, Interp};
     use pps_ir::verify::verify_program;
+    use pps_compact::compact_program;
     use pps_ir::{AluOp, Operand, Reg};
     use pps_profile::{EdgeProfiler, PathProfiler};
 
@@ -337,8 +383,8 @@ mod tests {
             // Train on 150 iterations; test on 87 (different input).
             let (ep, pp) = profiles(&p, 150);
             let before = Interp::new(&p, ExecConfig::default()).run(&[87]).unwrap();
-            let formed =
-                form_program(&mut p, &ep, Some(&pp), scheme, &FormConfig::default());
+            let formed = form_program(&mut p, &ep, Some(&pp), scheme, &FormConfig::default())
+                .unwrap();
             verify_program(&p).unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             let after = Interp::new(&p, ExecConfig::default()).run(&[87]).unwrap();
             assert_eq!(before.output, after.output, "{}", scheme.name());
@@ -362,7 +408,8 @@ mod tests {
     fn enlargement_grows_code_for_hot_loops() {
         let mut p = workload();
         let (ep, pp) = profiles(&p, 300);
-        let formed = form_program(&mut p, &ep, Some(&pp), Scheme::P4, &FormConfig::default());
+        let formed =
+            form_program(&mut p, &ep, Some(&pp), Scheme::P4, &FormConfig::default()).unwrap();
         assert!(formed.stats.enlarged_blocks > 0, "hot loop enlarged");
         assert!(formed.stats.static_after > formed.stats.static_before);
     }
@@ -372,8 +419,8 @@ mod tests {
         let mut p4 = workload();
         let mut p16 = workload();
         let (ep, _) = profiles(&p4, 300);
-        let f4 = form_program(&mut p4, &ep, None, Scheme::M4, &FormConfig::default());
-        let f16 = form_program(&mut p16, &ep, None, Scheme::M16, &FormConfig::default());
+        let f4 = form_program(&mut p4, &ep, None, Scheme::M4, &FormConfig::default()).unwrap();
+        let f16 = form_program(&mut p16, &ep, None, Scheme::M16, &FormConfig::default()).unwrap();
         assert!(
             f16.stats.static_after > f4.stats.static_after,
             "M16 {} !> M4 {}",
@@ -394,7 +441,8 @@ mod tests {
             Scheme::P4,
             &FormConfig::default(),
             &CompactConfig::default(),
-        );
+        )
+        .unwrap();
         let after = Interp::new(&p, ExecConfig::default()).run(&[64]).unwrap();
         assert_eq!(before.output, after.output);
         assert!(stats.superblocks > 0);
@@ -405,8 +453,8 @@ mod tests {
     fn basic_block_scheme_is_singletons() {
         let mut p = workload();
         let (ep, _) = profiles(&p, 50);
-        let formed =
-            form_program(&mut p, &ep, None, Scheme::BasicBlock, &FormConfig::default());
+        let formed = form_program(&mut p, &ep, None, Scheme::BasicBlock, &FormConfig::default())
+            .unwrap();
         for sbs in &formed.partition {
             assert!(sbs.iter().all(|s| s.len() == 1));
         }

@@ -70,13 +70,19 @@ fn main() -> ExitCode {
     Interp::new(&program, ExecConfig::default())
         .run_traced(&bench.train_args, &mut tee)
         .expect("train run");
-    let formed = form_program(
+    let formed = match form_program(
         &mut program,
         &tee.a.finish(),
         Some(&tee.b.finish()),
         scheme,
         &FormConfig::default(),
-    );
+    ) {
+        Ok(formed) => formed,
+        Err(e) => {
+            eprintln!("{bench_name}: formation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "benchmark {bench_name}, scheme {}: {} superblocks, static {} -> {} instrs, \
          {} tail-dup + {} enlargement blocks, {} splits",

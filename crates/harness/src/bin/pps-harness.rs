@@ -1,19 +1,22 @@
 //! Command-line experiment driver.
 //!
 //! ```text
-//! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv]
+//! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]
 //! pps-harness --all
 //! ```
 
+use pps_core::GuardMode;
 use pps_harness::experiments::{run_experiment, EXPERIMENTS};
 use pps_suite::Scale;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv]\n\
-         \x20      pps-harness --all [--scale N] [--csv]\n\
-         experiments: {}",
+        "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]\n\
+         \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade]\n\
+         experiments: {}\n\
+         modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
+         \x20      degrade = fall back to basic-block scheduling per failed procedure (default)",
         EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -26,6 +29,7 @@ fn main() -> ExitCode {
     let mut bench: Option<String> = None;
     let mut csv = false;
     let mut all = false;
+    let mut mode = GuardMode::Degrade;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -40,6 +44,11 @@ fn main() -> ExitCode {
             "--bench" | "-b" => {
                 bench = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
+            "--mode" | "-m" => match it.next().unwrap_or_else(|| usage()).as_str() {
+                "strict" => mode = GuardMode::Strict,
+                "degrade" => mode = GuardMode::Degrade,
+                _ => usage(),
+            },
             "--csv" => csv = true,
             "--all" => all = true,
             "--help" | "-h" => usage(),
@@ -61,9 +70,15 @@ fn main() -> ExitCode {
     };
 
     for id in ids {
-        eprintln!("[pps-harness] running {id} at scale {} ...", scale.0);
+        eprintln!("[pps-harness] running {id} at scale {} (mode {mode}) ...", scale.0);
         let start = std::time::Instant::now();
-        let tables = run_experiment(id, scale, bench.as_deref());
+        let tables = match run_experiment(id, scale, bench.as_deref(), mode) {
+            Ok(tables) => tables,
+            Err(e) => {
+                eprintln!("[pps-harness] {id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         for t in &tables {
             if csv {
                 print!("{}", t.to_csv());

@@ -1,8 +1,9 @@
 //! The per-figure experiment drivers.
 
-use crate::report::{millions, percent, ratio, Table};
-use crate::runner::{run_scheme, RunConfig, SchemeRun};
+use crate::report::{incident_table, millions, percent, ratio, Table};
+use crate::runner::{run_scheme, RunConfig, RunError, SchemeRun};
 use pps_core::config::Scheme;
+use pps_core::{GuardMode, Incident};
 use pps_machine::MachineConfig;
 use pps_suite::{all_benchmarks, Benchmark, Scale};
 
@@ -19,35 +20,91 @@ pub fn select_benchmarks(scale: Scale, filter: Option<&str>) -> Vec<Benchmark> {
         .collect()
 }
 
-/// Runs one experiment by id, returning the rendered tables.
-///
-/// # Panics
-/// Panics on an unknown experiment id.
-pub fn run_experiment(id: &str, scale: Scale, filter: Option<&str>) -> Vec<Table> {
-    let benches = select_benchmarks(scale, filter);
-    match id {
-        "table1" => vec![table1(&benches)],
-        "fig4" => vec![fig4(&benches)],
-        "fig5" => vec![fig5(&benches)],
-        "fig6" => vec![fig6(&benches)],
-        "fig7" => vec![fig7(&benches)],
-        "missrates" => vec![missrates(&benches)],
-        "ablate" => ablate(&benches),
-        "tracecache" => vec![tracecache(&benches)],
-        "predict" => vec![predict(&benches)],
-        other => panic!("unknown experiment `{other}`; try one of {EXPERIMENTS:?}"),
+/// Sweep context: the shared [`RunConfig`] plus every guardrail incident
+/// collected across the sweep's runs, tagged with benchmark and scheme.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// Base configuration for every run of the sweep.
+    pub config: RunConfig,
+    /// `(benchmark, scheme, incident)` for every incident recorded.
+    pub incidents: Vec<(String, String, Incident)>,
+}
+
+impl RunCtx {
+    /// The paper's configuration under the given guard mode.
+    pub fn paper(mode: GuardMode) -> Self {
+        let mut config = RunConfig::paper();
+        config.guard.mode = mode;
+        RunCtx { config, incidents: Vec::new() }
+    }
+
+    /// Runs `bench` × `scheme` under the context's own configuration.
+    pub fn run(&mut self, bench: &Benchmark, scheme: Scheme) -> Result<SchemeRun, RunError> {
+        let config = self.config.clone();
+        self.run_with(bench, scheme, &config)
+    }
+
+    /// Runs `bench` × `scheme` under a configuration variant (ablations),
+    /// still collecting its incidents into this context.
+    pub fn run_with(
+        &mut self,
+        bench: &Benchmark,
+        scheme: Scheme,
+        config: &RunConfig,
+    ) -> Result<SchemeRun, RunError> {
+        let r = run_scheme(bench, scheme, config)?;
+        for inc in &r.guard.incidents {
+            self.incidents
+                .push((bench.name.to_string(), scheme.name(), inc.clone()));
+        }
+        Ok(r)
     }
 }
 
+/// Runs one experiment by id, returning the rendered tables. When any run
+/// degraded a procedure, an incident table is appended after the
+/// experiment's own tables.
+///
+/// # Errors
+/// Returns the first [`RunError`] — in [`GuardMode::Strict`] that includes
+/// any procedure failing its post-pass checks.
+///
+/// # Panics
+/// Panics on an unknown experiment id.
+pub fn run_experiment(
+    id: &str,
+    scale: Scale,
+    filter: Option<&str>,
+    mode: GuardMode,
+) -> Result<Vec<Table>, RunError> {
+    let benches = select_benchmarks(scale, filter);
+    let mut ctx = RunCtx::paper(mode);
+    let mut tables = match id {
+        "table1" => vec![table1(&benches, &mut ctx)?],
+        "fig4" => vec![fig4(&benches, &mut ctx)?],
+        "fig5" => vec![fig5(&benches, &mut ctx)?],
+        "fig6" => vec![fig6(&benches, &mut ctx)?],
+        "fig7" => vec![fig7(&benches, &mut ctx)?],
+        "missrates" => vec![missrates(&benches, &mut ctx)?],
+        "ablate" => ablate(&benches, &mut ctx)?,
+        "tracecache" => vec![tracecache(&benches)?],
+        "predict" => vec![predict(&benches)?],
+        other => panic!("unknown experiment `{other}`; try one of {EXPERIMENTS:?}"),
+    };
+    if !ctx.incidents.is_empty() {
+        tables.push(incident_table(&ctx.incidents));
+    }
+    Ok(tables)
+}
+
 /// Table 1: benchmark statistics under basic-block scheduling.
-pub fn table1(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn table1(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Table 1: benchmarks, data sets, statistics (basic-block scheduled; counts in millions)",
         &["benchmark", "size(instrs)", "branches(M)", "cycles(M)", "instrs(M)"],
     );
     for b in benches {
-        let r = run_scheme(b, Scheme::BasicBlock, &config);
+        let r = ctx.run(b, Scheme::BasicBlock)?;
         t.row(vec![
             b.name.to_string(),
             r.static_instrs.to_string(),
@@ -56,19 +113,18 @@ pub fn table1(benches: &[Benchmark]) -> Table {
             millions(r.counts.instrs),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 4: P4 vs M4 cycle counts with a perfect I-cache.
-pub fn fig4(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn fig4(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 4: cycle counts, P4 normalized to M4, ideal I-cache",
         &["benchmark", "M4 cycles", "P4 cycles", "P4/M4"],
     );
     for b in benches {
-        let m4 = run_scheme(b, Scheme::M4, &config);
-        let p4 = run_scheme(b, Scheme::P4, &config);
+        let m4 = ctx.run(b, Scheme::M4)?;
+        let p4 = ctx.run(b, Scheme::P4)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles.to_string(),
@@ -76,12 +132,11 @@ pub fn fig4(benches: &[Benchmark]) -> Table {
             ratio(p4.cycles, m4.cycles),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 5: P4 and P4e vs M4 with the 32KB direct-mapped I-cache.
-pub fn fig5(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn fig5(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 5: cycle counts with 32KB I-cache, normalized to M4",
         &["benchmark", "M4", "P4", "P4e", "P4/M4", "P4e/M4"],
@@ -92,9 +147,9 @@ pub fn fig5(benches: &[Benchmark]) -> Table {
             // always fit in the cache".
             continue;
         }
-        let m4 = run_scheme(b, Scheme::M4, &config);
-        let p4 = run_scheme(b, Scheme::P4, &config);
-        let p4e = run_scheme(b, Scheme::P4E, &config);
+        let m4 = ctx.run(b, Scheme::M4)?;
+        let p4 = ctx.run(b, Scheme::P4)?;
+        let p4e = ctx.run(b, Scheme::P4E)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles_icache.to_string(),
@@ -104,13 +159,12 @@ pub fn fig5(benches: &[Benchmark]) -> Table {
             ratio(p4e.cycles_icache, m4.cycles_icache),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 6: P4e vs M16 with the I-cache (paths with limited unrolling
 /// against aggressive unrolling).
-pub fn fig6(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn fig6(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 6: cycle counts with 32KB I-cache, normalized to M4",
         &["benchmark", "M4", "M16", "P4e", "M16/M4", "P4e/M4"],
@@ -119,9 +173,9 @@ pub fn fig6(benches: &[Benchmark]) -> Table {
         if b.category == pps_suite::Category::Micro {
             continue;
         }
-        let m4 = run_scheme(b, Scheme::M4, &config);
-        let m16 = run_scheme(b, Scheme::M16, &config);
-        let p4e = run_scheme(b, Scheme::P4E, &config);
+        let m4 = ctx.run(b, Scheme::M4)?;
+        let m16 = ctx.run(b, Scheme::M16)?;
+        let p4e = ctx.run(b, Scheme::P4E)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles_icache.to_string(),
@@ -131,14 +185,13 @@ pub fn fig6(benches: &[Benchmark]) -> Table {
             ratio(p4e.cycles_icache, m4.cycles_icache),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Figure 7: average basic blocks executed per dynamic superblock (and the
 /// average superblock size), for M4, M16, P4e, P4 — in the paper's
 /// left-to-right bar order.
-pub fn fig7(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn fig7(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 7: avg blocks executed per dynamic superblock / avg superblock size",
         &[
@@ -152,18 +205,17 @@ pub fn fig7(benches: &[Benchmark]) -> Table {
     for b in benches {
         let mut cells = vec![b.name.to_string()];
         for scheme in [Scheme::M4, Scheme::M16, Scheme::P4E, Scheme::P4] {
-            let r = run_scheme(b, scheme, &config);
+            let r = ctx.run(b, scheme)?;
             cells.push(format!("{:.2}", r.sb_stats.avg_blocks_executed()));
             cells.push(format!("{:.2}", r.sb_stats.avg_size()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// In-text miss-rate study (the paper quotes gcc and go).
-pub fn missrates(benches: &[Benchmark]) -> Table {
-    let config = RunConfig::paper();
+pub fn missrates(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "I-cache miss rates per scheme (32KB direct-mapped, 32B lines)",
         &["benchmark", "M4", "M16", "P4", "P4e", "static M4", "static P4"],
@@ -172,10 +224,10 @@ pub fn missrates(benches: &[Benchmark]) -> Table {
         if b.category == pps_suite::Category::Micro {
             continue;
         }
-        let m4 = run_scheme(b, Scheme::M4, &config);
-        let m16 = run_scheme(b, Scheme::M16, &config);
-        let p4 = run_scheme(b, Scheme::P4, &config);
-        let p4e = run_scheme(b, Scheme::P4E, &config);
+        let m4 = ctx.run(b, Scheme::M4)?;
+        let m16 = ctx.run(b, Scheme::M16)?;
+        let p4 = ctx.run(b, Scheme::P4)?;
+        let p4e = ctx.run(b, Scheme::P4E)?;
         t.row(vec![
             b.name.to_string(),
             percent(m4.miss_rate),
@@ -186,12 +238,12 @@ pub fn missrates(benches: &[Benchmark]) -> Table {
             p4.static_instrs.to_string(),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Ablations: realistic latencies (paper: the path benefit grows), and the
 /// compactor features (renaming, speculation) turned off.
-pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
+pub fn ablate(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Vec<Table>, RunError> {
     let mut tables = Vec::new();
 
     // Realistic latencies.
@@ -200,12 +252,12 @@ pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
         &["benchmark", "unit P4/M4", "realistic P4/M4"],
     );
     for b in benches {
-        let unit = RunConfig::paper();
-        let real = RunConfig { machine: MachineConfig::realistic(), ..RunConfig::paper() };
-        let m4u = run_scheme(b, Scheme::M4, &unit);
-        let p4u = run_scheme(b, Scheme::P4, &unit);
-        let m4r = run_scheme(b, Scheme::M4, &real);
-        let p4r = run_scheme(b, Scheme::P4, &real);
+        let unit = ctx.config.clone();
+        let real = RunConfig { machine: MachineConfig::realistic(), ..ctx.config.clone() };
+        let m4u = ctx.run_with(b, Scheme::M4, &unit)?;
+        let p4u = ctx.run_with(b, Scheme::P4, &unit)?;
+        let m4r = ctx.run_with(b, Scheme::M4, &real)?;
+        let p4r = ctx.run_with(b, Scheme::P4, &real)?;
         t.row(vec![
             b.name.to_string(),
             ratio(p4u.cycles, m4u.cycles),
@@ -220,14 +272,14 @@ pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
         &["benchmark", "full", "no renaming", "no speculation"],
     );
     for b in benches {
-        let full = run_scheme(b, Scheme::P4, &RunConfig::paper());
-        let mut norename = RunConfig::paper();
+        let full = ctx.run(b, Scheme::P4)?;
+        let mut norename = ctx.config.clone();
         norename.compact.renaming = false;
         norename.compact.move_renaming = false;
-        let nr = run_scheme(b, Scheme::P4, &norename);
-        let mut nospec = RunConfig::paper();
+        let nr = ctx.run_with(b, Scheme::P4, &norename)?;
+        let mut nospec = ctx.config.clone();
         nospec.compact.speculate_loads = false;
-        let ns = run_scheme(b, Scheme::P4, &nospec);
+        let ns = ctx.run_with(b, Scheme::P4, &nospec)?;
         t.row(vec![
             b.name.to_string(),
             "1.000".to_string(),
@@ -244,10 +296,10 @@ pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
         &["benchmark", "downward only", "with upward", "ratio"],
     );
     for b in benches {
-        let down = run_scheme(b, Scheme::P4, &RunConfig::paper());
-        let mut up_cfg = RunConfig::paper();
+        let down = ctx.run(b, Scheme::P4)?;
+        let mut up_cfg = ctx.config.clone();
         up_cfg.form.upward_growth = true;
-        let up = run_scheme(b, Scheme::P4, &up_cfg);
+        let up = ctx.run_with(b, Scheme::P4, &up_cfg)?;
         t.row(vec![
             b.name.to_string(),
             down.cycles.to_string(),
@@ -265,33 +317,33 @@ pub fn ablate(benches: &[Benchmark]) -> Vec<Table> {
     for b in benches {
         let mut cells = vec![b.name.to_string()];
         for thr in [0.5, 0.8, 0.95] {
-            let mut cfg = RunConfig::paper();
+            let mut cfg = ctx.config.clone();
             cfg.form.completion_threshold = thr;
-            let r = run_scheme(b, Scheme::P4, &cfg);
+            let r = ctx.run_with(b, Scheme::P4, &cfg)?;
             cells.push(r.cycles.to_string());
         }
         t.row(cells);
     }
     tables.push(t);
-    tables
+    Ok(tables)
 }
 
 /// Convenience: the four scheme runs of the paper's main comparison, for
 /// one benchmark (used by integration tests and examples).
-pub fn main_comparison(bench: &Benchmark) -> [SchemeRun; 4] {
+pub fn main_comparison(bench: &Benchmark) -> Result<[SchemeRun; 4], RunError> {
     let config = RunConfig::paper();
-    [
-        run_scheme(bench, Scheme::M4, &config),
-        run_scheme(bench, Scheme::M16, &config),
-        run_scheme(bench, Scheme::P4E, &config),
-        run_scheme(bench, Scheme::P4, &config),
-    ]
+    Ok([
+        run_scheme(bench, Scheme::M4, &config)?,
+        run_scheme(bench, Scheme::M16, &config)?,
+        run_scheme(bench, Scheme::P4E, &config)?,
+        run_scheme(bench, Scheme::P4, &config)?,
+    ])
 }
 
 /// §6 extension: hardware trace-cache effectiveness over the block streams
 /// of the original and software-formed programs. Measures whether software
 /// superblock formation helps a Rotenberg-style trace cache.
-pub fn tracecache(benches: &[Benchmark]) -> Table {
+pub fn tracecache(benches: &[Benchmark]) -> Result<Table, RunError> {
     use pps_core::{form_program, FormConfig};
     use pps_ir::interp::{ExecConfig, Interp};
     use pps_ir::trace::TeeSink;
@@ -314,18 +366,27 @@ pub fn tracecache(benches: &[Benchmark]) -> Table {
             );
             Interp::new(&program, ExecConfig::default())
                 .run_traced(&b.train_args, &mut tee)
-                .expect("train run");
-            let _ = form_program(
+                .map_err(|error| RunError::Exec {
+                    bench: b.name.to_string(),
+                    stage: "train run",
+                    error,
+                })?;
+            form_program(
                 &mut program,
                 &tee.a.finish(),
                 Some(&tee.b.finish()),
                 scheme,
                 &FormConfig::default(),
-            );
+            )
+            .map_err(|error| RunError::Pipeline { bench: b.name.to_string(), error })?;
             let mut sim = TraceCacheSim::new(&program, TraceCacheConfig::default());
             Interp::new(&program, ExecConfig::default())
                 .run_traced(&b.test_args, &mut sim)
-                .expect("test run");
+                .map_err(|error| RunError::Exec {
+                    bench: b.name.to_string(),
+                    stage: "test run",
+                    error,
+                })?;
             let stats = sim.finish();
             hits.push(stats.hit_rate());
             covers.push(stats.instr_coverage());
@@ -337,19 +398,23 @@ pub fn tracecache(benches: &[Benchmark]) -> Table {
         cells.push(percent(covers[2]));
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Companion-work extension: static branch prediction accuracy, edge
 /// majority vs path-context (Young & Smith, ASPLOS 1994 — the paper's
 /// reference [20] and the origin of the `corr` microbenchmark). Trained on
 /// the training input, evaluated on the testing input.
-pub fn predict(benches: &[Benchmark]) -> Table {
+pub fn predict(benches: &[Benchmark]) -> Result<Table, RunError> {
     use pps_ir::interp::{ExecConfig, Interp};
     use pps_ir::trace::TeeSink;
     use pps_profile::predict::{evaluate, EdgePredictor, PathPredictor};
     use pps_profile::{EdgeProfiler, PathProfiler};
 
+    let exec_err = |bench: &str, stage: &'static str| {
+        let bench = bench.to_string();
+        move |error| RunError::Exec { bench, stage, error }
+    };
     let mut t = Table::new(
         "Extension (ref [20]): static branch misprediction, edge majority vs path context",
         &["benchmark", "edge miss%", "path miss%", "branches(M)"],
@@ -359,14 +424,14 @@ pub fn predict(benches: &[Benchmark]) -> Table {
         let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, 15));
         Interp::new(program, ExecConfig::default())
             .run_traced(&b.train_args, &mut tee)
-            .expect("train run");
+            .map_err(exec_err(b.name, "train run"))?;
         let edge = tee.a.finish();
         let path = tee.b.finish();
 
         let ep = EdgePredictor::from_profile(program, &edge);
-        let e = evaluate(program, &ep, 8, &b.test_args).expect("edge eval");
+        let e = evaluate(program, &ep, 8, &b.test_args).map_err(exec_err(b.name, "edge eval"))?;
         let pp = PathPredictor::new(program, &path, 8);
-        let p = evaluate(program, &pp, 8, &b.test_args).expect("path eval");
+        let p = evaluate(program, &pp, 8, &b.test_args).map_err(exec_err(b.name, "path eval"))?;
         t.row(vec![
             b.name.to_string(),
             percent(e.miss_rate()),
@@ -374,7 +439,7 @@ pub fn predict(benches: &[Benchmark]) -> Table {
             millions(e.branches),
         ]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -385,7 +450,8 @@ mod tests {
     fn experiment_ids_all_run_on_one_benchmark() {
         for id in EXPERIMENTS {
             // `ablate` is heavy; use the smallest scale and one benchmark.
-            let tables = run_experiment(id, Scale::quick(), Some("wc"));
+            let tables =
+                run_experiment(id, Scale::quick(), Some("wc"), GuardMode::Strict).unwrap();
             assert!(!tables.is_empty(), "{id}");
             for t in &tables {
                 let rendered = t.render();
@@ -403,7 +469,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown experiment")]
     fn unknown_experiment_panics() {
-        let _ = run_experiment("nope", Scale::quick(), None);
+        let _ = run_experiment("nope", Scale::quick(), None, GuardMode::Degrade);
     }
 }
-

@@ -27,4 +27,5 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{run_scheme, RunConfig, SchemeRun};
+pub use experiments::RunCtx;
+pub use runner::{run_scheme, RunConfig, RunError, SchemeRun};

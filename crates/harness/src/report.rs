@@ -88,6 +88,29 @@ impl Table {
     }
 }
 
+/// Renders guardrail incidents collected across a sweep, one row per
+/// incident: which benchmark × scheme run hit it, the procedure, the pass
+/// that failed, the error, and whether the procedure fell back to
+/// basic-block scheduling. Commas in error text are softened so the CSV
+/// rendering stays well-formed.
+pub fn incident_table(entries: &[(String, String, pps_core::Incident)]) -> Table {
+    let mut t = Table::new(
+        "Guardrail incidents (degraded procedures fell back to basic-block scheduling)",
+        &["benchmark", "scheme", "procedure", "pass", "error", "fallback"],
+    );
+    for (bench, scheme, inc) in entries {
+        t.row(vec![
+            bench.clone(),
+            scheme.clone(),
+            inc.proc.clone(),
+            inc.pass.to_string(),
+            inc.error.to_string().replace(',', ";"),
+            inc.fallback.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a ratio like the paper's normalized bars (e.g. `0.87`).
 pub fn ratio(num: u64, den: u64) -> String {
     if den == 0 {

@@ -1,16 +1,61 @@
 //! One benchmark × scheme measurement, end to end.
 
-use pps_core::{form_and_compact, FormConfig, FormStats, Scheme};
 use pps_compact::CompactConfig;
-use pps_ir::interp::{DynCounts, ExecConfig, Interp};
+use pps_core::{
+    guarded_form_and_compact, FormConfig, FormStats, GuardConfig, GuardReport, PipelineError,
+    Scheme,
+};
+use pps_ir::interp::{DynCounts, ExecConfig, ExecError, Interp};
 use pps_ir::trace::TeeSink;
 use pps_machine::MachineConfig;
 use pps_profile::{EdgeProfiler, PathProfiler, DEFAULT_PATH_DEPTH};
 use pps_sim::{simulate, Layout, SbDynStats};
 use pps_suite::Benchmark;
+use std::fmt;
+
+/// Any failure of one benchmark × scheme run, with the benchmark name
+/// attached so sweep-level reports can say *which* run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// An interpreter/simulator run failed (`stage` is `train run`,
+    /// `layout run` or `test run`).
+    Exec {
+        /// Benchmark being measured.
+        bench: String,
+        /// Which of the three executions failed.
+        stage: &'static str,
+        /// The underlying interpreter error.
+        error: ExecError,
+    },
+    /// The scheduling pipeline failed (strict mode) or could not recover.
+    Pipeline {
+        /// Benchmark being measured.
+        bench: String,
+        /// The underlying pipeline error.
+        error: PipelineError,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Exec { bench, stage, error } => write!(f, "{bench} {stage}: {error}"),
+            RunError::Pipeline { bench, error } => write!(f, "{bench} pipeline: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Exec { error, .. } => Some(error),
+            RunError::Pipeline { error, .. } => Some(error),
+        }
+    }
+}
 
 /// Shared configuration across a sweep.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunConfig {
     /// Machine model (latencies, width, cache).
     pub machine: MachineConfig,
@@ -20,6 +65,10 @@ pub struct RunConfig {
     pub compact: CompactConfig,
     /// Path-profile depth override (`None` = the paper's 15).
     pub path_depth: Option<usize>,
+    /// Recovery-boundary configuration. With empty `oracle_inputs` the
+    /// runner substitutes the benchmark's training input, so every run gets
+    /// a real differential check against the untransformed program.
+    pub guard: GuardConfig,
 }
 
 impl RunConfig {
@@ -52,44 +101,66 @@ pub struct SchemeRun {
     pub form_stats: FormStats,
     /// Dynamic counts of the testing run.
     pub counts: DynCounts,
+    /// Guardrail outcome: incidents recorded and procedures degraded while
+    /// producing this run (empty/zero on a clean run).
+    pub guard: GuardReport,
 }
 
 /// Runs the complete methodology for `bench` under `scheme`:
 /// train-profile → form → compact → train-layout → measure on test input.
 ///
-/// # Panics
-/// Panics if the benchmark program fails to execute (a suite bug) or if
-/// formation/compaction produce invalid structures (a pipeline bug).
-pub fn run_scheme(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> SchemeRun {
+/// The formation + compaction step runs inside the pipeline's recovery
+/// boundary ([`guarded_form_and_compact`]): in
+/// [`GuardMode::Degrade`](pps_core::GuardMode) a procedure that fails its
+/// post-pass checks falls back to basic-block scheduling and the run
+/// continues (see [`SchemeRun::guard`]); in strict mode the first incident
+/// surfaces here as [`RunError::Pipeline`].
+pub fn run_scheme(
+    bench: &Benchmark,
+    scheme: Scheme,
+    config: &RunConfig,
+) -> Result<SchemeRun, RunError> {
     let mut program = bench.program.clone();
     let exec_config = ExecConfig::default();
+    let exec_err = |stage: &'static str| {
+        move |error: ExecError| RunError::Exec { bench: bench.name.to_string(), stage, error }
+    };
 
     // 1. One training run feeds both profilers.
     let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
     let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
     Interp::new(&program, exec_config)
         .run_traced(&bench.train_args, &mut tee)
-        .unwrap_or_else(|e| panic!("{} train run: {e}", bench.name));
+        .map_err(exec_err("train run"))?;
     let edge = tee.a.finish();
     let path = tee.b.finish();
 
-    // 2. Form + compact. The runner's machine description is the single
-    // source of truth: it overrides the compactor's copy so latency-model
-    // sweeps affect the schedules, not just the cache simulation.
+    // 2. Form + compact under the recovery boundary. The runner's machine
+    // description is the single source of truth: it overrides the
+    // compactor's copy so latency-model sweeps affect the schedules, not
+    // just the cache simulation.
     let mut compact_config = config.compact;
     compact_config.machine = config.machine;
-    let (compacted, form_stats) = form_and_compact(
+    let mut guard = config.guard.clone();
+    if guard.oracle_inputs.is_empty() {
+        guard.oracle_inputs = vec![bench.train_args.clone()];
+    }
+    let guarded = guarded_form_and_compact(
         &mut program,
         &edge,
         Some(&path),
         scheme,
         &config.form,
         &compact_config,
-    );
+        &guard,
+    )
+    .map_err(|error| RunError::Pipeline { bench: bench.name.to_string(), error })?;
+    let compacted = guarded.compacted;
+    let form_stats = guarded.stats;
 
     // 3. Training-input run over the transformed code for layout weights.
     let train_out = simulate(&program, &compacted, &config.machine, None, &bench.train_args)
-        .unwrap_or_else(|e| panic!("{} layout run: {e}", bench.name));
+        .map_err(exec_err("layout run"))?;
     let layout = Layout::build(&program, &compacted, &train_out.transitions, &config.machine);
 
     // 4. Measured run on the testing input.
@@ -100,7 +171,7 @@ pub fn run_scheme(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> Sche
         Some(&layout),
         &bench.test_args,
     )
-    .unwrap_or_else(|e| panic!("{} test run: {e}", bench.name));
+    .map_err(exec_err("test run"))?;
 
     // Sanity: the transformed program must behave like the original.
     debug_assert_eq!(
@@ -114,7 +185,7 @@ pub fn run_scheme(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> Sche
     );
 
     let icache = out.icache.expect("layout supplied");
-    SchemeRun {
+    Ok(SchemeRun {
         scheme,
         cycles: out.cycles,
         cycles_icache: out.cycles_with_icache(),
@@ -125,7 +196,8 @@ pub fn run_scheme(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> Sche
         static_instrs: compacted.total_items(),
         form_stats,
         counts: out.exec.counts,
-    }
+        guard: guarded.report,
+    })
 }
 
 #[cfg(test)]
@@ -137,22 +209,24 @@ mod tests {
     fn full_methodology_on_wc() {
         let bench = benchmark_by_name("wc", Scale::quick()).unwrap();
         let config = RunConfig::paper();
-        let bb = run_scheme(&bench, Scheme::BasicBlock, &config);
-        let m4 = run_scheme(&bench, Scheme::M4, &config);
-        let p4 = run_scheme(&bench, Scheme::P4, &config);
+        let bb = run_scheme(&bench, Scheme::BasicBlock, &config).unwrap();
+        let m4 = run_scheme(&bench, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&bench, Scheme::P4, &config).unwrap();
         assert!(m4.cycles < bb.cycles, "M4 {} !< BB {}", m4.cycles, bb.cycles);
         assert!(p4.cycles < bb.cycles, "P4 {} !< BB {}", p4.cycles, bb.cycles);
         assert!(p4.sb_stats.avg_blocks_executed() > bb.sb_stats.avg_blocks_executed());
         assert!(p4.static_instrs >= bb.static_instrs);
         assert!(p4.miss_rate >= 0.0 && p4.miss_rate < 1.0);
+        // The runs went through the guarded pipeline and were clean.
+        assert!(bb.guard.clean() && m4.guard.clean() && p4.guard.clean());
     }
 
     #[test]
     fn micro_benchmarks_strongly_favor_paths() {
         let bench = benchmark_by_name("alt", Scale::quick()).unwrap();
         let config = RunConfig::paper();
-        let m4 = run_scheme(&bench, Scheme::M4, &config);
-        let p4 = run_scheme(&bench, Scheme::P4, &config);
+        let m4 = run_scheme(&bench, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&bench, Scheme::P4, &config).unwrap();
         assert!(
             p4.cycles < m4.cycles,
             "alt: P4 {} !< M4 {} (path profiles must exploit the TTTF pattern)",

@@ -111,6 +111,23 @@ pub struct ExecResult {
     pub memory: Vec<i64>,
 }
 
+/// Outcome of [`Interp::run_bounded`]: the observable state at the point
+/// execution stopped, plus whether the program actually finished.
+///
+/// When `completed` is false the run was cut off by `max_instrs`;
+/// `result.output` and `result.memory` hold the state produced *so far*
+/// (a prefix of a longer run's observables) and `result.return_value` is
+/// `None`. This is what the pipeline guard's differential oracle consumes:
+/// it can compare output prefixes of truncated runs instead of treating a
+/// long-running program as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedRun {
+    /// Observable state when execution stopped.
+    pub result: ExecResult,
+    /// True if the program ran to completion within the budget.
+    pub completed: bool,
+}
+
 struct Frame {
     proc: ProcId,
     regs: Vec<i64>,
@@ -155,6 +172,23 @@ impl<'p> Interp<'p> {
         args: &[i64],
         sink: &mut S,
     ) -> Result<ExecResult, ExecError> {
+        match self.exec(args, sink)? {
+            BoundedRun { completed: true, result } => Ok(result),
+            BoundedRun { completed: false, .. } => Err(ExecError::InstrLimit),
+        }
+    }
+
+    /// Runs the entry procedure with `args`, treating `max_instrs`
+    /// exhaustion as a *truncated success* rather than an error.
+    ///
+    /// # Errors
+    /// Returns an [`ExecError`] on memory faults, call-depth exhaustion, or
+    /// an argument-count mismatch — never [`ExecError::InstrLimit`].
+    pub fn run_bounded(&self, args: &[i64]) -> Result<BoundedRun, ExecError> {
+        self.exec(args, &mut NullSink)
+    }
+
+    fn exec<S: TraceSink>(&self, args: &[i64], sink: &mut S) -> Result<BoundedRun, ExecError> {
         let program = self.program;
         let entry = program.proc(program.entry);
         if entry.num_params as usize != args.len() {
@@ -193,7 +227,7 @@ impl<'p> Interp<'p> {
             // Execute the remaining straight-line instructions.
             while frame.instr_idx < block.instrs.len() {
                 if counts.instrs >= self.config.max_instrs {
-                    return Err(ExecError::InstrLimit);
+                    return Ok(truncated(output, counts, memory));
                 }
                 counts.instrs += 1;
                 let instr = &block.instrs[frame.instr_idx];
@@ -270,7 +304,7 @@ impl<'p> Interp<'p> {
 
             // Terminator.
             if counts.instrs >= self.config.max_instrs {
-                return Err(ExecError::InstrLimit);
+                return Ok(truncated(output, counts, memory));
             }
             counts.instrs += 1;
             let next = match &block.term {
@@ -321,7 +355,18 @@ impl<'p> Interp<'p> {
             }
         }
 
-        Ok(ExecResult { output, return_value, counts, memory })
+        Ok(BoundedRun {
+            result: ExecResult { output, return_value, counts, memory },
+            completed: true,
+        })
+    }
+}
+
+/// Packages the observable state of a budget-truncated run.
+fn truncated(output: Vec<i64>, counts: DynCounts, memory: Vec<i64>) -> BoundedRun {
+    BoundedRun {
+        result: ExecResult { output, return_value: None, counts, memory },
+        completed: false,
     }
 }
 
@@ -462,6 +507,35 @@ mod tests {
         let cfg = ExecConfig { max_instrs: 1000, ..ExecConfig::default() };
         let err = Interp::new(&p, cfg).run(&[]).unwrap_err();
         assert_eq!(err, ExecError::InstrLimit);
+    }
+
+    #[test]
+    fn bounded_run_truncates_instead_of_erroring() {
+        // out(1); out(2); ... in an infinite loop: the bounded run keeps the
+        // output prefix produced before the budget ran out.
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let head = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.out(Operand::Imm(1));
+        f.jump(head);
+        let main = f.finish();
+        let p = pb.finish(main);
+        let cfg = ExecConfig { max_instrs: 100, ..ExecConfig::default() };
+        let b = Interp::new(&p, cfg).run_bounded(&[]).unwrap();
+        assert!(!b.completed);
+        assert!(!b.result.output.is_empty());
+        assert_eq!(b.result.return_value, None);
+        assert!(b.result.counts.instrs <= 100);
+
+        // A terminating program completes with identical observables to
+        // `run`.
+        let p = loop_sum();
+        let full = Interp::new(&p, ExecConfig::default()).run(&[10]).unwrap();
+        let b = Interp::new(&p, ExecConfig::default()).run_bounded(&[10]).unwrap();
+        assert!(b.completed);
+        assert_eq!(b.result, full);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod dot;
+pub mod fault;
 pub mod instr;
 pub mod interp;
 pub mod proc;
@@ -49,6 +50,7 @@ pub mod text;
 pub mod trace;
 pub mod verify;
 
+pub use fault::{FaultInjector, FaultKind, FaultRecord};
 pub use instr::{AluOp, Instr, Operand, Terminator};
 pub use proc::{Block, BlockId, Proc, Reg};
 pub use program::{ProcId, Program};

@@ -168,7 +168,8 @@ mod tests {
             Scheme::P4,
             &FormConfig::default(),
             &CompactConfig::default(),
-        );
+        )
+        .unwrap();
         let out = simulate(&formed, &compacted, &m, None, &[500]).unwrap();
         assert_eq!(out.exec.return_value, Some(500 * 499 / 2));
         assert!(

@@ -27,7 +27,7 @@ fn gen_vectors(salt: u64, count: usize) -> Vec<i64> {
         for &w in &base {
             // ~3% of words perturbed.
             if r.gen_range(0..100) < 3 {
-                out.push(w ^ (1 << r.gen_range(0..20)));
+                out.push(w ^ (1i64 << r.gen_range(0..20)));
             } else {
                 out.push(w);
             }

@@ -37,7 +37,7 @@ fn gen_cover(salt: u64, cubes: usize) -> Vec<i64> {
         let mut cube: Vec<i64> = p.clone();
         for _ in 0..flips {
             let w = r.gen_range(0..CUBE_LEN as usize);
-            cube[w] ^= 1 << r.gen_range(0..30);
+            cube[w] ^= 1i64 << r.gen_range(0..30);
         }
         out.extend_from_slice(&cube);
     }

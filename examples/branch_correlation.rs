@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And the cycle-count consequence.
     let config = RunConfig::paper();
-    let m4 = run_scheme(&bench, Scheme::M4, &config);
-    let p4 = run_scheme(&bench, Scheme::P4, &config);
+    let m4 = run_scheme(&bench, Scheme::M4, &config)?;
+    let p4 = run_scheme(&bench, Scheme::P4, &config)?;
     println!("M4 (edge profile) : {:>9} cycles", m4.cycles);
     println!(
         "P4 (path profile) : {:>9} cycles  ({:.1}% of M4)",

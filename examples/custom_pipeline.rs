@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(&path),
             scheme,
             &FormConfig::default(),
-        );
+        )?;
 
         // 3. Compact (rename + schedule).
         let compacted =

@@ -112,7 +112,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Some(&path),
                 scheme,
                 &FormConfig::default(),
-            );
+            )?;
             // Show the unrolled bodies of the hottest superblocks.
             let pid = program.entry;
             for sb in formed.partition[pid.index()].iter().take(4) {

@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheme,
             &FormConfig::default(),
             &CompactConfig::default(),
-        );
+        )?;
         let out = simulate(&program, &compacted, &machine, None, &test_input)?;
         assert_eq!(out.exec.output, base.exec.output, "semantics preserved");
         println!(

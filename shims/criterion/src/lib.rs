@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in shim for the subset of the `criterion` 0.5 API used by
+//! this workspace's benches: `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for a
+//! fixed number of timed iterations and prints the mean wall-clock time per
+//! iteration (plus throughput when configured). That keeps `cargo bench`
+//! usable for coarse before/after comparisons without any network access;
+//! for publishable numbers, swap the workspace dependency back to the real
+//! crate.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs, for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = bencher.elapsed_ns as f64 / bencher.iters.max(1) as f64;
+        let mut line = format!(
+            "{}/{id}: {} over {} iters",
+            self.name,
+            format_ns(mean_ns),
+            bencher.iters,
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            if mean_ns > 0.0 {
+                let rate = count as f64 / (mean_ns / 1e9);
+                line.push_str(&format!("  ({rate:.3e} {unit}/s)"));
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group. Reporting happens per-benchmark, so this is a no-op
+    /// kept for call-site compatibility.
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up pass.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs_benchmarks() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher { iters: 3, elapsed_ns: 0 };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,226 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in shim for the subset of the `proptest` 1.x API used by
+//! this workspace: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, integer-range strategies, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//! - case generation is **deterministic**: the RNG is seeded from the test
+//!   name, so failures reproduce without a persistence file;
+//! - there is no shrinking — the failing input values are reported in the
+//!   panic message instead (every property test in this repository takes
+//!   small integer seeds, which are self-describing);
+//! - only the strategies this workspace uses are implemented (integer
+//!   `Range` / `RangeInclusive`).
+
+/// Run configuration for a [`proptest!`] block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Deterministic case-generation machinery.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+
+    /// Deterministic splitmix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for the named test, deterministically.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives a stable, well-spread seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values for one property parameter.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    fn below(rng: &mut TestRng, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + below(rng, span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + below(rng, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// inside the block becomes a `#[test]` that runs `body` for
+/// `config.cases` deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    // Report the generated inputs on failure (no shrinking).
+                    let __inputs: &[(&str, String)] =
+                        &[$((stringify!($arg), format!("{:?}", $arg))),*];
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = __outcome {
+                        eprintln!(
+                            "proptest case {}/{} failed with inputs: {}",
+                            __case + 1,
+                            __config.cases,
+                            __inputs
+                                .iter()
+                                .map(|(n, v)| format!("{n} = {v}"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The conventional glob import target.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in -5i64..=5) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..=5).contains(&y));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 1usize..4) {
+            prop_assert_ne!(v, 0);
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::for_test("t");
+        let mut b = TestRng::for_test("t");
+        let va: Vec<u64> = (0..32).map(|_| (0u64..1000).sample(&mut a)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| (0u64..1000).sample(&mut b)).collect();
+        assert_eq!(va, vb);
+        let mut c = TestRng::for_test("u");
+        let vc: Vec<u64> = (0..32).map(|_| (0u64..1000).sample(&mut c)).collect();
+        assert_ne!(va, vc);
+    }
+}

@@ -34,7 +34,8 @@ fn transform(program: &mut Program, scheme: Scheme, compact: &CompactConfig) {
         Some(&tee.b.finish()),
         scheme,
         &FormConfig::default(),
-    );
+    )
+    .unwrap();
     let _ = compact_program(program, &formed.partition, compact);
 }
 

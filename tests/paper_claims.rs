@@ -16,8 +16,8 @@ fn microbenchmarks_show_large_path_wins() {
     let config = RunConfig::paper();
     for name in ["alt", "ph", "corr"] {
         let b = benchmark_by_name(name, SCALE).unwrap();
-        let m4 = run_scheme(&b, Scheme::M4, &config);
-        let p4 = run_scheme(&b, Scheme::P4, &config);
+        let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&b, Scheme::P4, &config).unwrap();
         let ratio = p4.cycles as f64 / m4.cycles as f64;
         assert!(
             ratio < 0.90,
@@ -30,9 +30,9 @@ fn microbenchmarks_show_large_path_wins() {
 fn formation_always_beats_basic_block_scheduling() {
     let config = RunConfig::paper();
     for b in all_benchmarks(SCALE) {
-        let bb = run_scheme(&b, Scheme::BasicBlock, &config);
-        let m4 = run_scheme(&b, Scheme::M4, &config);
-        let p4 = run_scheme(&b, Scheme::P4, &config);
+        let bb = run_scheme(&b, Scheme::BasicBlock, &config).unwrap();
+        let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&b, Scheme::P4, &config).unwrap();
         assert!(m4.cycles < bb.cycles, "{}: M4 {} !< BB {}", b.name, m4.cycles, bb.cycles);
         assert!(p4.cycles < bb.cycles, "{}: P4 {} !< BB {}", b.name, p4.cycles, bb.cycles);
     }
@@ -46,8 +46,8 @@ fn path_formation_beats_edge_formation_with_ideal_icache() {
     let mut wins = 0;
     let mut total = 0;
     for b in all_benchmarks(SCALE) {
-        let m4 = run_scheme(&b, Scheme::M4, &config);
-        let p4 = run_scheme(&b, Scheme::P4, &config);
+        let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&b, Scheme::P4, &config).unwrap();
         total += 1;
         if p4.cycles <= m4.cycles {
             wins += 1;
@@ -72,8 +72,8 @@ fn superblocks_execute_further_under_paths() {
     // higher under P4 than under M4.
     let config = RunConfig::paper();
     for b in all_benchmarks(SCALE) {
-        let m4 = run_scheme(&b, Scheme::M4, &config);
-        let p4 = run_scheme(&b, Scheme::P4, &config);
+        let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+        let p4 = run_scheme(&b, Scheme::P4, &config).unwrap();
         assert!(
             p4.sb_stats.avg_blocks_executed() >= m4.sb_stats.avg_blocks_executed() * 0.95,
             "{}: P4 avg run {:.2} vs M4 {:.2}",
@@ -91,8 +91,8 @@ fn m16_expands_code_far_more_than_p4e() {
     let config = RunConfig::paper();
     for name in ["gcc", "go", "li"] {
         let b = benchmark_by_name(name, SCALE).unwrap();
-        let m16 = run_scheme(&b, Scheme::M16, &config);
-        let p4e = run_scheme(&b, Scheme::P4E, &config);
+        let m16 = run_scheme(&b, Scheme::M16, &config).unwrap();
+        let p4e = run_scheme(&b, Scheme::P4E, &config).unwrap();
         assert!(
             p4e.static_instrs < m16.static_instrs,
             "{name}: P4e {} !< M16 {} static instructions",
@@ -111,8 +111,8 @@ fn unrolling_alone_insufficient_for_call_dominated_programs() {
     let config = RunConfig::paper();
     for name in ["go", "li"] {
         let b = benchmark_by_name(name, SCALE).unwrap();
-        let m4 = run_scheme(&b, Scheme::M4, &config);
-        let m16 = run_scheme(&b, Scheme::M16, &config);
+        let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+        let m16 = run_scheme(&b, Scheme::M16, &config).unwrap();
         let gain = m4.cycles as f64 / m16.cycles as f64;
         assert!(
             (0.98..=1.02).contains(&gain),
@@ -130,9 +130,9 @@ fn gcc_code_expansion_raises_miss_rate_under_p4() {
     // (paper: 2.67% -> 3.92% for gcc). Direction check on the analog.
     let config = RunConfig::paper();
     let b = benchmark_by_name("gcc", SCALE).unwrap();
-    let m4 = run_scheme(&b, Scheme::M4, &config);
-    let p4 = run_scheme(&b, Scheme::P4, &config);
-    let p4e = run_scheme(&b, Scheme::P4E, &config);
+    let m4 = run_scheme(&b, Scheme::M4, &config).unwrap();
+    let p4 = run_scheme(&b, Scheme::P4, &config).unwrap();
+    let p4e = run_scheme(&b, Scheme::P4E, &config).unwrap();
     assert!(
         p4.miss_rate > m4.miss_rate,
         "gcc: P4 miss rate {:.4} should exceed M4 {:.4}",

@@ -163,8 +163,10 @@ proptest! {
         use pps::core::{form_program, FormConfig, Scheme};
         let mut p1 = program.clone();
         let mut p2 = program.clone();
-        let f1 = form_program(&mut p1, &edge, Some(&path), Scheme::P4, &FormConfig::default());
-        let f2 = form_program(&mut p2, &edge2, Some(&path2), Scheme::P4, &FormConfig::default());
+        let f1 = form_program(&mut p1, &edge, Some(&path), Scheme::P4, &FormConfig::default())
+            .unwrap();
+        let f2 = form_program(&mut p2, &edge2, Some(&path2), Scheme::P4, &FormConfig::default())
+            .unwrap();
         prop_assert_eq!(p1, p2);
         prop_assert_eq!(f1.partition, f2.partition);
     }

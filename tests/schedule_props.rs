@@ -30,7 +30,8 @@ fn form_and_check(seed: u64, scheme: Scheme, machine: MachineConfig) {
         Some(&tee.b.finish()),
         scheme,
         &FormConfig::default(),
-    );
+    )
+    .unwrap();
     let cc = CompactConfig { machine, validate: true, ..Default::default() };
     let compacted = compact_program(&mut program, &formed.partition, &cc);
 

@@ -54,7 +54,8 @@ fn transformed_programs_round_trip() {
             Some(&tee.b.finish()),
             Scheme::P4,
             &FormConfig::default(),
-        );
+        )
+        .unwrap();
         let _ = compact_program(&mut p, &formed.partition, &CompactConfig::default());
         let text = print_program(&p);
         let q = parse_program(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
