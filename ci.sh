@@ -2,18 +2,53 @@
 # Offline CI gate. Everything here must pass with no network access:
 # all external crate names resolve to local shims under shims/ (see
 # shims/README.md), so `cargo` never touches a registry.
+#
+# Stages (run all by default):
+#   ./ci.sh gate       build + tests + clippy
+#   ./ci.sh obs-smoke  one recorded benchmark run; fails on missing or
+#                      invalid --trace-out/--metrics-out JSON
 set -euo pipefail
 cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
-echo "== build (release) =="
-cargo build --release
+stage="${1:-all}"
 
-echo "== tests =="
-cargo test -q
+gate() {
+  echo "== build (release) =="
+  cargo build --release
 
-echo "== clippy =="
-cargo clippy --all-targets -- -D warnings
+  echo "== tests =="
+  cargo test -q
+
+  echo "== clippy =="
+  cargo clippy --all-targets -- -D warnings
+}
+
+obs_smoke() {
+  echo "== observability smoke =="
+  out="$(mktemp -d)"
+  cargo run --release -p pps-harness --bin pps-harness -- \
+    --experiment fig4 --bench wc --scale 1 --mode strict \
+    --trace-out "$out/trace.json" --metrics-out "$out/metrics.json" \
+    --log-level warn > "$out/tables.txt"
+  test -s "$out/trace.json" || { echo "missing trace.json"; exit 1; }
+  test -s "$out/metrics.json" || { echo "missing metrics.json"; exit 1; }
+  cargo run --release --example validate_obs -- "$out/trace.json" "$out/metrics.json"
+  rm -rf "$out"
+}
+
+case "$stage" in
+  gate) gate ;;
+  obs-smoke) obs_smoke ;;
+  all)
+    gate
+    obs_smoke
+    ;;
+  *)
+    echo "usage: ./ci.sh [gate|obs-smoke|all]" >&2
+    exit 2
+    ;;
+esac
 
 echo "== CI green =="

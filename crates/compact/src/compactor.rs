@@ -15,6 +15,7 @@ use crate::superblock::SuperblockSpec;
 use pps_ir::analysis::Cfg;
 use pps_ir::{Instr, Proc, ProcId, Program};
 use pps_machine::MachineConfig;
+use pps_obs::{ArgValue, Obs};
 
 /// Compaction options.
 #[derive(Debug, Clone, Copy)]
@@ -141,6 +142,17 @@ pub fn try_compact_program(
     partition: &[Vec<SuperblockSpec>],
     config: &CompactConfig,
 ) -> Result<CompactedProgram, CompactError> {
+    try_compact_program_obs(program, partition, config, &Obs::noop())
+}
+
+/// [`try_compact_program`] with observability: per-procedure compaction
+/// spans, schedule metrics, and decision events flow into `obs`.
+pub fn try_compact_program_obs(
+    program: &mut Program,
+    partition: &[Vec<SuperblockSpec>],
+    config: &CompactConfig,
+    obs: &Obs,
+) -> Result<CompactedProgram, CompactError> {
     if partition.len() != program.procs.len() {
         return Err(CompactError::PartitionSize {
             expected: program.procs.len(),
@@ -150,7 +162,7 @@ pub fn try_compact_program(
     let mut procs = Vec::with_capacity(program.procs.len());
     for (pi, specs) in partition.iter().enumerate() {
         let proc = program.proc_mut(ProcId::new(pi as u32));
-        procs.push(try_compact_proc(proc, specs, config)?);
+        procs.push(try_compact_proc_obs(proc, specs, config, obs)?);
     }
     Ok(CompactedProgram { procs })
 }
@@ -165,6 +177,28 @@ pub fn try_compact_proc(
     specs: &[SuperblockSpec],
     config: &CompactConfig,
 ) -> Result<CompactedProc, CompactError> {
+    try_compact_proc_obs(proc, specs, config, &Obs::noop())
+}
+
+/// [`try_compact_proc`] with observability.
+///
+/// Emits a `compact` span for the procedure; counters for superblocks
+/// scheduled, rename registers allocated, compensation stubs, and
+/// speculated loads; a `compact.slot_occupancy` histogram (issued items
+/// over `cycles × issue width`, per superblock); and a `compact.schedule`
+/// decision event per superblock with its size, schedule length, and
+/// occupancy — the compactor-side data `pps-explore` scheme comparisons
+/// need.
+pub fn try_compact_proc_obs(
+    proc: &mut Proc,
+    specs: &[SuperblockSpec],
+    config: &CompactConfig,
+    obs: &Obs,
+) -> Result<CompactedProc, CompactError> {
+    let _span = obs
+        .span("compact")
+        .arg("proc", proc.name.as_str())
+        .arg("superblocks", specs.len());
     let rename_config = RenameConfig {
         enabled: config.renaming,
         move_renaming: config.move_renaming,
@@ -207,7 +241,7 @@ pub fn try_compact_proc(
 
     let mut superblocks = Vec::with_capacity(specs.len());
     let mut stub_specs: Vec<SuperblockSpec> = Vec::new();
-    for spec in specs {
+    for (si, spec) in specs.iter().enumerate() {
         let rename = rename_superblock(proc, spec, &liveness, base_reg_count, &rename_config);
         for &(stub, _) in &rename.stubs {
             stub_specs.push(SuperblockSpec::singleton(stub));
@@ -224,11 +258,43 @@ pub fn try_compact_proc(
         }
         // Convert loads actually hoisted above an earlier exit to the
         // non-excepting (speculative) form.
-        if config.speculate_loads {
-            mark_speculated_loads(proc, spec, &ddg, &sched);
+        let speculated = if config.speculate_loads {
+            mark_speculated_loads(proc, spec, &ddg, &sched)
+        } else {
+            0
+        };
+        if obs.is_recording() {
+            let slots = u64::from(sched.n_cycles) * config.machine.issue_width as u64;
+            let occupancy = if slots == 0 {
+                0.0
+            } else {
+                f64::from(sched.n_items) / slots as f64
+            };
+            obs.histogram("compact.slot_occupancy", occupancy);
+            obs.counter("compact.speculated_loads", speculated);
+            obs.counter("compact.rename_stubs", rename.stubs.len() as u64);
+            obs.decision(
+                "compact.schedule",
+                &[
+                    ("proc", ArgValue::Str(proc.name.clone())),
+                    ("sb", ArgValue::UInt(si as u64)),
+                    ("head", ArgValue::Str(spec.head().to_string())),
+                    ("blocks", ArgValue::UInt(spec.len() as u64)),
+                    ("items", ArgValue::UInt(sched.n_items.into())),
+                    ("cycles", ArgValue::UInt(sched.n_cycles.into())),
+                    ("occupancy", ArgValue::Float(occupancy)),
+                    ("speculated_loads", ArgValue::UInt(speculated)),
+                    ("rename_stubs", ArgValue::UInt(rename.stubs.len() as u64)),
+                ],
+            );
         }
         superblocks.push(ScheduledSuperblock { spec: spec.clone(), schedule: sched });
     }
+    obs.counter("compact.superblocks", specs.len() as u64);
+    obs.counter(
+        "compact.renames_applied",
+        u64::from(proc.reg_count.saturating_sub(base_reg_count)),
+    );
     // Schedule compensation stubs as singleton superblocks.
     for spec in stub_specs {
         let ddg = build_ddg(proc, &spec, &[Vec::new()], &config.machine, config.speculate_loads);
@@ -248,13 +314,13 @@ pub fn try_compact_proc(
 /// Marks loads scheduled at or above an earlier exit's cycle as
 /// speculative: on a taken exit, ops issued in the same or earlier cycles
 /// have already executed, so such a load runs on paths where the original
-/// program would not have reached it.
+/// program would not have reached it. Returns the number of loads marked.
 fn mark_speculated_loads(
     proc: &mut pps_ir::Proc,
     spec: &SuperblockSpec,
     ddg: &crate::ddg::Ddg,
     sched: &Schedule,
-) {
+) -> u64 {
     // Exit items in item order with their cycles.
     let exits: Vec<(u32, u32)> = ddg
         .exit_items
@@ -262,6 +328,7 @@ fn mark_speculated_loads(
         .flatten()
         .map(|&i| (i, sched.cycle_of[i as usize]))
         .collect();
+    let mut marked = 0;
     for (i, item) in ddg.items.iter().enumerate() {
         if let ItemKind::Instr { pos, idx } = item.kind {
             let bid = spec.blocks[pos];
@@ -279,10 +346,12 @@ fn mark_speculated_loads(
             if hoisted {
                 if let Instr::Load { speculative, .. } = &mut proc.block_mut(bid).instrs[idx] {
                     *speculative = true;
+                    marked += 1;
                 }
             }
         }
     }
+    marked
 }
 
 #[cfg(test)]

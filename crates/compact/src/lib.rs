@@ -39,8 +39,9 @@ pub mod sched;
 pub mod superblock;
 
 pub use compactor::{
-    compact_program, singleton_partition, try_compact_proc, try_compact_program, CompactConfig,
-    CompactedProc, CompactedProgram, ScheduledSuperblock,
+    compact_program, singleton_partition, try_compact_proc, try_compact_proc_obs,
+    try_compact_program, try_compact_program_obs, CompactConfig, CompactedProc, CompactedProgram,
+    ScheduledSuperblock,
 };
 pub use error::CompactError;
 pub use sched::Schedule;

@@ -34,15 +34,16 @@
 //! to prove every one is caught here and degraded away.
 
 use crate::config::{FormConfig, Scheme};
-use crate::pipeline::{form_proc_partition, FormStats};
+use crate::pipeline::{form_proc_partition_obs, FormStats};
 use pps_compact::{
-    try_compact_proc, CompactConfig, CompactError, CompactedProc, CompactedProgram,
+    try_compact_proc_obs, CompactConfig, CompactError, CompactedProc, CompactedProgram,
     SuperblockSpec,
 };
 use pps_ir::analysis::Cfg;
 use pps_ir::interp::{BoundedRun, ExecConfig, ExecError, Interp};
 use pps_ir::verify::{verify_program, VerifyError};
 use pps_ir::{ProcId, Program};
+use pps_obs::{ArgValue, Level, Obs};
 use pps_profile::{EdgeProfile, PathProfile};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -94,6 +95,22 @@ pub enum PipelineError {
         /// The interpreter error.
         error: ExecError,
     },
+}
+
+impl PipelineError {
+    /// Stable short tag for the failure class — the `kind` label of the
+    /// `guard.incidents` metric and of `incident` trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PipelineError::MissingPathProfile { .. } => "missing_path_profile",
+            PipelineError::Formation { .. } => "formation_panic",
+            PipelineError::Compaction(_) => "compaction",
+            PipelineError::Verification(_) => "verification",
+            PipelineError::Divergence { .. } => "divergence",
+            PipelineError::StepBudgetExceeded { .. } => "step_budget_exceeded",
+            PipelineError::Execution { .. } => "execution",
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -211,15 +228,21 @@ pub enum Pass {
     Oracle,
 }
 
-impl fmt::Display for Pass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Pass {
+    /// Stable short name — the `pass` label of the `guard.incidents` metric.
+    pub fn name(&self) -> &'static str {
+        match self {
             Pass::Formation => "formation",
             Pass::Compaction => "compaction",
             Pass::Verification => "verification",
             Pass::Oracle => "oracle",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -311,7 +334,7 @@ pub fn guarded_form_and_compact(
     compact_config: &CompactConfig,
     guard: &GuardConfig,
 ) -> Result<GuardedResult, PipelineError> {
-    guarded_form_and_compact_hooked(
+    guarded_form_and_compact_obs(
         program,
         edge,
         path,
@@ -319,6 +342,38 @@ pub fn guarded_form_and_compact(
         form_config,
         compact_config,
         guard,
+        &Obs::noop(),
+    )
+}
+
+/// [`guarded_form_and_compact`] with observability: per-procedure
+/// `schedule-proc` spans (with `form` / `compact` / `guard-verify` /
+/// `oracle` children), `guard.incidents` counters labeled by failure kind
+/// and pass, `guard.degraded_procs`, and one `incident` trace event plus a
+/// warning log line per recovered failure.
+///
+/// # Errors
+/// As [`guarded_form_and_compact`].
+#[allow(clippy::too_many_arguments)]
+pub fn guarded_form_and_compact_obs(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+    obs: &Obs,
+) -> Result<GuardedResult, PipelineError> {
+    guarded_impl(
+        program,
+        edge,
+        path,
+        scheme,
+        form_config,
+        compact_config,
+        guard,
+        obs,
         &mut |_, _| {},
     )
 }
@@ -344,6 +399,55 @@ pub fn guarded_form_and_compact_hooked(
     guard: &GuardConfig,
     post_pass: &mut dyn FnMut(&mut Program, ProcId),
 ) -> Result<GuardedResult, PipelineError> {
+    guarded_impl(
+        program,
+        edge,
+        path,
+        scheme,
+        form_config,
+        compact_config,
+        guard,
+        &Obs::noop(),
+        post_pass,
+    )
+}
+
+/// [`guarded_form_and_compact_hooked`] with observability (see
+/// [`guarded_form_and_compact_obs`]) — the fault-injection seam and the
+/// recording sinks together, used to test that injected faults surface as
+/// `guard.incidents` metrics and `incident` trace events.
+///
+/// # Errors
+/// As [`guarded_form_and_compact`].
+#[allow(clippy::too_many_arguments)]
+pub fn guarded_form_and_compact_hooked_obs(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+    obs: &Obs,
+    post_pass: &mut dyn FnMut(&mut Program, ProcId),
+) -> Result<GuardedResult, PipelineError> {
+    guarded_impl(
+        program, edge, path, scheme, form_config, compact_config, guard, obs, post_pass,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn guarded_impl(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    guard: &GuardConfig,
+    obs: &Obs,
+    post_pass: &mut dyn FnMut(&mut Program, ProcId),
+) -> Result<GuardedResult, PipelineError> {
     if scheme.needs_path_profile() && path.is_none() {
         return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
     }
@@ -353,11 +457,14 @@ pub fn guarded_form_and_compact_hooked(
         max_instrs: guard.step_budget,
         ..ExecConfig::default()
     };
-    let baselines: Vec<Result<BoundedRun, ExecError>> = guard
-        .oracle_inputs
-        .iter()
-        .map(|args| Interp::new(program, baseline_config).run_bounded(args))
-        .collect();
+    let baselines: Vec<Result<BoundedRun, ExecError>> = {
+        let _span = obs.span("oracle-baseline").arg("inputs", guard.oracle_inputs.len());
+        guard
+            .oracle_inputs
+            .iter()
+            .map(|args| Interp::new(program, baseline_config).run_bounded(args))
+            .collect()
+    };
 
     let mut stats = FormStats {
         static_before: program.static_size() as u64,
@@ -380,10 +487,13 @@ pub fn guarded_form_and_compact_hooked(
         let snapshot = program.proc(pid).clone();
         let stats_snapshot = stats;
 
+        let proc_obs = obs.with_label("proc", proc_name.as_str());
+        let proc_span = proc_obs.span("schedule-proc").arg("proc", proc_name.as_str());
         let attempt = attempt_proc(
             program, pid, edge, path, scheme, form_config, compact_config, guard, &baselines,
-            &mut stats, post_pass,
+            &mut stats, post_pass, &proc_obs,
         );
+        drop(proc_span);
         match attempt {
             Ok((specs, cp, formed_size)) => {
                 static_after += formed_size;
@@ -395,21 +505,40 @@ pub fn guarded_form_and_compact_hooked(
                 *program.proc_mut(pid) = snapshot;
                 stats = stats_snapshot;
                 let fallback = guard.mode == GuardMode::Degrade;
-                report.incidents.push(Incident {
+                let incident = Incident {
                     proc: proc_name.clone(),
                     pass,
                     error: error.clone(),
                     fallback,
-                });
+                };
+                obs.counter_labeled(
+                    "guard.incidents",
+                    &[("kind", error.kind()), ("pass", pass.name())],
+                    1,
+                );
+                obs.instant(
+                    "guard",
+                    "incident",
+                    &[
+                        ("proc", ArgValue::from(proc_name.as_str())),
+                        ("pass", ArgValue::from(pass.name())),
+                        ("kind", ArgValue::from(error.kind())),
+                        ("error", ArgValue::from(error.to_string())),
+                        ("fallback", ArgValue::from(fallback)),
+                    ],
+                );
+                obs.log(Level::Warn, || format!("incident: {incident}"));
+                report.incidents.push(incident);
                 if !fallback {
                     return Err(error);
                 }
+                obs.counter("guard.degraded_procs", 1);
                 // Degrade: schedule the pristine procedure as basic-block
                 // singletons. This is the baseline path every scheme shares;
                 // if even it fails, recovery is impossible.
                 static_after += program.proc(pid).static_size() as u64;
                 let specs = singleton_specs(program, pid);
-                let cp = try_compact_proc(program.proc_mut(pid), &specs, compact_config)?;
+                let cp = try_compact_proc_obs(program.proc_mut(pid), &specs, compact_config, &proc_obs)?;
                 verify_program(program)?;
                 report.degraded_procs += 1;
                 partition.push(specs);
@@ -443,6 +572,7 @@ fn attempt_proc(
     baselines: &[Result<BoundedRun, ExecError>],
     stats: &mut FormStats,
     post_pass: &mut dyn FnMut(&mut Program, ProcId),
+    obs: &Obs,
 ) -> Result<(Vec<SuperblockSpec>, CompactedProc, u64), (Pass, PipelineError)> {
     let proc_name = program.proc(pid).name.clone();
 
@@ -452,13 +582,13 @@ fn attempt_proc(
     // cannot leave broken shared state behind.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let (specs, _orig) =
-            form_proc_partition(program, pid, edge, path, scheme, form_config, stats)
+            form_proc_partition_obs(program, pid, edge, path, scheme, form_config, stats, obs)
                 .map_err(|e| (Pass::Formation, e))?;
         // Code-growth accounting happens on the formed procedure, before
         // compaction appends singleton stubs (same point `form_program`
         // measures `static_after`).
         let formed_size = program.proc(pid).static_size() as u64;
-        let cp = try_compact_proc(program.proc_mut(pid), &specs, compact_config)
+        let cp = try_compact_proc_obs(program.proc_mut(pid), &specs, compact_config, obs)
             .map_err(|e| (Pass::Compaction, PipelineError::Compaction(e)))?;
         Ok((specs, cp, formed_size))
     }));
@@ -480,12 +610,15 @@ fn attempt_proc(
     // Post-pass structural check over the whole program (procedures before
     // `pid` are already validated; later ones untouched — a failure here is
     // attributable to `pid`).
+    let verify_span = obs.span("guard-verify");
     if let Err(e) = verify_program(program) {
         return Err((Pass::Verification, PipelineError::Verification(e)));
     }
+    drop(verify_span);
 
     // Differential oracle: the transformed program must reproduce the
     // original's observable behaviour on every oracle input.
+    let _oracle_span = obs.span("oracle").arg("inputs", baselines.len());
     let transformed_config = ExecConfig {
         max_instrs: guard.step_budget.saturating_mul(guard.budget_factor.max(1)),
         ..ExecConfig::default()

@@ -36,7 +36,11 @@ pub mod tail_dup;
 
 pub use config::{FormConfig, Scheme};
 pub use guard::{
-    guarded_form_and_compact, guarded_form_and_compact_hooked, GuardConfig, GuardMode,
+    guarded_form_and_compact, guarded_form_and_compact_hooked,
+    guarded_form_and_compact_hooked_obs, guarded_form_and_compact_obs, GuardConfig, GuardMode,
     GuardReport, GuardedResult, Incident, Pass, PipelineError,
 };
-pub use pipeline::{form_and_compact, form_program, FormStats, FormedProgram};
+pub use pipeline::{
+    form_and_compact, form_and_compact_obs, form_program, form_program_obs, FormStats,
+    FormedProgram,
+};

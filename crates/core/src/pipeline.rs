@@ -6,9 +6,10 @@ use crate::fixup::split_side_entrances;
 use crate::guard::PipelineError;
 use crate::select::{select_traces_edge, select_traces_path, Trace};
 use crate::tail_dup::tail_duplicate;
-use pps_compact::{try_compact_program, CompactConfig, CompactedProgram, SuperblockSpec};
+use pps_compact::{try_compact_program_obs, CompactConfig, CompactedProgram, SuperblockSpec};
 use pps_ir::analysis::{Cfg, ProcAnalysis};
 use pps_ir::{BlockId, ProcId, Program};
+use pps_obs::{ArgValue, Obs};
 use pps_profile::{EdgeProfile, PathProfile};
 
 /// Aggregate statistics of one formation run.
@@ -60,6 +61,24 @@ pub fn form_program(
     scheme: Scheme,
     config: &FormConfig,
 ) -> Result<FormedProgram, PipelineError> {
+    form_program_obs(program, edge, path, scheme, config, &Obs::noop())
+}
+
+/// [`form_program`] with observability: per-procedure `form` spans with
+/// child pass spans (`select` / `tail_dup` / `enlarge` / `fixup`),
+/// formation counters, and `form.trace_selected` / `form.enlarge_skipped`
+/// decision events flow into `obs`.
+///
+/// # Errors
+/// As [`form_program`].
+pub fn form_program_obs(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    obs: &Obs,
+) -> Result<FormedProgram, PipelineError> {
     if scheme.needs_path_profile() && path.is_none() {
         return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
     }
@@ -72,7 +91,7 @@ pub fn form_program(
 
     for pi in 0..program.procs.len() {
         let pid = ProcId::new(pi as u32);
-        let (sbs, orig_of) = form_proc(program, pid, edge, path, scheme, config, &mut stats);
+        let (sbs, orig_of) = form_proc(program, pid, edge, path, scheme, config, &mut stats, obs);
         partition.push(
             sbs.into_iter()
                 .map(|sb| SuperblockSpec::new(sb.blocks))
@@ -106,10 +125,28 @@ pub fn form_proc_partition(
     config: &FormConfig,
     stats: &mut FormStats,
 ) -> Result<(Vec<SuperblockSpec>, Vec<BlockId>), PipelineError> {
+    form_proc_partition_obs(program, pid, edge, path, scheme, config, stats, &Obs::noop())
+}
+
+/// [`form_proc_partition`] with observability (see [`form_program_obs`]).
+///
+/// # Errors
+/// As [`form_proc_partition`].
+#[allow(clippy::too_many_arguments)]
+pub fn form_proc_partition_obs(
+    program: &mut Program,
+    pid: ProcId,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    stats: &mut FormStats,
+    obs: &Obs,
+) -> Result<(Vec<SuperblockSpec>, Vec<BlockId>), PipelineError> {
     if scheme.needs_path_profile() && path.is_none() {
         return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
     }
-    let (sbs, orig_of) = form_proc(program, pid, edge, path, scheme, config, stats);
+    let (sbs, orig_of) = form_proc(program, pid, edge, path, scheme, config, stats, obs);
     let specs = sbs
         .into_iter()
         .map(|sb| SuperblockSpec::new(sb.blocks))
@@ -117,6 +154,10 @@ pub fn form_proc_partition(
     Ok((specs, orig_of))
 }
 
+/// Per-procedure formation wrapper: scopes `obs` to the procedure, opens
+/// the `form` span, and records formation counter deltas around the real
+/// work in [`form_proc_inner`].
+#[allow(clippy::too_many_arguments)]
 fn form_proc(
     program: &mut Program,
     pid: ProcId,
@@ -125,6 +166,40 @@ fn form_proc(
     scheme: Scheme,
     config: &FormConfig,
     stats: &mut FormStats,
+    obs: &Obs,
+) -> (Vec<SbBuild>, Vec<BlockId>) {
+    if !obs.is_recording() {
+        return form_proc_inner(program, pid, edge, path, scheme, config, stats, obs);
+    }
+    let obs = obs.with_label("proc", program.proc(pid).name.as_str());
+    let span = obs
+        .span("form")
+        .arg("proc", program.proc(pid).name.as_str())
+        .arg("scheme", scheme.name());
+    let before = *stats;
+    let out = form_proc_inner(program, pid, edge, path, scheme, config, stats, &obs);
+    obs.counter("form.superblocks", out.0.len() as u64);
+    obs.counter("form.tail_dup_blocks", stats.tail_dup_blocks - before.tail_dup_blocks);
+    obs.counter("form.enlarged_blocks", stats.enlarged_blocks - before.enlarged_blocks);
+    obs.counter(
+        "form.skipped_low_completion",
+        stats.skipped_low_completion - before.skipped_low_completion,
+    );
+    obs.counter("form.splits", stats.splits - before.splits);
+    drop(span);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn form_proc_inner(
+    program: &mut Program,
+    pid: ProcId,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    stats: &mut FormStats,
+    obs: &Obs,
 ) -> (Vec<SbBuild>, Vec<BlockId>) {
     let proc = program.proc(pid);
     let mut orig_of: Vec<BlockId> = proc.block_ids().collect();
@@ -140,6 +215,7 @@ fn form_proc(
     }
 
     // 1. Trace selection.
+    let select_span = obs.span("select").arg("scheme", scheme.name());
     let analysis = ProcAnalysis::compute(proc);
     let traces: Vec<Trace> = match scheme {
         Scheme::Edge { .. } => select_traces_edge(proc, pid, &analysis, edge, config),
@@ -148,8 +224,26 @@ fn form_proc(
         }
         Scheme::BasicBlock => unreachable!(),
     };
+    drop(select_span.arg("traces", traces.len()));
+    if obs.is_recording() {
+        obs.counter("form.traces_selected", traces.len() as u64);
+        for (ti, trace) in traces.iter().enumerate() {
+            let head = trace.blocks[0];
+            obs.decision(
+                "form.trace_selected",
+                &[
+                    ("scheme", ArgValue::from(scheme.name())),
+                    ("trace", ArgValue::from(ti)),
+                    ("head", ArgValue::from(head.index())),
+                    ("blocks", ArgValue::from(trace.blocks.len())),
+                    ("head_freq", ArgValue::from(edge.block_freq(pid, head))),
+                ],
+            );
+        }
+    }
 
     // 2. Tail duplication.
+    let tail_span = obs.span("tail_dup");
     let proc = program.proc_mut(pid);
     let mut sbs: Vec<SbBuild> = Vec::with_capacity(traces.len());
     let mut chains: Vec<SbBuild> = Vec::new();
@@ -198,6 +292,7 @@ fn form_proc(
     let (n, pieces) = split_side_entrances(program.proc(pid), &mut sbs);
     stats.splits += n as u64;
     is_chain = pieces.iter().map(|p| is_chain[p.origin]).collect();
+    drop(tail_span.arg("superblocks", sbs.len()).arg("splits", n));
 
     // 3. Enlargement, iterated with fixup. An enlargement walk that
     // diverges from another superblock's internal trace leaves a copy with
@@ -208,10 +303,11 @@ fn form_proc(
     // once.
     if config.enlargement {
         let mut pending: Vec<bool> = vec![true; sbs.len()];
-        for _pass in 0..3 {
+        for pass in 0..3 {
             if !pending.iter().any(|&p| p) {
                 break;
             }
+            let _enlarge_span = obs.span("enlarge").arg("pass", pass);
             let proc_ref = program.proc(pid);
             let index = SbIndex::build(proc_ref, pid, &sbs, &is_chain, edge, config);
             let snapshot: Vec<Vec<BlockId>> = sbs.iter().map(|s| s.blocks.clone()).collect();
@@ -238,6 +334,16 @@ fn form_proc(
                         );
                         stats.enlarged_blocks += u64::from(st.appended);
                         stats.skipped_low_completion += u64::from(st.skipped_low_completion);
+                        if st.skipped_low_completion {
+                            obs.decision(
+                                "form.enlarge_skipped",
+                                &[
+                                    ("sb", ArgValue::from(i)),
+                                    ("head", ArgValue::from(sbs[i].orig[0].index())),
+                                    ("reason", ArgValue::from("low_completion")),
+                                ],
+                            );
+                        }
                         new_chains.extend(chains);
                     }
                     Scheme::BasicBlock => unreachable!(),
@@ -263,8 +369,10 @@ fn form_proc(
     }
 
     // Final fixup (harmless if already clean).
+    let fixup_span = obs.span("fixup");
     let (n, _) = split_side_entrances(program.proc(pid), &mut sbs);
     stats.splits += n as u64;
+    drop(fixup_span.arg("splits", n));
     (sbs, orig_of)
 }
 
@@ -288,8 +396,25 @@ pub fn form_and_compact(
     form_config: &FormConfig,
     compact_config: &CompactConfig,
 ) -> Result<(CompactedProgram, FormStats), PipelineError> {
-    let formed = form_program(program, edge, path, scheme, form_config)?;
-    let compacted = try_compact_program(program, &formed.partition, compact_config)
+    form_and_compact_obs(program, edge, path, scheme, form_config, compact_config, &Obs::noop())
+}
+
+/// [`form_and_compact`] with observability threaded through both formation
+/// and compaction (see [`form_program_obs`]).
+///
+/// # Errors
+/// As [`form_and_compact`].
+pub fn form_and_compact_obs(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    form_config: &FormConfig,
+    compact_config: &CompactConfig,
+    obs: &Obs,
+) -> Result<(CompactedProgram, FormStats), PipelineError> {
+    let formed = form_program_obs(program, edge, path, scheme, form_config, obs)?;
+    let compacted = try_compact_program_obs(program, &formed.partition, compact_config, obs)
         .map_err(PipelineError::Compaction)?;
     Ok((compacted, formed.stats))
 }

@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! pps-explore --bench wc [--scheme P4] [--scale N] [--ir] [--dot] [--schedules]
+//!             [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
 //! ```
 //!
 //! Prints per-procedure superblock summaries (blocks, sizes, schedules) and
 //! optionally the transformed program's textual IR or Graphviz CFGs.
+//! `--trace-out` / `--metrics-out` record formation + compaction the same
+//! way `pps-harness` does (Chrome-trace JSON / metrics JSON).
 
-use pps_core::{form_program, FormConfig, Scheme};
-use pps_compact::{compact_program, CompactConfig};
+use pps_core::{form_program_obs, FormConfig, Scheme};
+use pps_compact::{try_compact_program_obs, CompactConfig};
 use pps_ir::interp::{ExecConfig, Interp};
 use pps_ir::trace::TeeSink;
+use pps_obs::{Level, Obs, ObsConfig};
 use pps_profile::{EdgeProfiler, PathProfiler};
 use pps_suite::{benchmark_by_name, Scale};
 use std::process::ExitCode;
@@ -18,7 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: pps-explore --bench NAME [--scheme BB|M4|M16|P4|P4e] [--scale N] \
-         [--ir] [--dot] [--schedules]"
+         [--ir] [--dot] [--schedules] \
+         [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]"
     );
     std::process::exit(2);
 }
@@ -42,6 +47,9 @@ fn main() -> ExitCode {
     let mut show_ir = false;
     let mut show_dot = false;
     let mut show_schedules = false;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut level = Level::Info;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,6 +64,12 @@ fn main() -> ExitCode {
             "--ir" => show_ir = true,
             "--dot" => show_dot = true,
             "--schedules" => show_schedules = true,
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--log-level" => {
+                level = Level::parse(it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
@@ -65,17 +79,34 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    let obs = Obs::recording(ObsConfig {
+        level,
+        trace: trace_out.is_some(),
+        metrics: metrics_out.is_some(),
+    });
+    let root = obs
+        .span("pps-explore")
+        .arg("bench", bench_name.as_str())
+        .arg("scheme", scheme.name());
+
     let mut program = bench.program.clone();
+    let profile_span = obs.span("profile");
     let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
     Interp::new(&program, ExecConfig::default())
         .run_traced(&bench.train_args, &mut tee)
         .expect("train run");
-    let formed = match form_program(
+    let edge = tee.a.finish();
+    let path = tee.b.finish();
+    edge.record_metrics(&obs);
+    path.record_metrics(&obs);
+    drop(profile_span);
+    let formed = match form_program_obs(
         &mut program,
-        &tee.a.finish(),
-        Some(&tee.b.finish()),
+        &edge,
+        Some(&path),
         scheme,
         &FormConfig::default(),
+        &obs,
     ) {
         Ok(formed) => formed,
         Err(e) => {
@@ -95,7 +126,15 @@ fn main() -> ExitCode {
         formed.stats.splits,
     );
 
-    let compacted = compact_program(&mut program, &formed.partition, &CompactConfig::default());
+    let compacted =
+        match try_compact_program_obs(&mut program, &formed.partition, &CompactConfig::default(), &obs)
+        {
+            Ok(compacted) => compacted,
+            Err(e) => {
+                eprintln!("{bench_name}: compaction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     for (pid, proc) in program.iter_procs() {
         let cp = compacted.proc(pid);
         println!("\nproc {} ({} blocks, {} superblocks):", proc.name, proc.blocks.len(), cp.superblocks.len());
@@ -126,6 +165,21 @@ fn main() -> ExitCode {
     }
     if show_ir {
         println!("\n=== transformed program ===\n{}", pps_ir::text::print_program(&program));
+    }
+    drop(root);
+    if let Some(p) = &trace_out {
+        if let Err(e) = obs.write_trace(p) {
+            eprintln!("[pps error] writing trace to {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        obs.log(Level::Info, || format!("trace written to {p}"));
+    }
+    if let Some(p) = &metrics_out {
+        if let Err(e) = obs.write_metrics(p) {
+            eprintln!("[pps error] writing metrics to {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        obs.log(Level::Info, || format!("metrics written to {p}"));
     }
     ExitCode::SUCCESS
 }

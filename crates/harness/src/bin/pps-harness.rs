@@ -2,21 +2,31 @@
 //!
 //! ```text
 //! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]
+//!             [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
 //! pps-harness --all
 //! ```
+//!
+//! `--trace-out` writes a Chrome-trace-event JSON file (open it at
+//! <https://ui.perfetto.dev>); `--metrics-out` writes the metrics registry
+//! as JSON; `--log-level` controls progress logging on stderr
+//! (off|error|warn|info|debug, default info).
 
 use pps_core::GuardMode;
-use pps_harness::experiments::{run_experiment, EXPERIMENTS};
+use pps_harness::experiments::{run_experiment_obs, EXPERIMENTS};
+use pps_obs::{Level, Obs, ObsConfig};
 use pps_suite::Scale;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]\n\
+         \x20                  [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
          \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade]\n\
          experiments: {}\n\
          modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
-         \x20      degrade = fall back to basic-block scheduling per failed procedure (default)",
+         \x20      degrade = fall back to basic-block scheduling per failed procedure (default)\n\
+         observability: --trace-out writes Chrome-trace JSON (view in Perfetto);\n\
+         \x20             --metrics-out writes the counters/histograms registry as JSON",
         EXPERIMENTS.join(", ")
     );
     std::process::exit(2);
@@ -30,6 +40,9 @@ fn main() -> ExitCode {
     let mut csv = false;
     let mut all = false;
     let mut mode = GuardMode::Degrade;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut level = Level::Info;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -49,6 +62,12 @@ fn main() -> ExitCode {
                 "degrade" => mode = GuardMode::Degrade,
                 _ => usage(),
             },
+            "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--log-level" => {
+                level = Level::parse(it.next().unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| usage());
+            }
             "--csv" => csv = true,
             "--all" => all = true,
             "--help" | "-h" => usage(),
@@ -69,13 +88,64 @@ fn main() -> ExitCode {
         }
     };
 
+    // Recording is selected per sink: spans/events only when --trace-out is
+    // given, metrics only when --metrics-out is given. Logging always goes
+    // through the same handle so `--log-level` governs all progress output.
+    let obs = Obs::recording(ObsConfig {
+        level,
+        trace: trace_out.is_some(),
+        metrics: metrics_out.is_some(),
+    });
+
+    let code = run_experiments(&ids, scale, bench.as_deref(), mode, csv, &obs);
+
+    // Exports happen even when a run failed: a trace of the failure is
+    // exactly what the flag was for.
+    let mut export_failed = false;
+    if let Some(path) = &trace_out {
+        match obs.write_trace(path) {
+            Ok(_) => obs.log(Level::Info, || format!("trace written to {path}")),
+            Err(e) => {
+                eprintln!("[pps error] writing trace to {path}: {e}");
+                export_failed = true;
+            }
+        }
+    }
+    if let Some(path) = &metrics_out {
+        match obs.write_metrics(path) {
+            Ok(_) => obs.log(Level::Info, || format!("metrics written to {path}")),
+            Err(e) => {
+                eprintln!("[pps error] writing metrics to {path}: {e}");
+                export_failed = true;
+            }
+        }
+    }
+    if export_failed {
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+/// Runs every selected experiment under one root span, printing each table
+/// as text or CSV.
+fn run_experiments(
+    ids: &[&str],
+    scale: Scale,
+    bench: Option<&str>,
+    mode: GuardMode,
+    csv: bool,
+    obs: &Obs,
+) -> ExitCode {
+    let _root = obs.span("pps-harness").arg("experiments", ids.len());
     for id in ids {
-        eprintln!("[pps-harness] running {id} at scale {} (mode {mode}) ...", scale.0);
+        obs.log(Level::Info, || {
+            format!("running {id} at scale {} (mode {mode}) ...", scale.0)
+        });
         let start = std::time::Instant::now();
-        let tables = match run_experiment(id, scale, bench.as_deref(), mode) {
+        let tables = match run_experiment_obs(id, scale, bench, mode, obs) {
             Ok(tables) => tables,
             Err(e) => {
-                eprintln!("[pps-harness] {id} failed: {e}");
+                obs.log(Level::Error, || format!("{id} failed: {e}"));
                 return ExitCode::FAILURE;
             }
         };
@@ -86,7 +156,9 @@ fn main() -> ExitCode {
                 println!("{}", t.render());
             }
         }
-        eprintln!("[pps-harness] {id} done in {:.1}s", start.elapsed().as_secs_f64());
+        obs.log(Level::Info, || {
+            format!("{id} done in {:.1}s", start.elapsed().as_secs_f64())
+        });
     }
     ExitCode::SUCCESS
 }

@@ -1,10 +1,11 @@
 //! The per-figure experiment drivers.
 
 use crate::report::{incident_table, millions, percent, ratio, Table};
-use crate::runner::{run_scheme, RunConfig, RunError, SchemeRun};
+use crate::runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
 use pps_core::config::Scheme;
 use pps_core::{GuardMode, Incident};
 use pps_machine::MachineConfig;
+use pps_obs::Obs;
 use pps_suite::{all_benchmarks, Benchmark, Scale};
 
 /// All experiment identifiers accepted by the harness binary.
@@ -28,6 +29,8 @@ pub struct RunCtx {
     pub config: RunConfig,
     /// `(benchmark, scheme, incident)` for every incident recorded.
     pub incidents: Vec<(String, String, Incident)>,
+    /// Observability handle every run records into (no-op by default).
+    pub obs: Obs,
 }
 
 impl RunCtx {
@@ -35,7 +38,7 @@ impl RunCtx {
     pub fn paper(mode: GuardMode) -> Self {
         let mut config = RunConfig::paper();
         config.guard.mode = mode;
-        RunCtx { config, incidents: Vec::new() }
+        RunCtx { config, incidents: Vec::new(), obs: Obs::noop() }
     }
 
     /// Runs `bench` × `scheme` under the context's own configuration.
@@ -52,7 +55,7 @@ impl RunCtx {
         scheme: Scheme,
         config: &RunConfig,
     ) -> Result<SchemeRun, RunError> {
-        let r = run_scheme(bench, scheme, config)?;
+        let r = run_scheme_obs(bench, scheme, config, &self.obs)?;
         for inc in &r.guard.incidents {
             self.incidents
                 .push((bench.name.to_string(), scheme.name(), inc.clone()));
@@ -77,8 +80,29 @@ pub fn run_experiment(
     filter: Option<&str>,
     mode: GuardMode,
 ) -> Result<Vec<Table>, RunError> {
+    run_experiment_obs(id, scale, filter, mode, &Obs::noop())
+}
+
+/// [`run_experiment`] with observability: the experiment runs under an
+/// `experiment` span and every scheme run records its spans and metrics
+/// into `obs` (see [`run_scheme_obs`]).
+///
+/// # Errors
+/// As [`run_experiment`].
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_obs(
+    id: &str,
+    scale: Scale,
+    filter: Option<&str>,
+    mode: GuardMode,
+    obs: &Obs,
+) -> Result<Vec<Table>, RunError> {
+    let _span = obs.span("experiment").arg("id", id);
     let benches = select_benchmarks(scale, filter);
     let mut ctx = RunCtx::paper(mode);
+    ctx.obs = obs.clone();
     let mut tables = match id {
         "table1" => vec![table1(&benches, &mut ctx)?],
         "fig4" => vec![fig4(&benches, &mut ctx)?],

@@ -28,4 +28,4 @@ pub mod report;
 pub mod runner;
 
 pub use experiments::RunCtx;
-pub use runner::{run_scheme, RunConfig, RunError, SchemeRun};
+pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};

@@ -2,14 +2,15 @@
 
 use pps_compact::CompactConfig;
 use pps_core::{
-    guarded_form_and_compact, FormConfig, FormStats, GuardConfig, GuardReport, PipelineError,
+    guarded_form_and_compact_obs, FormConfig, FormStats, GuardConfig, GuardReport, PipelineError,
     Scheme,
 };
 use pps_ir::interp::{DynCounts, ExecConfig, ExecError, Interp};
 use pps_ir::trace::TeeSink;
 use pps_machine::MachineConfig;
+use pps_obs::Obs;
 use pps_profile::{EdgeProfiler, PathProfiler, DEFAULT_PATH_DEPTH};
-use pps_sim::{simulate, Layout, SbDynStats};
+use pps_sim::{simulate_obs, Layout, SbDynStats};
 use pps_suite::Benchmark;
 use std::fmt;
 
@@ -120,6 +121,27 @@ pub fn run_scheme(
     scheme: Scheme,
     config: &RunConfig,
 ) -> Result<SchemeRun, RunError> {
+    run_scheme_obs(bench, scheme, config, &Obs::noop())
+}
+
+/// [`run_scheme`] with observability: the whole run executes under a
+/// `run-scheme` span (children: `profile`, the guarded pipeline's
+/// per-procedure spans, `layout`, and the two `simulate` runs), with
+/// metrics and decision events labeled `bench` and `scheme`.
+///
+/// # Errors
+/// As [`run_scheme`].
+pub fn run_scheme_obs(
+    bench: &Benchmark,
+    scheme: Scheme,
+    config: &RunConfig,
+    obs: &Obs,
+) -> Result<SchemeRun, RunError> {
+    let obs = obs.with_label("bench", bench.name).with_label("scheme", scheme.name());
+    let _run_span = obs
+        .span("run-scheme")
+        .arg("bench", bench.name)
+        .arg("scheme", scheme.name());
     let mut program = bench.program.clone();
     let exec_config = ExecConfig::default();
     let exec_err = |stage: &'static str| {
@@ -128,12 +150,16 @@ pub fn run_scheme(
 
     // 1. One training run feeds both profilers.
     let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
+    let profile_span = obs.span("profile").arg("depth", depth);
     let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
     Interp::new(&program, exec_config)
         .run_traced(&bench.train_args, &mut tee)
         .map_err(exec_err("train run"))?;
     let edge = tee.a.finish();
     let path = tee.b.finish();
+    edge.record_metrics(&obs);
+    path.record_metrics(&obs);
+    drop(profile_span);
 
     // 2. Form + compact under the recovery boundary. The runner's machine
     // description is the single source of truth: it overrides the
@@ -145,7 +171,7 @@ pub fn run_scheme(
     if guard.oracle_inputs.is_empty() {
         guard.oracle_inputs = vec![bench.train_args.clone()];
     }
-    let guarded = guarded_form_and_compact(
+    let guarded = guarded_form_and_compact_obs(
         &mut program,
         &edge,
         Some(&path),
@@ -153,23 +179,35 @@ pub fn run_scheme(
         &config.form,
         &compact_config,
         &guard,
+        &obs,
     )
     .map_err(|error| RunError::Pipeline { bench: bench.name.to_string(), error })?;
     let compacted = guarded.compacted;
     let form_stats = guarded.stats;
 
     // 3. Training-input run over the transformed code for layout weights.
-    let train_out = simulate(&program, &compacted, &config.machine, None, &bench.train_args)
-        .map_err(exec_err("layout run"))?;
-    let layout = Layout::build(&program, &compacted, &train_out.transitions, &config.machine);
+    let train_out = simulate_obs(
+        &program,
+        &compacted,
+        &config.machine,
+        None,
+        &bench.train_args,
+        &obs.with_label("stage", "layout"),
+    )
+    .map_err(exec_err("layout run"))?;
+    let layout = {
+        let _span = obs.span("layout");
+        Layout::build(&program, &compacted, &train_out.transitions, &config.machine)
+    };
 
     // 4. Measured run on the testing input.
-    let out = simulate(
+    let out = simulate_obs(
         &program,
         &compacted,
         &config.machine,
         Some(&layout),
         &bench.test_args,
+        &obs.with_label("stage", "test"),
     )
     .map_err(exec_err("test run"))?;
 
@@ -185,6 +223,11 @@ pub fn run_scheme(
     );
 
     let icache = out.icache.expect("layout supplied");
+    if obs.is_recording() {
+        obs.counter("form.static_before", form_stats.static_before);
+        obs.counter("form.static_after", form_stats.static_after);
+        obs.counter("compact.static_instrs", compacted.total_items());
+    }
     Ok(SchemeRun {
         scheme,
         cycles: out.cycles,

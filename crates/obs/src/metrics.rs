@@ -1,0 +1,230 @@
+//! Counter/histogram metrics registry with labeled series and a
+//! stable-schema JSON export.
+//!
+//! Keys are `(name, sorted labels)`; the export orders series
+//! deterministically (BTreeMap iteration), so diffing two metrics files
+//! from the same workload is meaningful.
+
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Identity of one metric series: a name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, dot-separated by convention (`form.superblocks`).
+    pub name: String,
+    /// Label pairs, kept sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key with the labels sorted.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey { name: name.to_string(), labels }
+    }
+}
+
+/// Streaming summary of one histogram series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+/// The registry: every counter and histogram series recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Adds `delta` to a counter series.
+    pub fn add(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, key: MetricKey, value: f64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Sum of a counter's values across every label combination.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// All counter series, in deterministic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// All histogram series, in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Total number of series (counters + histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.histograms.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Exports the registry as stable-schema JSON:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "pps-metrics",
+    ///   "version": 1,
+    ///   "counters":   [{"name": "...", "labels": {...}, "value": 1}],
+    ///   "histograms": [{"name": "...", "labels": {...},
+    ///                   "count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.len() * 96);
+        out.push_str("{\"schema\":\"pps-metrics\",\"version\":1,\n\"counters\":[");
+        for (i, (key, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"name\":");
+            json::escape_into(&mut out, &key.name);
+            write_labels(&mut out, &key.labels);
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+            out.push('}');
+        }
+        out.push_str("\n],\n\"histograms\":[");
+        for (i, (key, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"name\":");
+            json::escape_into(&mut out, &key.name);
+            write_labels(&mut out, &key.labels);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                h.count,
+                json::number(h.sum),
+                json::number(if h.count == 0 { 0.0 } else { h.min }),
+                json::number(if h.count == 0 { 0.0 } else { h.max }),
+                json::number(h.mean()),
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+fn write_labels(out: &mut String, labels: &[(String, String)]) {
+    out.push_str(",\"labels\":{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, k);
+        out.push(':');
+        json::escape_into(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn counters_merge_by_key() {
+        let mut r = MetricsRegistry::default();
+        r.add(MetricKey::new("x", &[("b", "2"), ("a", "1")]), 3);
+        r.add(MetricKey::new("x", &[("a", "1"), ("b", "2")]), 4);
+        r.add(MetricKey::new("x", &[("a", "other")]), 1);
+        assert_eq!(r.counter_total("x"), 8);
+        assert_eq!(r.counters().count(), 2, "label order must not split series");
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut r = MetricsRegistry::default();
+        let key = MetricKey::new("h", &[]);
+        r.record(key.clone(), 2.0);
+        r.record(key.clone(), 6.0);
+        let (_, h) = r.histograms().next().unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 6.0);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn export_schema_is_stable_and_parseable() {
+        let mut r = MetricsRegistry::default();
+        r.add(MetricKey::new("c", &[("bench", "wc")]), 7);
+        r.record(MetricKey::new("h", &[]), 1.5);
+        let doc = parse(&r.to_json()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("pps-metrics"));
+        assert_eq!(doc.get("version").unwrap().as_num(), Some(1.0));
+        let cs = doc.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].get("value").unwrap().as_num(), Some(7.0));
+        assert_eq!(
+            cs[0].get("labels").unwrap().get("bench").unwrap().as_str(),
+            Some("wc")
+        );
+        let hs = doc.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(hs[0].get("count").unwrap().as_num(), Some(1.0));
+        assert_eq!(hs[0].get("mean").unwrap().as_num(), Some(1.5));
+    }
+
+    #[test]
+    fn empty_export_still_has_all_keys() {
+        let doc = parse(&MetricsRegistry::default().to_json()).unwrap();
+        assert!(doc.get("counters").unwrap().as_arr().unwrap().is_empty());
+        assert!(doc.get("histograms").unwrap().as_arr().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Chrome trace-event model and exporter.
+//!
+//! Events are exported in the Chrome trace-event JSON format (the
+//! `{"traceEvents": [...]}` object form), which loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing`. Spans are complete
+//! (`ph:"X"`) events carrying a microsecond timestamp and duration;
+//! decision events and log lines are instant (`ph:"i"`) events. Nesting
+//! needs no explicit parent links: complete events on the same pid/tid
+//! nest by time interval.
+
+use crate::json;
+
+/// One structured argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl ArgValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            ArgValue::Int(v) => out.push_str(&v.to_string()),
+            ArgValue::UInt(v) => out.push_str(&v.to_string()),
+            ArgValue::Float(v) => out.push_str(&json::number(*v)),
+            ArgValue::Str(s) => json::escape_into(out, s),
+            ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::Int(v.into())
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(v.into())
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One trace event, already stamped.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (span or decision name).
+    pub name: String,
+    /// Category (`span`, `decision`, `guard`, `log`, ...).
+    pub cat: String,
+    /// Chrome phase: `'X'` complete, `'i'` instant.
+    pub ph: char,
+    /// Timestamp in microseconds since the recorder started.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: Option<f64>,
+    /// Thread id (dense, assigned per recorder).
+    pub tid: u64,
+    /// Structured arguments.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// Renders `events` as a Chrome trace-event JSON document.
+pub fn export_chrome(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":");
+        json::escape_into(&mut out, &e.name);
+        out.push_str(",\"cat\":");
+        json::escape_into(&mut out, &e.cat);
+        out.push_str(",\"ph\":\"");
+        out.push(e.ph);
+        out.push_str("\",\"ts\":");
+        out.push_str(&json::number(e.ts_us));
+        if let Some(dur) = e.dur_us {
+            out.push_str(",\"dur\":");
+            out.push_str(&json::number(dur));
+        }
+        if e.ph == 'i' {
+            // Instant-event scope: thread.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::escape_into(&mut out, k);
+                out.push(':');
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn export_is_valid_chrome_json() {
+        let events = vec![
+            TraceEvent {
+                name: "outer".into(),
+                cat: "span".into(),
+                ph: 'X',
+                ts_us: 0.0,
+                dur_us: Some(100.5),
+                tid: 1,
+                args: vec![("bench".into(), ArgValue::Str("wc".into()))],
+            },
+            TraceEvent {
+                name: "pick".into(),
+                cat: "decision".into(),
+                ph: 'i',
+                ts_us: 10.0,
+                dur_us: None,
+                tid: 1,
+                args: vec![
+                    ("weight".into(), ArgValue::UInt(42)),
+                    ("ok".into(), ArgValue::Bool(true)),
+                ],
+            },
+        ];
+        let doc = parse(&export_chrome(&events)).unwrap();
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("name").unwrap().as_str(), Some("outer"));
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(evs[0].get("dur").unwrap().as_num(), Some(100.5));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(evs[1].get("args").unwrap().get("weight").unwrap().as_num(), Some(42.0));
+        // Every event has the fields Perfetto needs.
+        for e in evs {
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "missing {key}");
+            }
+        }
+    }
+}

@@ -176,6 +176,13 @@ impl EdgeProfile {
         self.edge_freq[proc.index()].iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Records profile summary metrics into `obs`: total dynamic edge
+    /// events and procedures covered, as `profile.edge.*` counters.
+    pub fn record_metrics(&self, obs: &pps_obs::Obs) {
+        obs.counter("profile.edge.dyn_edges", self.dyn_edges);
+        obs.counter("profile.edge.procs", self.num_procs() as u64);
+    }
+
     /// Reconstructs a profile from raw counts (profile deserialization).
     pub fn from_counts(
         block_freq: Vec<Vec<u64>>,

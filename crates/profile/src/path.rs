@@ -339,6 +339,25 @@ impl PathProfile {
         (t.cache_hits, t.cache_misses)
     }
 
+    /// Records profile summary metrics into `obs`: distinct paths and
+    /// transition-cache totals across all procedures, plus the profiling
+    /// depth, as `profile.path.*` counters.
+    pub fn record_metrics(&self, obs: &pps_obs::Obs) {
+        let mut paths = 0u64;
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for pi in 0..self.num_procs() {
+            let pid = ProcId::new(pi as u32);
+            paths += self.distinct_paths(pid) as u64;
+            let (h, m) = self.cache_stats(pid);
+            hits += h;
+            misses += m;
+        }
+        obs.counter("profile.path.distinct_paths", paths);
+        obs.counter("profile.path.cache_hits", hits);
+        obs.counter("profile.path.cache_misses", misses);
+        obs.counter("profile.path.depth", self.depth as u64);
+    }
+
     /// Enumerates every recorded maximal window of `proc` with its count
     /// (counts > 0 only), in an unspecified but deterministic order. The
     /// profile can be reconstructed exactly from these via

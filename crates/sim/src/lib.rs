@@ -29,6 +29,7 @@ use pps_compact::CompactedProgram;
 use pps_ir::interp::{ExecConfig, ExecError, ExecResult, Interp};
 use pps_ir::Program;
 use pps_machine::MachineConfig;
+use pps_obs::Obs;
 
 pub use cycle::{CycleSim, Transitions};
 pub use icache::{CacheStats, DirectMappedICache};
@@ -62,6 +63,21 @@ impl SimOutcome {
     pub fn miss_rate(&self) -> Option<f64> {
         self.icache.as_ref().map(CacheStats::miss_rate)
     }
+
+    /// Records this outcome into `obs` as `sim.*` counters: cycle count,
+    /// instruction-cache statistics (when simulated), and the dynamic
+    /// superblock statistics behind Figure 7.
+    pub fn record_metrics(&self, obs: &Obs) {
+        obs.counter("sim.cycles", self.cycles);
+        if let Some(ic) = &self.icache {
+            obs.counter("sim.icache.accesses", ic.accesses);
+            obs.counter("sim.icache.misses", ic.misses);
+            obs.counter("sim.icache.penalty_cycles", ic.penalty_cycles);
+        }
+        obs.counter("sim.sb.traversals", self.sb_stats.traversals);
+        obs.counter("sim.sb.blocks_executed", self.sb_stats.blocks_executed);
+        obs.counter("sim.sb.size_blocks", self.sb_stats.size_blocks);
+    }
 }
 
 /// Runs `program` on `args`, charging cycles from `compacted`'s schedules.
@@ -76,9 +92,29 @@ pub fn simulate(
     layout: Option<&Layout>,
     args: &[i64],
 ) -> Result<SimOutcome, ExecError> {
+    simulate_obs(program, compacted, machine, layout, args, &Obs::noop())
+}
+
+/// [`simulate`] with observability: the run executes under a `simulate`
+/// span and the outcome's `sim.*` metrics are recorded into `obs`.
+///
+/// # Errors
+/// As [`simulate`].
+pub fn simulate_obs(
+    program: &Program,
+    compacted: &CompactedProgram,
+    machine: &MachineConfig,
+    layout: Option<&Layout>,
+    args: &[i64],
+    obs: &Obs,
+) -> Result<SimOutcome, ExecError> {
+    let span = obs.span("simulate").arg("icache", layout.is_some());
     let mut sim = CycleSim::new(compacted, machine, layout);
     let exec = Interp::new(program, ExecConfig::default()).run_traced(args, &mut sim)?;
-    Ok(sim.finish(exec))
+    let outcome = sim.finish(exec);
+    drop(span.arg("cycles", outcome.cycles));
+    outcome.record_metrics(obs);
+    Ok(outcome)
 }
 
 #[cfg(test)]

@@ -1,0 +1,78 @@
+//! CI validator for the observability exports: checks that a Chrome-trace
+//! JSON file and a metrics JSON file (as written by `pps-harness
+//! --trace-out/--metrics-out`) parse and carry the expected structure.
+//!
+//! ```text
+//! cargo run --release --example validate_obs -- trace.json metrics.json
+//! ```
+//!
+//! Exits non-zero (panics) on a missing file, unparseable JSON, or a
+//! document missing the expected top-level keys — the failure modes the CI
+//! smoke step exists to catch.
+
+use pps_obs::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, metrics_path] = args.as_slice() else {
+        panic!("usage: validate_obs <trace.json> <metrics.json>");
+    };
+
+    // --- Trace: Chrome trace-event object form, non-empty, Perfetto keys.
+    let trace = std::fs::read_to_string(trace_path)
+        .unwrap_or_else(|e| panic!("reading {trace_path}: {e}"));
+    let doc = json::parse(&trace).unwrap_or_else(|e| panic!("{trace_path}: bad JSON: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{trace_path}: no traceEvents array"));
+    assert!(!events.is_empty(), "{trace_path}: traceEvents is empty");
+    for e in events {
+        for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(key).is_some(), "{trace_path}: event missing `{key}`: {e:?}");
+        }
+    }
+    let spans = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .count();
+    assert!(spans > 0, "{trace_path}: no complete (ph:X) span events");
+
+    // --- Metrics: stable schema with counters + histograms arrays.
+    let metrics = std::fs::read_to_string(metrics_path)
+        .unwrap_or_else(|e| panic!("reading {metrics_path}: {e}"));
+    let doc = json::parse(&metrics).unwrap_or_else(|e| panic!("{metrics_path}: bad JSON: {e}"));
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("pps-metrics"),
+        "{metrics_path}: wrong or missing schema tag"
+    );
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_num()),
+        Some(1.0),
+        "{metrics_path}: wrong or missing version"
+    );
+    let counters = doc
+        .get("counters")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{metrics_path}: no counters array"));
+    assert!(!counters.is_empty(), "{metrics_path}: counters is empty");
+    for c in counters {
+        assert!(c.get("name").is_some() && c.get("value").is_some(), "bad counter: {c:?}");
+    }
+    doc.get("histograms")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{metrics_path}: no histograms array"));
+    for name in ["form.superblocks", "sim.cycles"] {
+        assert!(
+            counters.iter().any(|c| c.get("name").and_then(|v| v.as_str()) == Some(name)),
+            "{metrics_path}: expected counter `{name}`"
+        );
+    }
+
+    println!(
+        "validate_obs: OK ({} trace events, {spans} spans, {} counters)",
+        events.len(),
+        counters.len()
+    );
+}

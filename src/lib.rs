@@ -30,6 +30,7 @@ pub use pps_core as core;
 pub use pps_harness as harness;
 pub use pps_ir as ir;
 pub use pps_machine as machine;
+pub use pps_obs as obs;
 pub use pps_profile as profile;
 pub use pps_sim as sim;
 pub use pps_suite as suite;
