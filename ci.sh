@@ -4,9 +4,11 @@
 # shims/README.md), so `cargo` never touches a registry.
 #
 # Stages (run all by default):
-#   ./ci.sh gate       build + tests + clippy
-#   ./ci.sh obs-smoke  one recorded benchmark run; fails on missing or
-#                      invalid --trace-out/--metrics-out JSON
+#   ./ci.sh gate              build + tests + clippy
+#   ./ci.sh obs-smoke         one recorded benchmark run; fails on missing or
+#                             invalid --trace-out/--metrics-out JSON
+#   ./ci.sh parallel-harness  same experiment at --jobs 1 and --jobs 2;
+#                             fails if tables or metrics differ by a byte
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,15 +40,33 @@ obs_smoke() {
   rm -rf "$out"
 }
 
+parallel_harness() {
+  echo "== parallel harness determinism =="
+  out="$(mktemp -d)"
+  for jobs in 1 2; do
+    cargo run --release -p pps-harness --bin pps-harness -- \
+      --experiment fig4 --scale 1 --mode strict --jobs "$jobs" \
+      --metrics-out "$out/metrics-j$jobs.json" \
+      --log-level warn > "$out/tables-j$jobs.txt"
+  done
+  diff -u "$out/tables-j1.txt" "$out/tables-j2.txt" \
+    || { echo "tables differ between --jobs 1 and --jobs 2"; exit 1; }
+  diff -u "$out/metrics-j1.json" "$out/metrics-j2.json" \
+    || { echo "metrics differ between --jobs 1 and --jobs 2"; exit 1; }
+  rm -rf "$out"
+}
+
 case "$stage" in
   gate) gate ;;
   obs-smoke) obs_smoke ;;
+  parallel-harness) parallel_harness ;;
   all)
     gate
     obs_smoke
+    parallel_harness
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|all]" >&2
     exit 2
     ;;
 esac

@@ -98,7 +98,9 @@ pub struct SbIndex {
 }
 
 impl SbIndex {
-    /// Builds the index over the formed superblocks.
+    /// Builds the index over the formed superblocks. `analysis` must
+    /// describe the current body of `proc` — the caller passes its cached
+    /// bundle down instead of this function recomputing one per pass.
     ///
     /// A superblock is a *superblock loop* when its last block has an edge
     /// to its head and that edge is likely:
@@ -109,6 +111,7 @@ impl SbIndex {
         sbs: &[SbBuild],
         chain_flags: &[bool],
         edge: &EdgeProfile,
+        analysis: &ProcAnalysis,
         config: &FormConfig,
     ) -> Self {
         debug_assert_eq!(chain_flags.len(), sbs.len());
@@ -124,7 +127,7 @@ impl SbIndex {
             }
             blocks.push(sb.blocks.clone());
         }
-        let analysis = ProcAnalysis::compute(proc);
+        debug_assert_eq!(analysis.cfg.len(), proc.blocks.len(), "analysis is current");
         let mut is_header = vec![false; proc.blocks.len()];
         for &h in &analysis.loops.headers {
             is_header[h.index()] = true;
@@ -626,7 +629,8 @@ mod tests {
         ];
         let config = FormConfig::default();
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         assert!(index.is_loop[0], "loop classified");
         assert!(!index.is_loop[1]);
         let snap = snapshot_terms(p.proc(pid));
@@ -661,7 +665,8 @@ mod tests {
         ];
         let config = FormConfig::default();
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         assert!(index.is_loop[0], "trip-5 loop is likely (4/5 back-edge)");
         let snap = snapshot_terms(p.proc(pid));
         let snapshot: Vec<Vec<BlockId>> = sbs.iter().map(|s| s.blocks.clone()).collect();
@@ -687,7 +692,8 @@ mod tests {
         ];
         let config = FormConfig::default();
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         let snap = snapshot_terms(p.proc(pid));
         let (stats, chains) = enlarge_path(
             p.proc_mut(pid), pid, &mut sbs[0], 0, &index, &snap, &pp, &mut orig_of,
@@ -751,7 +757,8 @@ mod tests {
         ];
         let config = FormConfig::default();
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         let snap = snapshot_terms(p.proc(pid));
         let (stats, chains) = enlarge_path(
             p.proc_mut(pid), pid, &mut sbs[0], 0, &index, &snap, &pp, &mut orig_of,
@@ -776,7 +783,8 @@ mod tests {
         ];
         let config = FormConfig::default();
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         let snap = snapshot_terms(p.proc(pid));
         let (stats, _chains) = enlarge_path(
             p.proc_mut(pid), pid, &mut sbs[0], 0, &index, &snap, &pp, &mut orig_of,
@@ -801,7 +809,8 @@ mod tests {
         // stops inside the second appended body.
         let config = FormConfig { max_superblock_instrs: 14, ..Default::default() };
         let no_chains = vec![false; sbs.len()];
-        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &config);
+        let an = ProcAnalysis::compute(p.proc(pid));
+        let index = SbIndex::build(p.proc(pid), pid, &sbs, &no_chains, &ep, &an, &config);
         let snap = snapshot_terms(p.proc(pid));
         let (stats, chains) = enlarge_path(
             p.proc_mut(pid), pid, &mut sbs[0], 0, &index, &snap, &pp, &mut orig_of,
@@ -814,7 +823,8 @@ mod tests {
         assert!(!chains.is_empty(), "mid-body stop needs a compensation chain");
         let mut all = sbs.clone();
         all.extend(chains);
-        let (splits, _) = crate::fixup::split_side_entrances(p.proc(pid), &mut all);
+        let post_cfg = pps_ir::analysis::Cfg::compute(p.proc(pid));
+        let (splits, _) = crate::fixup::split_side_entrances(&post_cfg, &mut all);
         assert_eq!(splits, 0, "repair chains leave the partition clean");
         verify_program(&p).unwrap();
         let after = Interp::new(&p, ExecConfig::default()).run(&[]).unwrap();

@@ -10,7 +10,6 @@
 
 use crate::enlarge::SbBuild;
 use pps_ir::analysis::Cfg;
-use pps_ir::Proc;
 
 /// Provenance of one superblock after splitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,10 +21,11 @@ pub struct Piece {
     pub fragment: bool,
 }
 
-/// Splits superblocks at side-entered positions. Returns the number of
-/// splits performed and per-output-superblock provenance.
-pub fn split_side_entrances(proc: &Proc, sbs: &mut Vec<SbBuild>) -> (usize, Vec<Piece>) {
-    let cfg = Cfg::compute(proc);
+/// Splits superblocks at side-entered positions. `cfg` must describe the
+/// procedure's current body (callers pass their cached CFG down rather
+/// than this pass recomputing one). Returns the number of splits performed
+/// and per-output-superblock provenance.
+pub fn split_side_entrances(cfg: &Cfg, sbs: &mut Vec<SbBuild>) -> (usize, Vec<Piece>) {
     let mut result: Vec<SbBuild> = Vec::with_capacity(sbs.len());
     let mut pieces: Vec<Piece> = Vec::with_capacity(sbs.len());
     let mut splits = 0;
@@ -77,12 +77,12 @@ mod tests {
         f.ret(None);
         let main = f.finish();
         let p = pb.finish(main);
-        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(p.proc(p.entry));
         let mut sbs = vec![
             SbBuild::from_original(vec![BlockId::new(0), a, join]),
             SbBuild::from_original(vec![b]),
         ];
-        let (n, pieces) = split_side_entrances(proc, &mut sbs);
+        let (n, pieces) = split_side_entrances(&cfg, &mut sbs);
         assert_eq!(n, 1);
         assert_eq!(sbs.len(), 3);
         assert_eq!(sbs[0].blocks, vec![BlockId::new(0), a]);
@@ -108,9 +108,9 @@ mod tests {
         f.ret(None);
         let main = f.finish();
         let p = pb.finish(main);
-        let proc = p.proc(p.entry);
+        let cfg = Cfg::compute(p.proc(p.entry));
         let mut sbs = vec![SbBuild::from_original(vec![BlockId::new(0), nxt])];
-        let (n, pieces) = split_side_entrances(proc, &mut sbs);
+        let (n, pieces) = split_side_entrances(&cfg, &mut sbs);
         assert_eq!(n, 0);
         assert_eq!(sbs.len(), 1);
         assert_eq!(sbs[0].blocks.len(), 2);

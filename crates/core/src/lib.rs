@@ -33,6 +33,7 @@ pub mod guard;
 pub mod pipeline;
 pub mod select;
 pub mod tail_dup;
+pub mod unit;
 
 pub use config::{FormConfig, Scheme};
 pub use guard::{
@@ -41,6 +42,7 @@ pub use guard::{
     GuardReport, GuardedResult, Incident, Pass, PipelineError,
 };
 pub use pipeline::{
-    form_and_compact, form_and_compact_obs, form_program, form_program_obs, FormStats,
-    FormedProgram,
+    form_and_compact, form_and_compact_obs, form_program, form_program_obs,
+    form_program_parallel, form_unit, FormStats, FormedProgram,
 };
+pub use unit::CompileUnit;

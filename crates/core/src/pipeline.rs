@@ -6,11 +6,13 @@ use crate::fixup::split_side_entrances;
 use crate::guard::PipelineError;
 use crate::select::{select_traces_edge, select_traces_path, Trace};
 use crate::tail_dup::tail_duplicate;
+use crate::unit::CompileUnit;
 use pps_compact::{try_compact_program_obs, CompactConfig, CompactedProgram, SuperblockSpec};
-use pps_ir::analysis::{Cfg, ProcAnalysis};
 use pps_ir::{BlockId, ProcId, Program};
 use pps_obs::{ArgValue, Obs};
 use pps_profile::{EdgeProfile, PathProfile};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Aggregate statistics of one formation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -104,6 +106,97 @@ pub fn form_program_obs(
     Ok(FormedProgram { partition, orig_of: orig_maps, stats })
 }
 
+/// [`form_program`] with the per-procedure work fanned out across `jobs`
+/// scoped worker threads.
+///
+/// Every procedure is checked out as an independent [`CompileUnit`]
+/// (`Send`, owning its body and analysis cache) while the profiles are
+/// shared read-only. Workers claim units through an atomic index; results
+/// are merged back in procedure order, so the produced partition, original
+/// maps, and statistics are identical to the serial [`form_program`] for
+/// any `jobs` value. Formation on this path is unguarded (the guard's
+/// whole-program verification and differential oracle are inherently
+/// serial) and unobserved per-procedure (workers run with no-op `Obs`).
+///
+/// # Errors
+/// As [`form_program`].
+pub fn form_program_parallel(
+    program: &mut Program,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    jobs: usize,
+) -> Result<FormedProgram, PipelineError> {
+    if scheme.needs_path_profile() && path.is_none() {
+        return Err(PipelineError::MissingPathProfile { scheme: scheme.name() });
+    }
+    let jobs = jobs.max(1);
+    let n_procs = program.procs.len();
+    if jobs == 1 || n_procs <= 1 {
+        return form_program(program, edge, path, scheme, config);
+    }
+    let mut stats = FormStats {
+        static_before: program.static_size() as u64,
+        ..FormStats::default()
+    };
+
+    // Check every procedure out of the program; each unit is a
+    // self-contained work item.
+    let slots: Vec<Mutex<Option<CompileUnit>>> = (0..n_procs)
+        .map(|pi| {
+            let pid = ProcId::new(pi as u32);
+            Mutex::new(Some(CompileUnit::detach(program, pid)))
+        })
+        .collect();
+    type FormedUnit = (CompileUnit, Vec<SbBuild>, Vec<BlockId>, FormStats);
+    let results: Vec<Mutex<Option<FormedUnit>>> =
+        (0..n_procs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n_procs) {
+            scope.spawn(|| {
+                let obs = Obs::noop();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_procs {
+                        break;
+                    }
+                    let mut unit = slots[i].lock().unwrap().take().expect("unclaimed unit");
+                    let mut local = FormStats::default();
+                    let (sbs, orig_of) =
+                        form_unit(&mut unit, edge, path, scheme, config, &mut local, &obs);
+                    *results[i].lock().unwrap() = Some((unit, sbs, orig_of, local));
+                }
+            });
+        }
+    });
+
+    // Reattach and merge in procedure order: deterministic regardless of
+    // which worker formed which unit.
+    let mut partition = Vec::with_capacity(n_procs);
+    let mut orig_maps = Vec::with_capacity(n_procs);
+    for slot in results {
+        let (unit, sbs, orig_of, local) =
+            slot.into_inner().unwrap().expect("worker completed unit");
+        unit.reattach(program);
+        partition.push(
+            sbs.into_iter()
+                .map(|sb| SuperblockSpec::new(sb.blocks))
+                .collect::<Vec<SuperblockSpec>>(),
+        );
+        orig_maps.push(orig_of);
+        stats.tail_dup_blocks += local.tail_dup_blocks;
+        stats.enlarged_blocks += local.enlarged_blocks;
+        stats.skipped_low_completion += local.skipped_low_completion;
+        stats.splits += local.splits;
+    }
+    stats.static_after = program.static_size() as u64;
+    stats.superblocks = partition.iter().map(|p: &Vec<SuperblockSpec>| p.len() as u64).sum();
+    Ok(FormedProgram { partition, orig_of: orig_maps, stats })
+}
+
 /// Forms superblocks for a single procedure — the per-procedure unit of
 /// work [`form_program`] iterates, exposed for the recovery boundary in
 /// [`crate::guard`], which must be able to form, validate, and on failure
@@ -154,9 +247,9 @@ pub fn form_proc_partition_obs(
     Ok((specs, orig_of))
 }
 
-/// Per-procedure formation wrapper: scopes `obs` to the procedure, opens
-/// the `form` span, and records formation counter deltas around the real
-/// work in [`form_proc_inner`].
+/// Per-procedure formation entry used by [`form_program_obs`] and the
+/// guard boundary: checks the procedure out as a [`CompileUnit`], forms it,
+/// and checks it back in.
 #[allow(clippy::too_many_arguments)]
 fn form_proc(
     program: &mut Program,
@@ -168,16 +261,37 @@ fn form_proc(
     stats: &mut FormStats,
     obs: &Obs,
 ) -> (Vec<SbBuild>, Vec<BlockId>) {
+    let mut unit = CompileUnit::detach(program, pid);
+    let out = form_unit(&mut unit, edge, path, scheme, config, stats, obs);
+    unit.reattach(program);
+    out
+}
+
+/// Forms superblocks for one compilation unit — the independent (`Send`)
+/// work item of the pipeline. Scopes `obs` to the procedure, opens the
+/// `form` span, and records formation counter deltas around the real work
+/// in [`form_unit_inner`]. Every pass consumes the unit's cached analyses;
+/// only mutations (which bump the procedure's generation) trigger
+/// recomputation.
+pub fn form_unit(
+    unit: &mut CompileUnit,
+    edge: &EdgeProfile,
+    path: Option<&PathProfile>,
+    scheme: Scheme,
+    config: &FormConfig,
+    stats: &mut FormStats,
+    obs: &Obs,
+) -> (Vec<SbBuild>, Vec<BlockId>) {
     if !obs.is_recording() {
-        return form_proc_inner(program, pid, edge, path, scheme, config, stats, obs);
+        return form_unit_inner(unit, edge, path, scheme, config, stats, obs);
     }
-    let obs = obs.with_label("proc", program.proc(pid).name.as_str());
+    let obs = obs.with_label("proc", unit.proc().name.as_str());
     let span = obs
         .span("form")
-        .arg("proc", program.proc(pid).name.as_str())
+        .arg("proc", unit.proc().name.as_str())
         .arg("scheme", scheme.name());
     let before = *stats;
-    let out = form_proc_inner(program, pid, edge, path, scheme, config, stats, &obs);
+    let out = form_unit_inner(unit, edge, path, scheme, config, stats, &obs);
     obs.counter("form.superblocks", out.0.len() as u64);
     obs.counter("form.tail_dup_blocks", stats.tail_dup_blocks - before.tail_dup_blocks);
     obs.counter("form.enlarged_blocks", stats.enlarged_blocks - before.enlarged_blocks);
@@ -186,14 +300,15 @@ fn form_proc(
         stats.skipped_low_completion - before.skipped_low_completion,
     );
     obs.counter("form.splits", stats.splits - before.splits);
+    let (hits, misses) = unit.cache_stats();
+    obs.counter("form.analysis_cache_hits", hits);
+    obs.counter("form.analysis_cache_misses", misses);
     drop(span);
     out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn form_proc_inner(
-    program: &mut Program,
-    pid: ProcId,
+fn form_unit_inner(
+    unit: &mut CompileUnit,
     edge: &EdgeProfile,
     path: Option<&PathProfile>,
     scheme: Scheme,
@@ -201,12 +316,13 @@ fn form_proc_inner(
     stats: &mut FormStats,
     obs: &Obs,
 ) -> (Vec<SbBuild>, Vec<BlockId>) {
-    let proc = program.proc(pid);
-    let mut orig_of: Vec<BlockId> = proc.block_ids().collect();
+    let pid = unit.pid();
+    let mut orig_of: Vec<BlockId> = unit.proc().block_ids().collect();
 
     if scheme == Scheme::BasicBlock {
-        let cfg = Cfg::compute(proc);
-        let sbs = proc
+        let cfg = unit.cfg();
+        let sbs = unit
+            .proc()
             .block_ids()
             .filter(|b| cfg.is_reachable(*b))
             .map(|b| SbBuild::from_original(vec![b]))
@@ -216,11 +332,11 @@ fn form_proc_inner(
 
     // 1. Trace selection.
     let select_span = obs.span("select").arg("scheme", scheme.name());
-    let analysis = ProcAnalysis::compute(proc);
+    let analysis = unit.analysis();
     let traces: Vec<Trace> = match scheme {
-        Scheme::Edge { .. } => select_traces_edge(proc, pid, &analysis, edge, config),
+        Scheme::Edge { .. } => select_traces_edge(unit.proc(), pid, &analysis, edge, config),
         Scheme::Path { .. } => {
-            select_traces_path(proc, pid, &analysis, path.expect("path profile"), config)
+            select_traces_path(unit.proc(), pid, &analysis, path.expect("path profile"), config)
         }
         Scheme::BasicBlock => unreachable!(),
     };
@@ -244,13 +360,14 @@ fn form_proc_inner(
 
     // 2. Tail duplication.
     let tail_span = obs.span("tail_dup");
-    let proc = program.proc_mut(pid);
     let mut sbs: Vec<SbBuild> = Vec::with_capacity(traces.len());
     let mut chains: Vec<SbBuild> = Vec::new();
     if config.tail_duplication {
         for trace in &traces {
-            let cfg = Cfg::compute(proc);
-            let dup = tail_duplicate(proc, trace, &cfg);
+            // Each duplication rewires edges, so the cached CFG refreshes
+            // per trace; with no duplications it is a straight cache hit.
+            let cfg = unit.cfg();
+            let dup = tail_duplicate(unit.proc_mut(), trace, &cfg);
             stats.tail_dup_blocks += dup.chain.len() as u64;
             for (&c, &o) in dup.chain.iter().zip(dup.chain_orig.iter()) {
                 debug_assert_eq!(c.index(), orig_of.len());
@@ -267,7 +384,7 @@ fn form_proc_inner(
         // Ablation: keep only side-entrance-free traces whole; break the
         // rest into singletons.
         for trace in &traces {
-            let cfg = Cfg::compute(proc);
+            let cfg = unit.cfg();
             let clean = trace.blocks.iter().enumerate().skip(1).all(|(i, &b)| {
                 cfg.preds[b.index()].iter().all(|&p| p == trace.blocks[i - 1])
             });
@@ -289,7 +406,8 @@ fn form_proc_inner(
     // Split any residual side entrances before classification (tail
     // duplication of later traces may have redirected edges into earlier
     // copy chains).
-    let (n, pieces) = split_side_entrances(program.proc(pid), &mut sbs);
+    let cfg = unit.cfg();
+    let (n, pieces) = split_side_entrances(&cfg, &mut sbs);
     stats.splits += n as u64;
     is_chain = pieces.iter().map(|p| is_chain[p.origin]).collect();
     drop(tail_span.arg("superblocks", sbs.len()).arg("splits", n));
@@ -308,14 +426,14 @@ fn form_proc_inner(
                 break;
             }
             let _enlarge_span = obs.span("enlarge").arg("pass", pass);
-            let proc_ref = program.proc(pid);
-            let index = SbIndex::build(proc_ref, pid, &sbs, &is_chain, edge, config);
+            let analysis = unit.analysis();
+            let index = SbIndex::build(unit.proc(), pid, &sbs, &is_chain, edge, &analysis, config);
             let snapshot: Vec<Vec<BlockId>> = sbs.iter().map(|s| s.blocks.clone()).collect();
-            let term_snapshot = snapshot_terms(proc_ref);
+            let term_snapshot = snapshot_terms(unit.proc());
             // Hot-first order by head frequency.
             let mut order: Vec<usize> = (0..sbs.len()).filter(|&i| pending[i]).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(edge.block_freq(pid, sbs[i].orig[0])));
-            let proc = program.proc_mut(pid);
+            let proc = unit.proc_mut();
             let mut new_chains: Vec<SbBuild> = Vec::new();
             for i in order {
                 match scheme {
@@ -356,7 +474,8 @@ fn form_proc_inner(
             pending.resize(sbs.len(), false);
             is_chain.resize(sbs.len(), true);
             let _ = n_before;
-            let (n, pieces) = split_side_entrances(program.proc(pid), &mut sbs);
+            let cfg = unit.cfg();
+            let (n, pieces) = split_side_entrances(&cfg, &mut sbs);
             stats.splits += n as u64;
             // Fresh fragments become enlargement candidates; everything
             // else is done.
@@ -370,7 +489,8 @@ fn form_proc_inner(
 
     // Final fixup (harmless if already clean).
     let fixup_span = obs.span("fixup");
-    let (n, _) = split_side_entrances(program.proc(pid), &mut sbs);
+    let cfg = unit.cfg();
+    let (n, _) = split_side_entrances(&cfg, &mut sbs);
     stats.splits += n as u64;
     drop(fixup_span.arg("splits", n));
     (sbs, orig_of)
@@ -572,6 +692,26 @@ mod tests {
         assert_eq!(before.output, after.output);
         assert!(stats.superblocks > 0);
         assert_eq!(compacted.procs.len(), p.procs.len());
+    }
+
+    #[test]
+    fn parallel_formation_matches_serial() {
+        for scheme in [Scheme::BasicBlock, Scheme::M4, Scheme::P4, Scheme::P4E] {
+            let mut serial_p = workload();
+            let mut parallel_p = workload();
+            let (ep, pp) = profiles(&serial_p, 150);
+            let config = FormConfig::default();
+            let serial =
+                form_program(&mut serial_p, &ep, Some(&pp), scheme, &config).unwrap();
+            let parallel =
+                form_program_parallel(&mut parallel_p, &ep, Some(&pp), scheme, &config, 4)
+                    .unwrap();
+            assert_eq!(serial.partition, parallel.partition, "{}", scheme.name());
+            assert_eq!(serial.orig_of, parallel.orig_of, "{}", scheme.name());
+            assert_eq!(serial.stats, parallel.stats, "{}", scheme.name());
+            assert_eq!(serial_p, parallel_p, "{}: transformed programs differ", scheme.name());
+            verify_program(&parallel_p).unwrap();
+        }
     }
 
     #[test]

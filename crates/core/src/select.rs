@@ -273,33 +273,53 @@ mod tests {
         (pb.finish(main), [a, x, b, y, cc, latch])
     }
 
-    fn profiles(p: &Program) -> (EdgeProfile, PathProfile) {
-        let mut ep = EdgeProfiler::new(p);
-        Interp::new(p, ExecConfig::default())
-            .run_traced(&[], &mut ep)
-            .unwrap();
-        let mut pp = PathProfiler::new(p, 15);
-        Interp::new(p, ExecConfig::default())
-            .run_traced(&[], &mut pp)
-            .unwrap();
-        (ep.finish(), pp.finish())
+    /// Shared test fixture: the correlated program with both profiles
+    /// collected and the entry procedure's analysis computed — the setup
+    /// every selection test needs.
+    struct Setup {
+        p: Program,
+        ids: [BlockId; 6],
+        ep: EdgeProfile,
+        pp: PathProfile,
+        an: ProcAnalysis,
+    }
+
+    impl Setup {
+        fn new(n: i64) -> Setup {
+            let (p, ids) = correlated(n);
+            let mut ep = EdgeProfiler::new(&p);
+            Interp::new(&p, ExecConfig::default())
+                .run_traced(&[], &mut ep)
+                .unwrap();
+            let mut pp = PathProfiler::new(&p, 15);
+            Interp::new(&p, ExecConfig::default())
+                .run_traced(&[], &mut pp)
+                .unwrap();
+            let an = ProcAnalysis::compute(p.proc(p.entry));
+            Setup { p, ids, ep: ep.finish(), pp: pp.finish(), an }
+        }
+
+        fn proc(&self) -> &pps_ir::Proc {
+            self.p.proc(self.p.entry)
+        }
+
+        fn entry(&self) -> ProcId {
+            self.p.entry
+        }
     }
 
     #[test]
     fn edge_selection_partitions_all_reachable_blocks() {
-        let (p, _) = correlated(16);
-        let (ep, _) = profiles(&p);
-        let proc = p.proc(p.entry);
-        let a = ProcAnalysis::compute(proc);
-        let traces = select_traces_edge(proc, p.entry, &a, &ep, &FormConfig::default());
+        let s = Setup::new(16);
+        let traces = select_traces_edge(s.proc(), s.entry(), &s.an, &s.ep, &FormConfig::default());
         let mut seen = std::collections::HashSet::new();
         for t in &traces {
             for &b in &t.blocks {
                 assert!(seen.insert(b), "{b} in two traces");
             }
         }
-        for b in proc.block_ids() {
-            if a.cfg.is_reachable(b) {
+        for b in s.proc().block_ids() {
+            if s.an.cfg.is_reachable(b) {
                 assert!(seen.contains(&b), "{b} unclaimed");
             }
         }
@@ -307,29 +327,23 @@ mod tests {
 
     #[test]
     fn edge_traces_never_contain_back_edges() {
-        let (p, _) = correlated(16);
-        let (ep, _) = profiles(&p);
-        let proc = p.proc(p.entry);
-        let a = ProcAnalysis::compute(proc);
-        let traces = select_traces_edge(proc, p.entry, &a, &ep, &FormConfig::default());
+        let s = Setup::new(16);
+        let traces = select_traces_edge(s.proc(), s.entry(), &s.an, &s.ep, &FormConfig::default());
         for t in &traces {
             for w in t.blocks.windows(2) {
-                assert!(!a.loops.is_back_edge(w[0], w[1]));
+                assert!(!s.an.loops.is_back_edge(w[0], w[1]));
             }
         }
     }
 
     #[test]
     fn path_selection_follows_dominant_path() {
-        let (p, ids) = correlated(16);
-        let (_, pp) = profiles(&p);
-        let proc = p.proc(p.entry);
-        let an = ProcAnalysis::compute(proc);
-        let traces = select_traces_path(proc, p.entry, &an, &pp, &FormConfig::default());
+        let s = Setup::new(16);
+        let traces = select_traces_path(s.proc(), s.entry(), &s.an, &s.pp, &FormConfig::default());
         // The hottest trace should start at the hottest block. In 16
         // iterations: a,b,latch run 16x; x 8x; cc 12x; y 4x. The dominant
         // trace seeded at `a` (or latch) follows the most frequent path.
-        let [a, x, b, _y, cc, latch] = ids;
+        let [a, x, b, _y, cc, latch] = s.ids;
         let hot = traces
             .iter()
             .find(|t| t.blocks.contains(&a))
@@ -352,33 +366,27 @@ mod tests {
         // After [a, x, b] the correlated branch always goes to cc (even
         // iterations never take y). An edge profile would see b->cc at
         // 12/16 only; the path query must see certainty.
-        let (p, ids) = correlated(16);
-        let (_, pp) = profiles(&p);
-        let proc = p.proc(p.entry);
-        let an = ProcAnalysis::compute(proc);
-        let [a, x, b, y, cc, _latch] = ids;
-        let got = most_likely_path_successor(proc, p.entry, &an, &pp, &[a, x, b]);
+        let s = Setup::new(16);
+        let [a, x, b, y, cc, _latch] = s.ids;
+        let got = most_likely_path_successor(s.proc(), s.entry(), &s.an, &s.pp, &[a, x, b]);
         assert_eq!(got, Some((cc, 8)), "correlation: via-X iterations always reach C");
         // And the frequency of the rejected path is exactly zero.
-        assert_eq!(pp.freq(p.entry, &[a, x, b, y]), 0);
+        assert_eq!(s.pp.freq(s.entry(), &[a, x, b, y]), 0);
     }
 
     #[test]
     fn cold_blocks_become_singletons() {
-        let (p, _) = correlated(2);
-        let (ep, pp) = profiles(&p);
-        let proc = p.proc(p.entry);
-        let an = ProcAnalysis::compute(proc);
+        let s = Setup::new(2);
         // exit block (frequency 1 vs max 2) is above the default seed
         // fraction, so instead check never-executed blocks: none here; use
         // a tiny seed fraction program: with n=2, y executes once (i=1).
-        let te = select_traces_edge(proc, p.entry, &an, &ep, &FormConfig::default());
-        let tp = select_traces_path(proc, p.entry, &an, &pp, &FormConfig::default());
+        let te = select_traces_edge(s.proc(), s.entry(), &s.an, &s.ep, &FormConfig::default());
+        let tp = select_traces_path(s.proc(), s.entry(), &s.an, &s.pp, &FormConfig::default());
         for traces in [te, tp] {
             let total: usize = traces.iter().map(|t| t.blocks.len()).sum();
             assert_eq!(
                 total,
-                an.cfg.rpo.len(),
+                s.an.cfg.rpo.len(),
                 "every reachable block exactly once"
             );
         }

@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]
-//!             [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
+//!             [--jobs N] [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
 //! pps-harness --all
 //! ```
 //!
-//! `--trace-out` writes a Chrome-trace-event JSON file (open it at
-//! <https://ui.perfetto.dev>); `--metrics-out` writes the metrics registry
-//! as JSON; `--log-level` controls progress logging on stderr
-//! (off|error|warn|info|debug, default info).
+//! `--jobs N` runs each experiment's benchmark × scheme cells on N worker
+//! threads (default: the machine's available parallelism); tables and
+//! metrics output are byte-identical for every N. `--trace-out` writes a
+//! Chrome-trace-event JSON file (open it at <https://ui.perfetto.dev>);
+//! `--metrics-out` writes the metrics registry as JSON; `--log-level`
+//! controls progress logging on stderr (off|error|warn|info|debug, default
+//! info).
 
 use pps_core::GuardMode;
-use pps_harness::experiments::{run_experiment_obs, EXPERIMENTS};
+use pps_harness::experiments::{run_experiment_jobs, EXPERIMENTS};
+use pps_harness::pool::default_jobs;
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_suite::Scale;
 use std::process::ExitCode;
@@ -20,11 +24,13 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]\n\
-         \x20                  [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
-         \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade]\n\
+         \x20                  [--jobs N] [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
+         \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade] [--jobs N]\n\
          experiments: {}\n\
          modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
          \x20      degrade = fall back to basic-block scheduling per failed procedure (default)\n\
+         parallelism: --jobs runs benchmark x scheme cells on N worker threads\n\
+         \x20           (default: available parallelism; output is identical for every N)\n\
          observability: --trace-out writes Chrome-trace JSON (view in Perfetto);\n\
          \x20             --metrics-out writes the counters/histograms registry as JSON",
         EXPERIMENTS.join(", ")
@@ -43,6 +49,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut level = Level::Info;
+    let mut jobs = default_jobs();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -62,6 +69,13 @@ fn main() -> ExitCode {
                 "degrade" => mode = GuardMode::Degrade,
                 _ => usage(),
             },
+            "--jobs" | "-j" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                jobs = v.parse().unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--log-level" => {
@@ -97,7 +111,7 @@ fn main() -> ExitCode {
         metrics: metrics_out.is_some(),
     });
 
-    let code = run_experiments(&ids, scale, bench.as_deref(), mode, csv, &obs);
+    let code = run_experiments(&ids, scale, bench.as_deref(), mode, jobs, csv, &obs);
 
     // Exports happen even when a run failed: a trace of the failure is
     // exactly what the flag was for.
@@ -133,16 +147,17 @@ fn run_experiments(
     scale: Scale,
     bench: Option<&str>,
     mode: GuardMode,
+    jobs: usize,
     csv: bool,
     obs: &Obs,
 ) -> ExitCode {
     let _root = obs.span("pps-harness").arg("experiments", ids.len());
     for id in ids {
         obs.log(Level::Info, || {
-            format!("running {id} at scale {} (mode {mode}) ...", scale.0)
+            format!("running {id} at scale {} (mode {mode}, jobs {jobs}) ...", scale.0)
         });
         let start = std::time::Instant::now();
-        let tables = match run_experiment_obs(id, scale, bench, mode, obs) {
+        let tables = match run_experiment_jobs(id, scale, bench, mode, jobs, obs) {
             Ok(tables) => tables,
             Err(e) => {
                 obs.log(Level::Error, || format!("{id} failed: {e}"));

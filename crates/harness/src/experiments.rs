@@ -1,5 +1,23 @@
-//! The per-figure experiment drivers.
+//! The per-figure experiment drivers and the parallel experiment engine.
+//!
+//! Every driver (`table1`, `fig4`…`fig7`, `missrates`, `ablate`) walks its
+//! benchmark × scheme matrix through a [`RunCtx`]. The context can service
+//! those walks three ways:
+//!
+//! - **Direct** — execute each cell inline (the serial path).
+//! - **Plan** — record which cells the driver asks for, returning
+//!   placeholder results. Driver control flow is data-independent, so one
+//!   plan walk discovers the exact cell list of the real run.
+//! - **Replay** — answer each cell from precomputed results.
+//!
+//! [`run_experiment_jobs`] composes them: plan the cells, execute the
+//! unique ones across a scoped-thread pool ([`crate::pool`]) with each cell
+//! recording into a private forked `Obs` sink, then replay the driver,
+//! absorbing each cell's sink in matrix order. Because replay order never
+//! depends on the job count, the rendered tables and the merged metrics
+//! registry are byte-identical for any `--jobs` value.
 
+use crate::pool;
 use crate::report::{incident_table, millions, percent, ratio, Table};
 use crate::runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
 use pps_core::config::Scheme;
@@ -7,6 +25,7 @@ use pps_core::{GuardMode, Incident};
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
 use pps_suite::{all_benchmarks, Benchmark, Scale};
+use std::collections::HashMap;
 
 /// All experiment identifiers accepted by the harness binary.
 pub const EXPERIMENTS: &[&str] = &[
@@ -21,6 +40,43 @@ pub fn select_benchmarks(scale: Scale, filter: Option<&str>) -> Vec<Benchmark> {
         .collect()
 }
 
+/// Identity of one benchmark × scheme × configuration cell. The config's
+/// `Debug` rendering keys ablation variants apart.
+type CellKey = (String, String, String);
+
+fn cell_key(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> CellKey {
+    (bench.name.to_string(), scheme.name(), format!("{config:?}"))
+}
+
+/// One cell the plan pass discovered.
+#[derive(Debug, Clone)]
+struct PlannedCell {
+    bench: String,
+    scheme: Scheme,
+    config: RunConfig,
+}
+
+/// One executed cell awaiting replay: its result and the private `Obs`
+/// fork it recorded into.
+#[derive(Debug, Clone)]
+struct ExecutedCell {
+    result: Result<SchemeRun, RunError>,
+    fork: Obs,
+    absorbed: bool,
+}
+
+/// How a [`RunCtx`] services `run` calls (see the module docs).
+#[derive(Debug, Clone, Default)]
+enum CtxMode {
+    /// Execute each cell inline.
+    #[default]
+    Direct,
+    /// Record requested cells; return placeholders.
+    Plan(Vec<PlannedCell>),
+    /// Answer from precomputed results, absorbing each cell's sink once.
+    Replay(HashMap<CellKey, ExecutedCell>),
+}
+
 /// Sweep context: the shared [`RunConfig`] plus every guardrail incident
 /// collected across the sweep's runs, tagged with benchmark and scheme.
 #[derive(Debug, Clone, Default)]
@@ -31,6 +87,7 @@ pub struct RunCtx {
     pub incidents: Vec<(String, String, Incident)>,
     /// Observability handle every run records into (no-op by default).
     pub obs: Obs,
+    mode: CtxMode,
 }
 
 impl RunCtx {
@@ -38,7 +95,7 @@ impl RunCtx {
     pub fn paper(mode: GuardMode) -> Self {
         let mut config = RunConfig::paper();
         config.guard.mode = mode;
-        RunCtx { config, incidents: Vec::new(), obs: Obs::noop() }
+        RunCtx { config, ..RunCtx::default() }
     }
 
     /// Runs `bench` × `scheme` under the context's own configuration.
@@ -55,12 +112,68 @@ impl RunCtx {
         scheme: Scheme,
         config: &RunConfig,
     ) -> Result<SchemeRun, RunError> {
-        let r = run_scheme_obs(bench, scheme, config, &self.obs)?;
-        for inc in &r.guard.incidents {
-            self.incidents
-                .push((bench.name.to_string(), scheme.name(), inc.clone()));
+        match &mut self.mode {
+            CtxMode::Direct => {
+                let r = run_scheme_obs(bench, scheme, config, &self.obs)?;
+                for inc in &r.guard.incidents {
+                    self.incidents
+                        .push((bench.name.to_string(), scheme.name(), inc.clone()));
+                }
+                Ok(r)
+            }
+            CtxMode::Plan(cells) => {
+                let key = cell_key(bench, scheme, config);
+                if !cells.iter().any(|c| cell_matches(c, &key)) {
+                    cells.push(PlannedCell {
+                        bench: bench.name.to_string(),
+                        scheme,
+                        config: config.clone(),
+                    });
+                }
+                Ok(placeholder_run(scheme))
+            }
+            CtxMode::Replay(cells) => {
+                let key = cell_key(bench, scheme, config);
+                let cell = cells.get_mut(&key).expect("replayed cell was planned");
+                // Absorb before inspecting the result so a failed cell's
+                // partial metrics merge exactly as the direct path records
+                // them. Repeat cells were executed once; their sink is
+                // drained, so re-absorbing is a no-op.
+                if !cell.absorbed {
+                    cell.absorbed = true;
+                    self.obs.absorb(&cell.fork);
+                }
+                let r = cell.result.clone()?;
+                for inc in &r.guard.incidents {
+                    self.incidents
+                        .push((bench.name.to_string(), scheme.name(), inc.clone()));
+                }
+                Ok(r)
+            }
         }
-        Ok(r)
+    }
+}
+
+fn cell_matches(cell: &PlannedCell, key: &CellKey) -> bool {
+    cell.bench == key.0 && cell.scheme.name() == key.1 && format!("{:?}", cell.config) == key.2
+}
+
+/// An empty [`SchemeRun`] for the plan pass. Drivers may do arithmetic on
+/// it while planning (ratios of zeros and the like); the resulting tables
+/// are discarded — only the recorded cell list matters.
+fn placeholder_run(scheme: Scheme) -> SchemeRun {
+    SchemeRun {
+        scheme,
+        cycles: 0,
+        cycles_icache: 0,
+        miss_rate: 0.0,
+        accesses: 0,
+        misses: 0,
+        sb_stats: Default::default(),
+        static_instrs: 0,
+        form_stats: Default::default(),
+        counts: Default::default(),
+        guard: Default::default(),
     }
 }
 
@@ -103,18 +216,120 @@ pub fn run_experiment_obs(
     let benches = select_benchmarks(scale, filter);
     let mut ctx = RunCtx::paper(mode);
     ctx.obs = obs.clone();
-    let mut tables = match id {
-        "table1" => vec![table1(&benches, &mut ctx)?],
-        "fig4" => vec![fig4(&benches, &mut ctx)?],
-        "fig5" => vec![fig5(&benches, &mut ctx)?],
-        "fig6" => vec![fig6(&benches, &mut ctx)?],
-        "fig7" => vec![fig7(&benches, &mut ctx)?],
-        "missrates" => vec![missrates(&benches, &mut ctx)?],
-        "ablate" => ablate(&benches, &mut ctx)?,
-        "tracecache" => vec![tracecache(&benches)?],
-        "predict" => vec![predict(&benches)?],
+    let mut tables = build_tables(id, &benches, &mut ctx)?;
+    if !ctx.incidents.is_empty() {
+        tables.push(incident_table(&ctx.incidents));
+    }
+    Ok(tables)
+}
+
+/// Dispatches an experiment id to its driver under the given context.
+fn build_tables(
+    id: &str,
+    benches: &[Benchmark],
+    ctx: &mut RunCtx,
+) -> Result<Vec<Table>, RunError> {
+    Ok(match id {
+        "table1" => vec![table1(benches, ctx)?],
+        "fig4" => vec![fig4(benches, ctx)?],
+        "fig5" => vec![fig5(benches, ctx)?],
+        "fig6" => vec![fig6(benches, ctx)?],
+        "fig7" => vec![fig7(benches, ctx)?],
+        "missrates" => vec![missrates(benches, ctx)?],
+        "ablate" => ablate(benches, ctx)?,
+        "tracecache" => vec![tracecache(benches)?],
+        "predict" => vec![predict(benches)?],
         other => panic!("unknown experiment `{other}`; try one of {EXPERIMENTS:?}"),
+    })
+}
+
+/// [`run_experiment_obs`] with the experiment's benchmark × scheme cells
+/// executed across `jobs` worker threads (see the module docs for the
+/// plan → execute → replay engine). Output — rendered tables, collected
+/// incidents, and the metrics merged into `obs` — is byte-identical for
+/// every `jobs` value, including 1.
+///
+/// # Errors
+/// As [`run_experiment`]: the first failing cell in matrix order.
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_jobs(
+    id: &str,
+    scale: Scale,
+    filter: Option<&str>,
+    mode: GuardMode,
+    jobs: usize,
+    obs: &Obs,
+) -> Result<Vec<Table>, RunError> {
+    let mut config = RunConfig::paper();
+    config.guard.mode = mode;
+    run_experiment_jobs_config(id, scale, filter, &config, jobs, obs)
+}
+
+/// [`run_experiment_jobs`] with a caller-supplied base [`RunConfig`]
+/// (fault-injection seeds, machine variants) instead of the paper default.
+///
+/// # Errors
+/// As [`run_experiment_jobs`].
+///
+/// # Panics
+/// As [`run_experiment`].
+pub fn run_experiment_jobs_config(
+    id: &str,
+    scale: Scale,
+    filter: Option<&str>,
+    config: &RunConfig,
+    jobs: usize,
+    obs: &Obs,
+) -> Result<Vec<Table>, RunError> {
+    let _span = obs.span("experiment").arg("id", id).arg("jobs", jobs as u64);
+    let benches = select_benchmarks(scale, filter);
+
+    // `tracecache` and `predict` drive their own executions without a
+    // context; they run inline exactly once (trivially job-count
+    // independent).
+    if id == "tracecache" {
+        return Ok(vec![tracecache(&benches)?]);
+    }
+    if id == "predict" {
+        return Ok(vec![predict(&benches)?]);
+    }
+
+    // Pass 1 (plan): walk the driver with placeholder results to discover
+    // the unique cells of its matrix, in matrix order.
+    let mut plan_ctx = RunCtx {
+        config: config.clone(),
+        mode: CtxMode::Plan(Vec::new()),
+        ..RunCtx::default()
     };
+    build_tables(id, &benches, &mut plan_ctx)?;
+    let CtxMode::Plan(planned) = plan_ctx.mode else { unreachable!("plan mode preserved") };
+
+    // Pass 2 (execute): run every unique cell across the pool. Each cell
+    // records into a private fork of `obs`, so workers never contend on or
+    // interleave into the parent sink.
+    let executed: Vec<(CellKey, ExecutedCell)> = pool::run_indexed(jobs, planned.len(), |i| {
+        let cell = &planned[i];
+        let bench = benches
+            .iter()
+            .find(|b| b.name == cell.bench)
+            .expect("planned bench selected");
+        let fork = obs.fork_sink();
+        let result = run_scheme_obs(bench, cell.scheme, &cell.config, &fork);
+        (cell_key(bench, cell.scheme, &cell.config), ExecutedCell { result, fork, absorbed: false })
+    });
+
+    // Pass 3 (replay): walk the driver again, answering each cell from the
+    // executed results and absorbing each cell's sink on first use — the
+    // absorb order is the matrix order, independent of the job count.
+    let mut ctx = RunCtx {
+        config: config.clone(),
+        obs: obs.clone(),
+        mode: CtxMode::Replay(executed.into_iter().collect()),
+        ..RunCtx::default()
+    };
+    let mut tables = build_tables(id, &benches, &mut ctx)?;
     if !ctx.incidents.is_empty() {
         tables.push(incident_table(&ctx.incidents));
     }
@@ -494,5 +709,55 @@ mod tests {
     #[should_panic(expected = "unknown experiment")]
     fn unknown_experiment_panics() {
         let _ = run_experiment("nope", Scale::quick(), None, GuardMode::Degrade);
+    }
+
+    #[test]
+    fn plan_pass_discovers_cells_without_executing() {
+        let benches = select_benchmarks(Scale::quick(), Some("wc"));
+        let mut ctx = RunCtx {
+            config: RunConfig::paper(),
+            mode: CtxMode::Plan(Vec::new()),
+            ..RunCtx::default()
+        };
+        build_tables("fig4", &benches, &mut ctx).unwrap();
+        let CtxMode::Plan(cells) = &ctx.mode else { panic!("mode changed") };
+        // fig4 runs M4 and P4 per benchmark.
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.bench == "wc"));
+        assert!(ctx.incidents.is_empty());
+    }
+
+    #[test]
+    fn repeated_cells_plan_once() {
+        // `ablate` asks for (wc, P4, paper-config) from several of its
+        // tables; planning must dedupe it while keeping variants distinct.
+        let benches = select_benchmarks(Scale::quick(), Some("wc"));
+        let mut ctx = RunCtx {
+            config: RunConfig::paper(),
+            mode: CtxMode::Plan(Vec::new()),
+            ..RunCtx::default()
+        };
+        build_tables("ablate", &benches, &mut ctx).unwrap();
+        let CtxMode::Plan(cells) = &ctx.mode else { panic!("mode changed") };
+        let p4_paper = cells
+            .iter()
+            .filter(|c| cell_matches(c, &cell_key(&benches[0], Scheme::P4, &RunConfig::paper())))
+            .count();
+        assert_eq!(p4_paper, 1, "repeated paper-config P4 cell planned once");
+        assert!(cells.len() > 4, "config variants stay distinct cells");
+    }
+
+    #[test]
+    fn jobs_engine_matches_itself_across_job_counts() {
+        let render = |jobs: usize| {
+            let tables =
+                run_experiment_jobs("fig4", Scale::quick(), Some("wc"), GuardMode::Degrade, jobs, &Obs::noop())
+                    .unwrap();
+            tables.iter().map(Table::render).collect::<Vec<_>>().join("\n")
+        };
+        let serial = render(1);
+        let parallel = render(4);
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("wc"));
     }
 }

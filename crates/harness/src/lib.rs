@@ -21,11 +21,16 @@
 //! | `ablate` | §2.3/§4 | realistic latencies, renaming/speculation off |
 //!
 //! The `pps-harness` binary (`cargo run -p pps-harness --release -- --help`)
-//! prints the chosen experiment as an aligned text table and CSV.
+//! prints the chosen experiment as an aligned text table and CSV. Its
+//! `--jobs N` flag fans each experiment's benchmark × scheme cells across
+//! a scoped-thread [`pool`] (default: available parallelism); the
+//! plan → execute → replay engine in [`experiments`] keeps every output
+//! byte-identical to a serial run.
 
 pub mod experiments;
+pub mod pool;
 pub mod report;
 pub mod runner;
 
-pub use experiments::RunCtx;
+pub use experiments::{run_experiment_jobs, run_experiment_jobs_config, RunCtx};
 pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};

@@ -2,11 +2,12 @@
 
 use pps_compact::CompactConfig;
 use pps_core::{
-    guarded_form_and_compact_obs, FormConfig, FormStats, GuardConfig, GuardReport, PipelineError,
-    Scheme,
+    guarded_form_and_compact_hooked_obs, guarded_form_and_compact_obs, FormConfig, FormStats,
+    GuardConfig, GuardReport, PipelineError, Scheme,
 };
 use pps_ir::interp::{DynCounts, ExecConfig, ExecError, Interp};
 use pps_ir::trace::TeeSink;
+use pps_ir::FaultInjector;
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
 use pps_profile::{EdgeProfiler, PathProfiler, DEFAULT_PATH_DEPTH};
@@ -70,6 +71,12 @@ pub struct RunConfig {
     /// runner substitutes the benchmark's training input, so every run gets
     /// a real differential check against the untransformed program.
     pub guard: GuardConfig,
+    /// When set, a deterministic fault injector corrupts each procedure
+    /// after its formation + compaction (the guard's post-pass seam),
+    /// exercising the recovery boundary under load. The injector is seeded
+    /// from this value and the benchmark name only, so the same faults hit
+    /// the same procedures no matter how runs are scheduled across workers.
+    pub fault_seed: Option<u64>,
 }
 
 impl RunConfig {
@@ -77,6 +84,16 @@ impl RunConfig {
     pub fn paper() -> Self {
         RunConfig::default()
     }
+}
+
+/// FNV-1a over `bytes` — stable benchmark-name hashing for fault seeds
+/// (`std`'s hasher is randomized per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The measured result of one benchmark × scheme run.
@@ -171,16 +188,38 @@ pub fn run_scheme_obs(
     if guard.oracle_inputs.is_empty() {
         guard.oracle_inputs = vec![bench.train_args.clone()];
     }
-    let guarded = guarded_form_and_compact_obs(
-        &mut program,
-        &edge,
-        Some(&path),
-        scheme,
-        &config.form,
-        &compact_config,
-        &guard,
-        &obs,
-    )
+    let guarded = match config.fault_seed {
+        None => guarded_form_and_compact_obs(
+            &mut program,
+            &edge,
+            Some(&path),
+            scheme,
+            &config.form,
+            &compact_config,
+            &guard,
+            &obs,
+        ),
+        Some(seed) => {
+            // Seeded per (seed, benchmark) only — never per worker or run
+            // order — so fault routing is identical at any job count.
+            let mut injector = FaultInjector::new(seed ^ fnv1a(bench.name.as_bytes()));
+            let inputs = vec![bench.train_args.clone()];
+            let budget = guard.step_budget;
+            guarded_form_and_compact_hooked_obs(
+                &mut program,
+                &edge,
+                Some(&path),
+                scheme,
+                &config.form,
+                &compact_config,
+                &guard,
+                &obs,
+                &mut |prog, pid| {
+                    let _ = injector.inject_effective(prog, pid, &inputs, budget, 32);
+                },
+            )
+        }
+    }
     .map_err(|error| RunError::Pipeline { bench: bench.name.to_string(), error })?;
     let compacted = guarded.compacted;
     let form_stats = guarded.stats;

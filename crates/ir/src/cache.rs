@@ -1,0 +1,212 @@
+//! Generation-keyed memoization of CFG analyses.
+//!
+//! [`Proc::generation`] stamps every mutation with a process-unique nonce,
+//! so an analysis computed at generation `g` stays valid exactly as long as
+//! the procedure still reports `g`. [`UnitCache`] exploits that: it keeps
+//! the latest [`Cfg`] and [`ProcAnalysis`] behind `Arc`s keyed by the
+//! generation they were computed at, and recomputes only when the
+//! procedure has actually changed. [`AnalysisCache`] is the per-program
+//! collection of unit caches, indexed by [`ProcId`].
+//!
+//! Results are handed out as `Arc`s so a caller can hold an analysis across
+//! a mutation of the procedure (the `Arc` keeps the stale-but-consistent
+//! snapshot alive while the cache moves on).
+
+use crate::analysis::{Cfg, ProcAnalysis};
+use crate::proc::Proc;
+use crate::program::{ProcId, Program};
+use std::sync::Arc;
+
+/// Memoized analyses for one procedure. `Send`, so a compilation unit
+/// carrying its cache can move across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct UnitCache {
+    cfg: Option<(u64, Arc<Cfg>)>,
+    analysis: Option<(u64, Arc<ProcAnalysis>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl UnitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        UnitCache::default()
+    }
+
+    /// The CFG of `proc`, memoized by generation. Falls back to the full
+    /// analysis slot when that is current (the bundle embeds a CFG), so a
+    /// `analysis()`-then-`cfg()` sequence costs one clone, not a recompute.
+    pub fn cfg(&mut self, proc: &Proc) -> Arc<Cfg> {
+        let gen = proc.generation();
+        if let Some((g, cfg)) = &self.cfg {
+            if *g == gen {
+                self.hits += 1;
+                return cfg.clone();
+            }
+        }
+        let cfg = match &self.analysis {
+            Some((g, a)) if *g == gen => {
+                self.hits += 1;
+                Arc::new(a.cfg.clone())
+            }
+            _ => {
+                self.misses += 1;
+                Arc::new(Cfg::compute(proc))
+            }
+        };
+        self.cfg = Some((gen, cfg.clone()));
+        cfg
+    }
+
+    /// The full analysis bundle of `proc`, memoized by generation.
+    pub fn analysis(&mut self, proc: &Proc) -> Arc<ProcAnalysis> {
+        let gen = proc.generation();
+        if let Some((g, a)) = &self.analysis {
+            if *g == gen {
+                self.hits += 1;
+                return a.clone();
+            }
+        }
+        self.misses += 1;
+        let a = Arc::new(ProcAnalysis::compute(proc));
+        self.analysis = Some((gen, a.clone()));
+        a
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Per-program analysis cache: one [`UnitCache`] per procedure, grown on
+/// demand.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisCache {
+    units: Vec<UnitCache>,
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache::default()
+    }
+
+    /// The unit cache for `pid`.
+    pub fn unit_mut(&mut self, pid: ProcId) -> &mut UnitCache {
+        let i = pid.index();
+        if i >= self.units.len() {
+            self.units.resize_with(i + 1, UnitCache::new);
+        }
+        &mut self.units[i]
+    }
+
+    /// Memoized CFG of procedure `pid`.
+    pub fn cfg(&mut self, program: &Program, pid: ProcId) -> Arc<Cfg> {
+        let proc = program.proc(pid);
+        self.unit_mut(pid).cfg(proc)
+    }
+
+    /// Memoized analysis bundle of procedure `pid`.
+    pub fn analysis(&mut self, program: &Program, pid: ProcId) -> Arc<ProcAnalysis> {
+        let proc = program.proc(pid);
+        self.unit_mut(pid).analysis(proc)
+    }
+
+    /// `(hits, misses)` summed over every unit.
+    pub fn stats(&self) -> (u64, u64) {
+        self.units
+            .iter()
+            .fold((0, 0), |(h, m), u| (h + u.hits, m + u.misses))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::instr::Terminator;
+    use crate::proc::{Block, BlockId};
+
+    fn two_block_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let next = f.new_block();
+        f.jump(next);
+        f.switch_to(next);
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    #[test]
+    fn analysis_hits_until_mutation() {
+        let mut p = two_block_program();
+        let mut cache = AnalysisCache::new();
+        let a1 = cache.analysis(&p, p.entry);
+        let a2 = cache.analysis(&p, p.entry);
+        assert!(Arc::ptr_eq(&a1, &a2), "repeated query returns the memo");
+        assert_eq!(cache.stats(), (1, 1));
+
+        // Mutation invalidates: the next query recomputes.
+        p.proc_mut(p.entry)
+            .push_block(Block::new(vec![], Terminator::Return { value: None }));
+        let a3 = cache.analysis(&p, p.entry);
+        assert!(!Arc::ptr_eq(&a1, &a3));
+        assert_eq!(a3.cfg.len(), 3);
+        // The Arc handed out earlier still describes the old body.
+        assert_eq!(a1.cfg.len(), 2);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn cfg_reuses_current_analysis_bundle() {
+        let p = two_block_program();
+        let mut cache = AnalysisCache::new();
+        let _a = cache.analysis(&p, p.entry);
+        let cfg = cache.cfg(&p, p.entry);
+        assert_eq!(cfg.len(), 2);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1), "cfg came from the analysis slot");
+        // And the dedicated cfg slot now serves hits on its own.
+        let cfg2 = cache.cfg(&p, p.entry);
+        assert!(Arc::ptr_eq(&cfg, &cfg2));
+    }
+
+    #[test]
+    fn rollback_to_snapshot_does_not_alias_cache_entries() {
+        let mut p = two_block_program();
+        let mut cache = AnalysisCache::new();
+        let snapshot = p.proc(p.entry).clone();
+        let a_before = cache.analysis(&p, p.entry);
+
+        // Mutate, query (cache now keyed at the new generation), roll back.
+        p.proc_mut(p.entry)
+            .push_block(Block::new(vec![], Terminator::Return { value: None }));
+        let a_mut = cache.analysis(&p, p.entry);
+        assert_eq!(a_mut.cfg.len(), 3);
+        *p.proc_mut(p.entry) = snapshot;
+
+        // The restored body answers with the snapshot's generation, which
+        // the cache no longer holds — a recompute, never a stale bundle.
+        let a_after = cache.analysis(&p, p.entry);
+        assert_eq!(a_after.cfg.len(), 2);
+        assert_eq!(a_after.cfg.len(), a_before.cfg.len());
+    }
+
+    #[test]
+    fn unit_cache_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<UnitCache>();
+        assert_send::<AnalysisCache>();
+    }
+
+    #[test]
+    fn cache_grows_to_any_proc_id() {
+        let p = two_block_program();
+        let mut cache = AnalysisCache::new();
+        let _ = cache.analysis(&p, ProcId::new(0));
+        assert_eq!(cache.unit_mut(ProcId::new(0)).stats().1, 1);
+        let _ = BlockId::new(0);
+    }
+}

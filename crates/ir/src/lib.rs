@@ -40,6 +40,7 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod cache;
 pub mod dot;
 pub mod fault;
 pub mod instr;
@@ -50,6 +51,7 @@ pub mod text;
 pub mod trace;
 pub mod verify;
 
+pub use cache::{AnalysisCache, UnitCache};
 pub use fault::{FaultInjector, FaultKind, FaultRecord};
 pub use instr::{AluOp, Instr, Operand, Terminator};
 pub use proc::{Block, BlockId, Proc, Reg};

@@ -279,6 +279,70 @@ impl Obs {
     }
 
     // ------------------------------------------------------------------
+    // Forked sinks (parallel recording)
+    // ------------------------------------------------------------------
+
+    /// A recording handle with this handle's clock zero, level, and label
+    /// context but **fresh, private buffers**. Worker threads record into
+    /// forks without contending on (or interleaving into) the parent;
+    /// [`Obs::absorb`] folds a fork back in. Forking a no-op handle yields
+    /// a no-op handle.
+    pub fn fork_sink(&self) -> Obs {
+        let Some(rec) = &self.rec else { return Obs::noop() };
+        Obs {
+            rec: Some(Arc::new(Recorder {
+                t0: rec.t0,
+                level: rec.level,
+                trace_enabled: rec.trace_enabled,
+                metrics_enabled: rec.metrics_enabled,
+                events: Mutex::new(Vec::new()),
+                metrics: Mutex::new(MetricsRegistry::default()),
+                tids: Mutex::new((HashMap::new(), 0)),
+            })),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// Drains a fork's recorded events and metrics into this handle.
+    ///
+    /// Counters add and histogram summaries merge ([`MetricsRegistry::merge`]);
+    /// trace events keep their fork-relative timestamps (forks share the
+    /// parent's clock zero) with thread ids remapped to fresh lanes so
+    /// distinct workers stay distinct in the merged trace. Absorbing in a
+    /// deterministic order makes the merged metrics export byte-stable
+    /// regardless of how many workers recorded. The fork is left empty;
+    /// absorbing it twice, absorbing a no-op, or absorbing into a no-op is
+    /// harmless.
+    pub fn absorb(&self, fork: &Obs) {
+        let (Some(rec), Some(frec)) = (&self.rec, &fork.rec) else { return };
+        if std::ptr::eq(Arc::as_ptr(rec), Arc::as_ptr(frec)) {
+            return;
+        }
+        if rec.trace_enabled {
+            let mut events = std::mem::take(&mut *frec.events.lock().unwrap());
+            if !events.is_empty() {
+                let mut remap: HashMap<u64, u64> = HashMap::new();
+                {
+                    let mut guard = rec.tids.lock().unwrap();
+                    let (_, next) = &mut *guard;
+                    for e in &mut events {
+                        let t = *remap.entry(e.tid).or_insert_with(|| {
+                            *next += 1;
+                            *next
+                        });
+                        e.tid = t;
+                    }
+                }
+                rec.events.lock().unwrap().extend(events);
+            }
+        }
+        if rec.metrics_enabled {
+            let snapshot = std::mem::take(&mut *frec.metrics.lock().unwrap());
+            rec.metrics.lock().unwrap().merge(&snapshot);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Logging
     // ------------------------------------------------------------------
 
@@ -509,6 +573,63 @@ mod tests {
         assert_eq!(Level::parse("warning"), Some(Level::Warn));
         assert_eq!(Level::parse("off"), Some(Level::Off));
         assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn fork_records_privately_and_absorb_merges() {
+        let obs = Obs::recording(ObsConfig::default());
+        obs.counter("runs", 1);
+        {
+            let _parent_span = obs.span("parent");
+        }
+        let forks: Vec<Obs> = (0..2).map(|_| obs.fork_sink()).collect();
+        std::thread::scope(|s| {
+            for (i, fork) in forks.iter().enumerate() {
+                s.spawn(move || {
+                    let _sp = fork.span("work").arg("worker", i as u64);
+                    fork.counter("runs", 10);
+                    fork.histogram("h", i as f64);
+                });
+            }
+        });
+        // Nothing leaked into the parent before absorption.
+        assert_eq!(obs.counter_total("runs"), 1);
+        assert_eq!(obs.event_count(), 1);
+        for fork in &forks {
+            obs.absorb(fork);
+            obs.absorb(fork); // drained: second absorb is a no-op
+        }
+        assert_eq!(obs.counter_total("runs"), 21);
+        assert_eq!(obs.event_count(), 3);
+        let m = obs.metrics_snapshot().unwrap();
+        let (_, h) = m.histograms().next().unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 0.0, 1.0));
+        // Worker lanes stay distinct from the parent's and each other's.
+        let doc = json::parse(&obs.export_trace_json().unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let tids: std::collections::HashSet<u64> = events
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_num().unwrap() as u64)
+            .collect();
+        assert_eq!(tids.len(), 3);
+    }
+
+    #[test]
+    fn forked_labels_and_noop_absorb() {
+        let obs = Obs::recording(ObsConfig::default());
+        let labeled = obs.with_label("bench", "wc");
+        let fork = labeled.fork_sink();
+        fork.counter("runs", 2);
+        obs.absorb(&fork);
+        let m = obs.metrics_snapshot().unwrap();
+        let (key, _) = m.counters().next().unwrap();
+        assert_eq!(key.labels, vec![("bench".to_string(), "wc".to_string())]);
+        // No-op interactions are all harmless.
+        assert!(!Obs::noop().fork_sink().is_recording());
+        obs.absorb(&Obs::noop());
+        Obs::noop().absorb(&obs);
+        obs.absorb(&obs); // self-absorb must not deadlock or duplicate
+        assert_eq!(obs.counter_total("runs"), 2);
     }
 
     #[test]

@@ -58,6 +58,17 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Folds another series' summary into this one. Merging is commutative
+    /// except for `sum`, whose float additions are order-sensitive —
+    /// callers wanting reproducible output must merge in a deterministic
+    /// order.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 impl Default for Histogram {
@@ -82,6 +93,19 @@ impl MetricsRegistry {
     /// Records one histogram sample.
     pub fn record(&mut self, key: MetricKey, value: f64) {
         self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Folds every series of `other` into this registry: counters add,
+    /// histogram summaries [`Histogram::merge`]. Used by the parallel
+    /// experiment engine to combine per-worker registries; merging workers
+    /// in a deterministic order makes the combined export reproducible.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, h) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(h);
+        }
     }
 
     /// Sum of a counter's values across every label combination.
