@@ -9,6 +9,12 @@
 #                             invalid --trace-out/--metrics-out JSON
 #   ./ci.sh parallel-harness  same experiment at --jobs 1 and --jobs 2;
 #                             fails if tables or metrics differ by a byte
+#   ./ci.sh serve-smoke       start the pps-serve daemon on an ephemeral
+#                             port, drive it with `pps-harness loadgen`
+#                             (concurrent requests verified byte-identical
+#                             to the in-process pipeline, plus malformed-
+#                             frame probes), then drain it and assert a
+#                             clean exit
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -56,17 +62,58 @@ parallel_harness() {
   rm -rf "$out"
 }
 
+serve_smoke() {
+  echo "== serve smoke =="
+  out="$(mktemp -d)"
+  cargo build --release -p pps-serve -p pps-harness
+
+  ./target/release/pps-serve --addr 127.0.0.1:0 --port-file "$out/port" \
+    --metrics-out "$out/serve-metrics.json" --log-level warn &
+  daemon=$!
+
+  # The daemon writes its bound address atomically once listening.
+  for _ in $(seq 1 100); do
+    [ -s "$out/port" ] && break
+    kill -0 "$daemon" 2>/dev/null || { echo "daemon died before binding"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$out/port" ] || { echo "daemon never wrote its port file"; exit 1; }
+  addr="$(cat "$out/port")"
+
+  # 64 requests over 64 connections, every reply verified byte-identical
+  # to the in-process pipeline; malformed frames must be rejected cleanly;
+  # --shutdown drains the daemon via the in-band request.
+  ./target/release/pps-harness loadgen --addr "$addr" \
+    --conns 64 --requests 64 --bench wc --scale 1 --scheme P4 \
+    --probe-malformed --shutdown --out "$out/loadgen.json" --log-level warn
+
+  # The in-band Shutdown must produce a clean, drained exit.
+  if ! wait "$daemon"; then
+    echo "daemon exited nonzero after drain"; exit 1
+  fi
+  test -s "$out/loadgen.json" || { echo "missing loadgen.json"; exit 1; }
+  test -s "$out/serve-metrics.json" || { echo "missing serve metrics"; exit 1; }
+  grep -q '"mismatches": 0' "$out/loadgen.json" || { echo "reply mismatches"; exit 1; }
+  grep -q '"errors": 0' "$out/loadgen.json" || { echo "loadgen errors"; exit 1; }
+  grep -q '"throughput_rps"' "$out/loadgen.json" || { echo "no throughput"; exit 1; }
+  grep -q 'serve.requests' "$out/serve-metrics.json" \
+    || { echo "daemon metrics missing serve.requests"; exit 1; }
+  rm -rf "$out"
+}
+
 case "$stage" in
   gate) gate ;;
   obs-smoke) obs_smoke ;;
   parallel-harness) parallel_harness ;;
+  serve-smoke) serve_smoke ;;
   all)
     gate
     obs_smoke
     parallel_harness
+    serve_smoke
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|serve-smoke|all]" >&2
     exit 2
     ;;
 esac

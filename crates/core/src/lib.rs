@@ -31,6 +31,7 @@ pub mod enlarge;
 pub mod fixup;
 pub mod guard;
 pub mod pipeline;
+pub mod pool;
 pub mod select;
 pub mod tail_dup;
 pub mod unit;

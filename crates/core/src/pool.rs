@@ -1,0 +1,241 @@
+//! Zero-dependency scoped-thread work pool, shared by the experiment
+//! harness and the compile-service daemon.
+//!
+//! The experiment engine fans benchmark × scheme cells out across worker
+//! threads with [`run_indexed`]: workers claim indices through one atomic
+//! counter and write results into per-index slots, so the returned vector
+//! is always in input order no matter which worker ran which cell.
+//!
+//! `pps-serve` feeds its long-lived worker team through a [`BoundedQueue`]:
+//! producers `try_push` and get an immediate `Full` back when the service
+//! is saturated (the daemon turns that into a `Busy` reply), consumers
+//! block on `pop`, and `close` lets consumers drain everything already
+//! accepted before they exit — the graceful-shutdown contract.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// The machine's available parallelism (the `--jobs` default); 1 when the
+/// runtime cannot tell.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `work(i)` for every `i in 0..n` across up to `jobs` scoped worker
+/// threads and returns the results in index order.
+///
+/// `jobs` is clamped to `[1, n]`; with `jobs == 1` the work runs inline on
+/// the calling thread (no pool, no locks). Worker panics propagate to the
+/// caller when the scope joins.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        return (0..n).map(work).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = work(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// Why a [`BoundedQueue::try_push`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back so the caller can
+    /// reject it upstream (backpressure).
+    Full(T),
+    /// The queue was closed; no further items are accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue built on
+/// `Mutex` + `Condvar` only.
+///
+/// Unlike `std::sync::mpsc::sync_channel`, rejection is explicit
+/// ([`PushError::Full`] hands the item back immediately, never blocking the
+/// producer) and closing is cooperative: after [`close`](Self::close),
+/// [`pop`](Self::pop) keeps returning items until the queue is empty, then
+/// returns `None` — so a draining shutdown never drops accepted work.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (a racy snapshot, for metrics).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close); both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means no item will ever come again.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Stops accepting new items. Consumers drain what was already
+    /// accepted, then their `pop` calls return `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for jobs in [1, 2, 7, 64] {
+            let out = run_indexed(jobs, 40, |i| {
+                // Stagger completion so claim order differs from finish order.
+                std::thread::sleep(std::time::Duration::from_micros((40 - i as u64) * 10));
+                i * i
+            });
+            assert_eq!(out, (0..40).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_items_and_zero_jobs_are_fine() {
+        assert!(run_indexed(0, 0, |i| i).is_empty());
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        run_indexed(4, 16, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) > 1, "no overlap observed");
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_drains_on_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+        // Accepted work survives the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_hands_items_across_threads() {
+        let q = BoundedQueue::new(8);
+        let total: usize = std::thread::scope(|scope| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut sum = 0usize;
+                        while let Some(v) = q.pop() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            for v in 1..=100usize {
+                loop {
+                    match q.try_push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(_)) => std::thread::yield_now(),
+                        Err(PushError::Closed(_)) => unreachable!(),
+                    }
+                }
+            }
+            q.close();
+            consumers.into_iter().map(|c| c.join().unwrap()).sum()
+        });
+        assert_eq!(total, 5050);
+    }
+}

@@ -2,21 +2,33 @@
 //!
 //! ```text
 //! pps-harness --experiment fig4 [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]
-//!             [--jobs N] [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
+//!             [--jobs N] [--profile-in DIR] [--profile-out DIR]
+//!             [--trace-out FILE] [--metrics-out FILE] [--log-level LEVEL]
 //! pps-harness --all
+//! pps-harness loadgen --addr HOST:PORT [--conns N] [--requests M] ...
 //! ```
 //!
 //! `--jobs N` runs each experiment's benchmark × scheme cells on N worker
 //! threads (default: the machine's available parallelism); tables and
-//! metrics output are byte-identical for every N. `--trace-out` writes a
+//! metrics output are byte-identical for every N. `--profile-out DIR`
+//! saves each benchmark's training profiles (`pps_profile::serialize` text
+//! formats) into DIR; `--profile-in DIR` loads them instead of re-running
+//! the training input (with `--profile-out` too, misses fall back to
+//! training and save — cache semantics). `--trace-out` writes a
 //! Chrome-trace-event JSON file (open it at <https://ui.perfetto.dev>);
 //! `--metrics-out` writes the metrics registry as JSON; `--log-level`
 //! controls progress logging on stderr (off|error|warn|info|debug, default
 //! info).
+//!
+//! The `loadgen` subcommand drives a running `pps-serve` daemon and
+//! verifies replies byte-for-byte against the in-process pipeline; see
+//! `pps-harness loadgen --help`.
 
 use pps_core::GuardMode;
-use pps_harness::experiments::{run_experiment_jobs, EXPERIMENTS};
+use pps_harness::experiments::{run_experiment_jobs_config, EXPERIMENTS};
+use pps_harness::loadgen::{self, LoadgenConfig};
 use pps_harness::pool::default_jobs;
+use pps_harness::runner::RunConfig;
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_suite::Scale;
 use std::process::ExitCode;
@@ -24,13 +36,16 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: pps-harness --experiment <id> [--scale N] [--bench NAME] [--csv] [--mode strict|degrade]\n\
-         \x20                  [--jobs N] [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
+         \x20                  [--jobs N] [--profile-in DIR] [--profile-out DIR]\n\
+         \x20                  [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
          \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade] [--jobs N]\n\
+         \x20      pps-harness loadgen --addr HOST:PORT [options]  (see `loadgen --help`)\n\
          experiments: {}\n\
          modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
          \x20      degrade = fall back to basic-block scheduling per failed procedure (default)\n\
          parallelism: --jobs runs benchmark x scheme cells on N worker threads\n\
          \x20           (default: available parallelism; output is identical for every N)\n\
+         profiles: --profile-out saves training profiles; --profile-in reuses them\n\
          observability: --trace-out writes Chrome-trace JSON (view in Perfetto);\n\
          \x20             --metrics-out writes the counters/histograms registry as JSON",
         EXPERIMENTS.join(", ")
@@ -38,8 +53,112 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn loadgen_usage() -> ! {
+    eprintln!(
+        "usage: pps-harness loadgen --addr HOST:PORT [--conns N] [--requests M]\n\
+         \x20                          [--bench NAME] [--scale N] [--scheme NAME]\n\
+         \x20                          [--probe-malformed] [--shutdown] [--out FILE]\n\
+         \x20                          [--log-level off|error|warn|info|debug]\n\
+         Drives a pps-serve daemon with a Profile/Compile/RunCell mix over N\n\
+         concurrent connections, verifying every reply byte-for-byte against\n\
+         the in-process pipeline. --probe-malformed also sends corrupt frames\n\
+         and asserts clean rejection; --shutdown drains the daemon afterwards;\n\
+         --out writes the throughput/latency report as JSON."
+    );
+    std::process::exit(2);
+}
+
+/// `pps-harness loadgen ...`: exit 0 only when every reply verified.
+fn loadgen_main(args: &[String]) -> ExitCode {
+    let mut config = LoadgenConfig::default();
+    let mut out: Option<String> = None;
+    let mut level = Level::Info;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = it.next().unwrap_or_else(|| loadgen_usage()).clone(),
+            "--conns" => {
+                config.conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| loadgen_usage());
+            }
+            "--requests" => {
+                config.requests =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| loadgen_usage());
+            }
+            "--bench" => config.bench = it.next().unwrap_or_else(|| loadgen_usage()).clone(),
+            "--scale" => {
+                config.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| loadgen_usage());
+            }
+            "--scheme" => config.scheme = it.next().unwrap_or_else(|| loadgen_usage()).clone(),
+            "--probe-malformed" => config.probe_malformed = true,
+            "--shutdown" => config.shutdown = true,
+            "--out" => out = Some(it.next().unwrap_or_else(|| loadgen_usage()).clone()),
+            "--log-level" => {
+                level = Level::parse(it.next().unwrap_or_else(|| loadgen_usage()))
+                    .unwrap_or_else(|| loadgen_usage());
+            }
+            "--help" | "-h" => loadgen_usage(),
+            _ => loadgen_usage(),
+        }
+    }
+    if config.addr.is_empty() {
+        loadgen_usage();
+    }
+
+    let obs = Obs::recording(ObsConfig { level, trace: false, metrics: false });
+    let report = match loadgen::run(&config, &obs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[loadgen error] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} ok, {} mismatches, {} errors, {} busy retries in {:.2}s \
+         ({:.1} req/s; p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms max {:.1}ms; probes {}/{})",
+        report.ok,
+        report.mismatches,
+        report.errors,
+        report.busy_retries,
+        report.elapsed_s,
+        report.throughput_rps,
+        report.latency.p50,
+        report.latency.p95,
+        report.latency.p99,
+        report.latency.max,
+        report.probes_passed,
+        report.probes_run,
+    );
+    for f in &report.failures {
+        eprintln!("[loadgen failure] {f}");
+    }
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, report.to_json(&config)) {
+            eprintln!("[loadgen error] writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        obs.log(Level::Info, || format!("report written to {path}"));
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("loadgen") {
+        return loadgen_main(&args[1..]);
+    }
     let mut experiment: Option<String> = None;
     let mut scale = Scale::paper();
     let mut bench: Option<String> = None;
@@ -50,6 +169,8 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut level = Level::Info;
     let mut jobs = default_jobs();
+    let mut profile_in: Option<String> = None;
+    let mut profile_out: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -76,6 +197,8 @@ fn main() -> ExitCode {
                     usage();
                 }
             }
+            "--profile-in" => profile_in = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--profile-out" => profile_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--trace-out" => trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--log-level" => {
@@ -111,7 +234,12 @@ fn main() -> ExitCode {
         metrics: metrics_out.is_some(),
     });
 
-    let code = run_experiments(&ids, scale, bench.as_deref(), mode, jobs, csv, &obs);
+    let mut config = RunConfig::paper();
+    config.guard.mode = mode;
+    config.profile_in = profile_in;
+    config.profile_out = profile_out;
+
+    let code = run_experiments(&ids, scale, bench.as_deref(), &config, jobs, csv, &obs);
 
     // Exports happen even when a run failed: a trace of the failure is
     // exactly what the flag was for.
@@ -146,18 +274,19 @@ fn run_experiments(
     ids: &[&str],
     scale: Scale,
     bench: Option<&str>,
-    mode: GuardMode,
+    config: &RunConfig,
     jobs: usize,
     csv: bool,
     obs: &Obs,
 ) -> ExitCode {
     let _root = obs.span("pps-harness").arg("experiments", ids.len());
     for id in ids {
+        let mode = config.guard.mode;
         obs.log(Level::Info, || {
             format!("running {id} at scale {} (mode {mode}, jobs {jobs}) ...", scale.0)
         });
         let start = std::time::Instant::now();
-        let tables = match run_experiment_jobs(id, scale, bench, mode, jobs, obs) {
+        let tables = match run_experiment_jobs_config(id, scale, bench, config, jobs, obs) {
             Ok(tables) => tables,
             Err(e) => {
                 obs.log(Level::Error, || format!("{id} failed: {e}"));

@@ -28,9 +28,14 @@
 //! byte-identical to a serial run.
 
 pub mod experiments;
-pub mod pool;
+pub mod loadgen;
 pub mod report;
-pub mod runner;
+
+// The scoped-thread pool was promoted to `pps_core::pool` (the serve daemon
+// shares it) and the per-cell runner to `pps_serve::runner`; both keep their
+// historical `pps_harness::` paths through these re-exports.
+pub use pps_core::pool;
+pub use pps_serve::runner;
 
 pub use experiments::{run_experiment_jobs, run_experiment_jobs_config, RunCtx};
 pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};

@@ -1,0 +1,519 @@
+//! Load generator for the `pps-serve` daemon.
+//!
+//! Drives N concurrent connections through a fixed request mix
+//! (`Profile`, `Compile` against a client-supplied profile, `RunCell`)
+//! and verifies every reply is **byte-identical** to what the in-process
+//! pipeline produces for the same request — the daemon must never drift
+//! from the library. Reports throughput and p50/p95/p99/max latency, and
+//! can optionally probe the frame layer with malformed input
+//! (`--probe-malformed`) and drain the daemon (`--shutdown`).
+
+use pps_obs::{Level, Obs};
+use pps_serve::frame::{self, HEADER_LEN, MAX_PAYLOAD, VERSION};
+use pps_serve::proto::{encode_response, Envelope, ProfileText, Request, Response};
+use pps_serve::service::execute;
+use pps_serve::Client;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What to drive at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, `HOST:PORT`.
+    pub addr: String,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Benchmark every request targets.
+    pub bench: String,
+    /// Suite scale for that benchmark.
+    pub scale: u32,
+    /// Scheme for `Compile`/`RunCell` requests.
+    pub scheme: String,
+    /// Also send malformed frames and assert they are rejected cleanly.
+    pub probe_malformed: bool,
+    /// Send `Shutdown` after the run and expect `ShuttingDown`.
+    pub shutdown: bool,
+    /// Per-reply timeout. Pipeline requests on a loaded box can take a
+    /// while; default 300s.
+    pub reply_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            conns: 4,
+            requests: 16,
+            bench: "wc".to_string(),
+            scale: 1,
+            scheme: "P4".to_string(),
+            probe_malformed: false,
+            shutdown: false,
+            reply_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Latency percentiles over the successful requests, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyMs {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst request.
+    pub max: f64,
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests that completed with the expected reply bytes.
+    pub ok: usize,
+    /// Requests whose reply decoded but differed from the in-process
+    /// pipeline's bytes.
+    pub mismatches: usize,
+    /// Transport/decode failures.
+    pub errors: usize,
+    /// `Busy` replies absorbed by retry (each retry counts once).
+    pub busy_retries: usize,
+    /// Wall-clock for the measured request phase, seconds.
+    pub elapsed_s: f64,
+    /// `ok / elapsed_s`.
+    pub throughput_rps: f64,
+    /// Latency distribution of successful requests.
+    pub latency: LatencyMs,
+    /// Requests per mix slot: `[profile, compile, runcell]`.
+    pub mix: [usize; 3],
+    /// Malformed probes run / passed (zeros when not requested).
+    pub probes_run: usize,
+    /// Probes that were rejected cleanly (structured error or clean
+    /// close, no hang).
+    pub probes_passed: usize,
+    /// First few human-readable failure descriptions.
+    pub failures: Vec<String>,
+}
+
+impl LoadgenReport {
+    /// True when every request verified and every probe passed.
+    pub fn clean(&self) -> bool {
+        self.mismatches == 0 && self.errors == 0 && self.probes_passed == self.probes_run
+    }
+
+    /// The report as a JSON object (hand-rendered; keys are fixed and
+    /// values numeric, so no escaping is needed beyond the failure
+    /// strings).
+    pub fn to_json(&self, config: &LoadgenConfig) -> String {
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| format!("\"{}\"", f.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"{bench}\",\n  \"scale\": {scale},\n  \"scheme\": \"{scheme}\",\n  \
+             \"conns\": {conns},\n  \"requests\": {requests},\n  \"ok\": {ok},\n  \
+             \"mismatches\": {mismatches},\n  \"errors\": {errors},\n  \"busy_retries\": {busy},\n  \
+             \"elapsed_s\": {elapsed:.3},\n  \"throughput_rps\": {rps:.2},\n  \
+             \"latency_ms\": {{\"p50\": {p50:.2}, \"p95\": {p95:.2}, \"p99\": {p99:.2}, \"max\": {max:.2}}},\n  \
+             \"mix\": {{\"profile\": {m0}, \"compile\": {m1}, \"runcell\": {m2}}},\n  \
+             \"probes\": {{\"run\": {pr}, \"passed\": {pp}}},\n  \
+             \"failures\": [{failures}]\n}}\n",
+            bench = config.bench,
+            scale = config.scale,
+            scheme = config.scheme,
+            conns = config.conns,
+            requests = config.requests,
+            ok = self.ok,
+            mismatches = self.mismatches,
+            errors = self.errors,
+            busy = self.busy_retries,
+            elapsed = self.elapsed_s,
+            rps = self.throughput_rps,
+            p50 = self.latency.p50,
+            p95 = self.latency.p95,
+            p99 = self.latency.p99,
+            max = self.latency.max,
+            m0 = self.mix[0],
+            m1 = self.mix[1],
+            m2 = self.mix[2],
+            pr = self.probes_run,
+            pp = self.probes_passed,
+            failures = failures.join(", "),
+        )
+    }
+}
+
+/// The request for mix slot `i % 3`, given the profile the mix's
+/// `Compile` requests carry.
+fn mix_request(config: &LoadgenConfig, slot: usize, profile: &ProfileText) -> Request {
+    match slot {
+        0 => Request::Profile { bench: config.bench.clone(), scale: config.scale, depth: 0 },
+        1 => Request::Compile {
+            bench: config.bench.clone(),
+            scale: config.scale,
+            scheme: config.scheme.clone(),
+            profile: Some(profile.clone()),
+        },
+        _ => Request::RunCell {
+            bench: config.bench.clone(),
+            scale: config.scale,
+            scheme: config.scheme.clone(),
+            strict: false,
+        },
+    }
+}
+
+/// Shared worker state: the next request index and accumulated outcomes.
+struct Shared {
+    next: AtomicUsize,
+    total: usize,
+    results: Mutex<WorkerTally>,
+}
+
+#[derive(Default)]
+struct WorkerTally {
+    ok: usize,
+    mismatches: usize,
+    errors: usize,
+    busy_retries: usize,
+    latencies_us: Vec<u64>,
+    mix: [usize; 3],
+    failures: Vec<String>,
+}
+
+fn worker(
+    config: &LoadgenConfig,
+    shared: &Shared,
+    expected: &[Vec<u8>; 3],
+    profile: &ProfileText,
+) {
+    let mut client = match Client::connect(&config.addr, Some(config.reply_timeout)) {
+        Ok(c) => c,
+        Err(e) => {
+            let mut tally = shared.results.lock().unwrap();
+            // Every request this worker would have served becomes an error
+            // only if no other worker picks it up; workers share one
+            // counter, so just record the connect failure once.
+            tally.failures.push(format!("connect {}: {e}", config.addr));
+            tally.errors += 1;
+            return;
+        }
+    };
+    let mut local = WorkerTally::default();
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.total {
+            break;
+        }
+        let slot = i % 3;
+        local.mix[slot] += 1;
+        let request = mix_request(config, slot, profile);
+        let env = Envelope::new(request);
+        // Busy means the bounded queue rejected us: back off and retry the
+        // same request on the same connection.
+        let mut backoff = Duration::from_millis(5);
+        let outcome = loop {
+            let start = Instant::now();
+            match client.call(&env) {
+                Ok(Response::Busy) => {
+                    local.busy_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(200));
+                }
+                Ok(resp) => break Ok((resp, start.elapsed())),
+                Err(e) => break Err(format!("request {i} ({}): {e}", env.request.kind_name())),
+            }
+        };
+        match outcome {
+            Ok((resp, elapsed)) => {
+                let got = encode_response(&resp);
+                if got == expected[slot] {
+                    local.ok += 1;
+                    local.latencies_us.push(elapsed.as_micros() as u64);
+                } else {
+                    local.mismatches += 1;
+                    if local.failures.len() < 5 {
+                        local.failures.push(format!(
+                            "request {i} ({}): reply bytes differ from in-process \
+                             pipeline ({} vs {} bytes, outcome {})",
+                            env.request.kind_name(),
+                            got.len(),
+                            expected[slot].len(),
+                            resp.outcome_name(),
+                        ));
+                    }
+                }
+            }
+            Err(msg) => {
+                local.errors += 1;
+                if local.failures.len() < 5 {
+                    local.failures.push(msg);
+                }
+            }
+        }
+    }
+    let mut tally = shared.results.lock().unwrap();
+    tally.ok += local.ok;
+    tally.mismatches += local.mismatches;
+    tally.errors += local.errors;
+    tally.busy_retries += local.busy_retries;
+    tally.latencies_us.extend(local.latencies_us);
+    for (a, b) in tally.mix.iter_mut().zip(local.mix) {
+        *a += b;
+    }
+    tally.failures.extend(local.failures);
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+/// Runs the load phase (plus optional probes and shutdown) against a
+/// daemon at `config.addr`.
+///
+/// # Errors
+/// Returns `Err` only when the run cannot start at all (expected-reply
+/// precomputation failed, e.g. unknown benchmark). Per-request failures
+/// are reported in the [`LoadgenReport`]; check [`LoadgenReport::clean`].
+///
+/// # Panics
+/// Panics if a worker thread panics (it holds no locks across request
+/// handling, so this indicates a bug in loadgen itself).
+pub fn run(config: &LoadgenConfig, obs: &Obs) -> Result<LoadgenReport, String> {
+    let _span = obs.span("loadgen").arg("conns", config.conns as u64).arg(
+        "requests",
+        config.requests as u64,
+    );
+
+    // Precompute the mix's expected replies in-process. `execute` is a pure
+    // function of the request, so these are exactly the bytes the daemon
+    // must produce.
+    obs.log(Level::Info, || {
+        format!(
+            "precomputing expected replies for {} scale {} scheme {} ...",
+            config.bench, config.scale, config.scheme
+        )
+    });
+    let profile_req =
+        Request::Profile { bench: config.bench.clone(), scale: config.scale, depth: 0 };
+    let profile_resp = execute(&profile_req, &Obs::noop());
+    let Response::Profile { edge, path } = &profile_resp else {
+        return Err(format!("profile precompute failed: {profile_resp:?}"));
+    };
+    let profile = ProfileText { edge: edge.clone(), path: path.clone() };
+    let expected: [Vec<u8>; 3] = [0usize, 1, 2].map(|slot| {
+        let req = mix_request(config, slot, &profile);
+        encode_response(&execute(&req, &Obs::noop()))
+    });
+
+    let shared = Shared {
+        next: AtomicUsize::new(0),
+        total: config.requests,
+        results: Mutex::new(WorkerTally::default()),
+    };
+
+    obs.log(Level::Info, || {
+        format!("driving {} requests over {} connections ...", config.requests, config.conns)
+    });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..config.conns.max(1) {
+            scope.spawn(|| worker(config, &shared, &expected, &profile));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut tally = shared.results.into_inner().unwrap();
+    tally.latencies_us.sort_unstable();
+    let mut report = LoadgenReport {
+        ok: tally.ok,
+        mismatches: tally.mismatches,
+        errors: tally.errors,
+        busy_retries: tally.busy_retries,
+        elapsed_s: elapsed.as_secs_f64(),
+        throughput_rps: tally.ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencyMs {
+            p50: percentile(&tally.latencies_us, 0.50),
+            p95: percentile(&tally.latencies_us, 0.95),
+            p99: percentile(&tally.latencies_us, 0.99),
+            max: percentile(&tally.latencies_us, 1.0),
+        },
+        mix: tally.mix,
+        probes_run: 0,
+        probes_passed: 0,
+        failures: std::mem::take(&mut tally.failures),
+    };
+
+    if config.probe_malformed {
+        probe_malformed(config, &mut report, obs);
+    }
+
+    if config.shutdown {
+        match Client::connect(&config.addr, Some(Duration::from_secs(10)))
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.request(Request::Shutdown).map_err(|e| e.to_string()))
+        {
+            Ok(Response::ShuttingDown) => {
+                obs.log(Level::Info, || "daemon acknowledged shutdown".to_string());
+            }
+            Ok(other) => {
+                report.errors += 1;
+                report.failures.push(format!(
+                    "shutdown: expected ShuttingDown, got {}",
+                    other.outcome_name()
+                ));
+            }
+            Err(e) => {
+                report.errors += 1;
+                report.failures.push(format!("shutdown: {e}"));
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// One malformed-input case: raw bytes to send, and whether to half-close
+/// the write side afterwards (the truncation probe).
+struct Probe {
+    name: &'static str,
+    bytes: Vec<u8>,
+    half_close: bool,
+}
+
+fn probes() -> Vec<Probe> {
+    let good = frame::encode_frame(b"never decoded");
+    let mut bad_magic = good.clone();
+    bad_magic[..4].copy_from_slice(b"XPSF");
+    let mut bad_version = good.clone();
+    bad_version[4] = VERSION.wrapping_add(7);
+    let mut oversized = good.clone();
+    oversized[6..10].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_be_bytes());
+    let mut bad_checksum = good.clone();
+    let last = bad_checksum.len() - 1;
+    bad_checksum[last] ^= 0xff;
+    let truncated = good[..HEADER_LEN + 4].to_vec();
+    vec![
+        Probe { name: "bad-magic", bytes: bad_magic, half_close: false },
+        Probe { name: "bad-version", bytes: bad_version, half_close: false },
+        Probe { name: "oversized-length", bytes: oversized, half_close: false },
+        Probe { name: "checksum-mismatch", bytes: bad_checksum, half_close: false },
+        Probe { name: "truncated-frame", bytes: truncated, half_close: true },
+    ]
+}
+
+/// A probe passes when the daemon answers with a structured error and/or
+/// closes the connection — without hanging — and a fresh connection still
+/// serves a good request afterwards.
+fn probe_malformed(config: &LoadgenConfig, report: &mut LoadgenReport, obs: &Obs) {
+    for probe in probes() {
+        report.probes_run += 1;
+        match run_probe(&config.addr, &probe) {
+            Ok(()) => {
+                report.probes_passed += 1;
+                obs.log(Level::Debug, || format!("probe {}: rejected cleanly", probe.name));
+            }
+            Err(e) => {
+                report.failures.push(format!("probe {}: {e}", probe.name));
+                obs.log(Level::Error, || format!("probe {} FAILED: {e}", probe.name));
+            }
+        }
+    }
+    // The daemon must still be healthy after absorbing garbage.
+    report.probes_run += 1;
+    match Client::connect(&config.addr, Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| c.request(Request::Ping).map_err(|e| e.to_string()))
+    {
+        Ok(Response::Pong) => report.probes_passed += 1,
+        Ok(other) => report
+            .failures
+            .push(format!("post-probe ping: expected Pong, got {}", other.outcome_name())),
+        Err(e) => report.failures.push(format!("post-probe ping: {e}")),
+    }
+}
+
+fn run_probe(addr: &str, probe: &Probe) -> Result<(), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(15)))
+        .map_err(|e| format!("timeout: {e}"))?;
+    stream.write_all(&probe.bytes).map_err(|e| format!("send: {e}"))?;
+    if probe.half_close {
+        stream.shutdown(Shutdown::Write).map_err(|e| format!("half-close: {e}"))?;
+    }
+    // The daemon replies with one structured-error frame and closes, or —
+    // for header corruption it cannot safely frame a reply into — just
+    // closes. Either way the stream must reach EOF without a hang.
+    let mut reply = Vec::new();
+    match stream.read_to_end(&mut reply) {
+        Ok(_) => {}
+        // A reset after the daemon closed is also a clean rejection.
+        Err(e)
+            if e.kind() == std::io::ErrorKind::ConnectionReset
+                || e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+        Err(e) => return Err(format!("read: {e} (timeout = daemon hung on garbage)")),
+    }
+    if reply.is_empty() {
+        return Ok(()); // clean close without a reply
+    }
+    let payload = frame::read_frame(&mut reply.as_slice())
+        .map_err(|e| format!("reply frame: {e}"))?;
+    match pps_serve::proto::decode_response(&payload) {
+        Ok(Response::Error { .. }) => Ok(()),
+        Ok(other) => Err(format!("expected a structured error, got {}", other.outcome_name())),
+        Err(e) => Err(format!("reply decode: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile(&us, 0.50) - 50.0).abs() < 1.5);
+        assert!((percentile(&us, 0.95) - 95.0).abs() < 1.5);
+        assert!((percentile(&us, 1.0) - 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn probe_set_covers_every_header_failure() {
+        let names: Vec<&str> = probes().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["bad-magic", "bad-version", "oversized-length", "checksum-mismatch", "truncated-frame"]
+        );
+        // Bytes really are malformed: each probe must fail frame decoding
+        // (the truncated probe by EOF).
+        for p in probes() {
+            assert!(
+                frame::read_frame(&mut p.bytes.as_slice()).is_err(),
+                "probe {} decoded as a valid frame",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        let config = LoadgenConfig { addr: "127.0.0.1:0".into(), ..LoadgenConfig::default() };
+        let mut report = LoadgenReport::default();
+        report.failures.push("a \"quoted\" failure".to_string());
+        let json = report.to_json(&config);
+        pps_obs::json::parse(&json).expect("loadgen report JSON parses");
+    }
+}

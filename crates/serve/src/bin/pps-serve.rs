@@ -1,0 +1,137 @@
+//! The compile-service daemon.
+//!
+//! ```text
+//! pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--port-file FILE] [--metrics-out FILE] [--log-level LEVEL]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:0` — an ephemeral port), prints
+//! `listening on ADDR`, optionally writes the bound address to
+//! `--port-file` (atomically, for scripts to poll), and serves until
+//! SIGTERM/SIGINT or an in-band `Shutdown` request, draining accepted work
+//! before exiting. `--metrics-out` writes the `serve.*` request counters
+//! and latency/queue-depth histograms as JSON on exit.
+
+use pps_obs::{Level, Obs, ObsConfig};
+use pps_serve::server::{serve, ServeConfig};
+use pps_serve::service::PipelineHandler;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20               [--port-file FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
+         Serves Profile/Compile/RunCell requests over the PPSF framed protocol.\n\
+         Stop with SIGTERM, SIGINT, or an in-band Shutdown request; accepted\n\
+         work is drained before exit."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut level = Level::Info;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| usage()).clone(),
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--queue-cap" => {
+                config.queue_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--port-file" => port_file = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--log-level" => {
+                level = Level::parse(it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let obs = Obs::recording(ObsConfig {
+        level,
+        trace: false,
+        metrics: metrics_out.is_some(),
+    });
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    pps_serve::signal::install_shutdown_flag(Arc::clone(&shutdown));
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("[pps-serve error] bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("[pps-serve error] local_addr: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("pps-serve listening on {local}");
+    obs.log(Level::Info, || {
+        format!(
+            "workers {} queue-cap {} (drain on SIGTERM/Shutdown)",
+            config.workers, config.queue_capacity
+        )
+    });
+    if let Some(path) = &port_file {
+        // Write-then-rename so pollers never read a half-written address.
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        let write = std::fs::write(&tmp, format!("{local}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("[pps-serve error] port file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handler = PipelineHandler;
+    let stats = match serve(listener, &config, &handler, &obs, &shutdown) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("[pps-serve error] serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    obs.log(Level::Info, || {
+        format!(
+            "drained: {} connections, {} requests ({} busy, {} frame errors)",
+            stats.connections, stats.requests, stats.busy, stats.frame_errors
+        )
+    });
+    if let Some(path) = &metrics_out {
+        match obs.write_metrics(path) {
+            Ok(_) => obs.log(Level::Info, || format!("metrics written to {path}")),
+            Err(e) => {
+                eprintln!("[pps-serve error] writing metrics to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,95 @@
+//! Blocking client for the compile service.
+
+use crate::frame::{self, FrameError};
+use crate::proto::{decode_response, encode_request, Envelope, ProtoError, Request, Response};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The reply frame was malformed.
+    Frame(FrameError),
+    /// The reply payload did not decode.
+    Proto(ProtoError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Proto(e) => write!(f, "reply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Proto(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// One connection to a `pps-serve` daemon, sending requests one at a time.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects with the given overall per-reply timeout (None = wait
+    /// forever; pipeline requests can take a while, so loadgen uses
+    /// minutes, not seconds).
+    ///
+    /// # Errors
+    /// Connection failures.
+    pub fn connect(addr: &str, reply_timeout: Option<Duration>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(reply_timeout)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one envelope and waits for its response.
+    ///
+    /// # Errors
+    /// Any [`ClientError`].
+    pub fn call(&mut self, env: &Envelope) -> Result<Response, ClientError> {
+        frame::write_frame(&mut self.stream, &encode_request(env))?;
+        let payload = frame::read_frame(&mut self.stream)?;
+        Ok(decode_response(&payload)?)
+    }
+
+    /// [`Client::call`] with a bare request and no deadline.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn request(&mut self, request: Request) -> Result<Response, ClientError> {
+        self.call(&Envelope::new(request))
+    }
+}

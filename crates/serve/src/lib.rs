@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! `pps-serve`: the compile service.
+//!
+//! The CLI harness runs one-shot sweeps; real PGO deployments are
+//! services — profiles are collected in one place and consumed by many
+//! compile requests. This crate turns the reproduction into that shape
+//! without any external dependencies:
+//!
+//! - [`frame`] — length-prefixed, versioned, checksummed binary frames;
+//! - [`proto`] — the `Profile` / `Compile` / `RunCell` request set and
+//!   structured error replies, with a bounds-checked binary codec;
+//! - [`server`] — a `TcpListener` daemon: bounded queue with `Busy`
+//!   backpressure ([`pps_core::pool::BoundedQueue`]), a scoped worker
+//!   team, per-request queue-wait deadlines, and graceful drain on
+//!   SIGTERM / in-band `Shutdown`;
+//! - [`client`] — the blocking client used by `pps-harness loadgen`;
+//! - [`service`] — the production handler, a pure function of the request
+//!   so replies are byte-comparable against in-process runs;
+//! - [`runner`] — one benchmark × scheme measurement end to end, shared
+//!   with (and re-exported by) `pps-harness`;
+//! - [`signal`] — SIGTERM/SIGINT → shutdown flag (Unix).
+//!
+//! The `pps-serve` binary wires these together; see README §Serving.
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod runner;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use client::{Client, ClientError};
+pub use proto::{Envelope, ErrorKind, ProfileText, Request, Response};
+pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
+pub use server::{serve, Handler, ServeConfig, ServerHandle, ServerStats};
+pub use service::{execute, parse_scheme, PipelineHandler};

@@ -1,0 +1,549 @@
+//! Request/response messages and their binary payload encoding.
+//!
+//! Payloads are built from three primitives only — `u8`, big-endian `u32`
+//! / `u64`, and length-prefixed UTF-8 strings — decoded by a
+//! bounds-checked cursor, so a corrupted payload always surfaces as a
+//! [`ProtoError`] with a byte offset, never a panic or over-read. The
+//! profile texts carried by [`Request::Compile`] are exactly the
+//! `pps_profile::serialize` formats the harness writes with
+//! `--profile-out`.
+
+use std::fmt;
+
+/// A payload-decoding failure with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Byte offset in the payload.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Profile texts a `Compile` request ships along, in the
+/// `pps_profile::serialize` formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileText {
+    /// `pps-edge-profile v1` text.
+    pub edge: String,
+    /// `pps-path-profile v1` text.
+    pub path: String,
+}
+
+/// One service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Run a benchmark's training input under the edge *and* general-path
+    /// profilers and return both serialized profiles.
+    Profile {
+        /// Benchmark name (see `pps_suite`).
+        bench: String,
+        /// Suite scale factor.
+        scale: u32,
+        /// Path-profile window depth (0 = the paper's default, 15).
+        depth: u32,
+    },
+    /// Form + compact the benchmark's program under a named scheme,
+    /// against a client-supplied profile when present (otherwise the
+    /// server trains one), returning a deterministic compile report.
+    Compile {
+        /// Benchmark name.
+        bench: String,
+        /// Suite scale factor.
+        scale: u32,
+        /// Scheme name (`BB`, `M4`, `M16`, `P4`, `P4e`, …).
+        scheme: String,
+        /// Saved profiles to compile against instead of training.
+        profile: Option<ProfileText>,
+    },
+    /// One full benchmark × scheme experiment cell (train → form →
+    /// compact → layout → measure), returning the same metrics JSON the
+    /// harness emits with `--metrics-out`.
+    RunCell {
+        /// Benchmark name.
+        bench: String,
+        /// Suite scale factor.
+        scale: u32,
+        /// Scheme name.
+        scheme: String,
+        /// Guard mode: fail-fast instead of degrade-and-continue.
+        strict: bool,
+    },
+    /// Ask the daemon to drain and exit (the in-band equivalent of
+    /// SIGTERM).
+    Shutdown,
+}
+
+impl Request {
+    /// Stable lowercase tag for metrics labels.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Profile { .. } => "profile",
+            Request::Compile { .. } => "compile",
+            Request::RunCell { .. } => "runcell",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request plus its per-request deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Milliseconds the request may wait in the server's queue before the
+    /// worker rejects it with [`ErrorKind::DeadlineExceeded`]; 0 = none.
+    pub deadline_ms: u32,
+    /// The request proper.
+    pub request: Request,
+}
+
+impl Envelope {
+    /// Wraps a request with no deadline.
+    pub fn new(request: Request) -> Self {
+        Envelope { deadline_ms: 0, request }
+    }
+}
+
+/// Category of a structured error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame itself was malformed (the connection closes after this).
+    BadFrame,
+    /// The payload did not decode as a request.
+    BadRequest,
+    /// No benchmark by that name.
+    UnknownBench,
+    /// Unparseable scheme name.
+    UnknownScheme,
+    /// A client-supplied profile failed to parse.
+    BadProfile,
+    /// The scheduling pipeline failed (strict mode).
+    Pipeline,
+    /// An interpreter/simulator run failed.
+    Exec,
+    /// The request out-waited its deadline in the queue.
+    DeadlineExceeded,
+    /// Server-side invariant failure (e.g. a panicking handler).
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorKind::BadFrame => 0,
+            ErrorKind::BadRequest => 1,
+            ErrorKind::UnknownBench => 2,
+            ErrorKind::UnknownScheme => 3,
+            ErrorKind::BadProfile => 4,
+            ErrorKind::Pipeline => 5,
+            ErrorKind::Exec => 6,
+            ErrorKind::DeadlineExceeded => 7,
+            ErrorKind::Internal => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<ErrorKind> {
+        Some(match v {
+            0 => ErrorKind::BadFrame,
+            1 => ErrorKind::BadRequest,
+            2 => ErrorKind::UnknownBench,
+            3 => ErrorKind::UnknownScheme,
+            4 => ErrorKind::BadProfile,
+            5 => ErrorKind::Pipeline,
+            6 => ErrorKind::Exec,
+            7 => ErrorKind::DeadlineExceeded,
+            8 => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase tag for metrics labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::BadFrame => "bad-frame",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::UnknownBench => "unknown-bench",
+            ErrorKind::UnknownScheme => "unknown-scheme",
+            ErrorKind::BadProfile => "bad-profile",
+            ErrorKind::Pipeline => "pipeline",
+            ErrorKind::Exec => "exec",
+            ErrorKind::DeadlineExceeded => "deadline",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One service reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Serialized edge + path profiles.
+    Profile {
+        /// `pps-edge-profile v1` text.
+        edge: String,
+        /// `pps-path-profile v1` text.
+        path: String,
+    },
+    /// Deterministic `pps-compile-report v1` text.
+    Compile {
+        /// The report.
+        report: String,
+    },
+    /// Metrics-registry JSON, byte-identical to the harness's
+    /// `--metrics-out` for the same cell.
+    RunCell {
+        /// The metrics JSON.
+        metrics_json: String,
+    },
+    /// The bounded queue was full — retry later (backpressure, not an
+    /// error).
+    Busy,
+    /// The daemon is draining; no new work is accepted.
+    ShuttingDown,
+    /// A structured failure.
+    Error {
+        /// Category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Stable lowercase outcome tag for metrics labels.
+    pub fn outcome_name(&self) -> &'static str {
+        match self {
+            Response::Pong | Response::Profile { .. } | Response::Compile { .. } | Response::RunCell { .. } => "ok",
+            Response::Busy => "busy",
+            Response::ShuttingDown => "shutting-down",
+            Response::Error { kind, .. } => kind.name(),
+        }
+    }
+}
+
+// --- encoding primitives ----------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked payload cursor.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ProtoError> {
+        Err(ProtoError { offset: self.pos, message: message.into() })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.buf.len() - self.pos < n {
+            return self.err(format!(
+                "need {n} bytes, {} left",
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => Err(ProtoError { offset: start, message: "invalid UTF-8".into() }),
+        }
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtoError {
+                offset: self.pos,
+                message: format!("{} trailing bytes", self.buf.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+}
+
+const REQ_PING: u8 = 0;
+const REQ_PROFILE: u8 = 1;
+const REQ_COMPILE: u8 = 2;
+const REQ_RUNCELL: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_PONG: u8 = 0;
+const RESP_PROFILE: u8 = 1;
+const RESP_COMPILE: u8 = 2;
+const RESP_RUNCELL: u8 = 3;
+const RESP_BUSY: u8 = 4;
+const RESP_SHUTTING_DOWN: u8 = 5;
+const RESP_ERROR: u8 = 6;
+
+/// Encodes a request envelope into a frame payload.
+pub fn encode_request(env: &Envelope) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, env.deadline_ms);
+    match &env.request {
+        Request::Ping => buf.push(REQ_PING),
+        Request::Profile { bench, scale, depth } => {
+            buf.push(REQ_PROFILE);
+            put_str(&mut buf, bench);
+            put_u32(&mut buf, *scale);
+            put_u32(&mut buf, *depth);
+        }
+        Request::Compile { bench, scale, scheme, profile } => {
+            buf.push(REQ_COMPILE);
+            put_str(&mut buf, bench);
+            put_u32(&mut buf, *scale);
+            put_str(&mut buf, scheme);
+            match profile {
+                None => buf.push(0),
+                Some(p) => {
+                    buf.push(1);
+                    put_str(&mut buf, &p.edge);
+                    put_str(&mut buf, &p.path);
+                }
+            }
+        }
+        Request::RunCell { bench, scale, scheme, strict } => {
+            buf.push(REQ_RUNCELL);
+            put_str(&mut buf, bench);
+            put_u32(&mut buf, *scale);
+            put_str(&mut buf, scheme);
+            buf.push(u8::from(*strict));
+        }
+        Request::Shutdown => buf.push(REQ_SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes a frame payload into a request envelope.
+///
+/// # Errors
+/// [`ProtoError`] on any malformed payload.
+pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let deadline_ms = c.u32()?;
+    let tag = c.u8()?;
+    let request = match tag {
+        REQ_PING => Request::Ping,
+        REQ_PROFILE => Request::Profile {
+            bench: c.string()?,
+            scale: c.u32()?,
+            depth: c.u32()?,
+        },
+        REQ_COMPILE => {
+            let bench = c.string()?;
+            let scale = c.u32()?;
+            let scheme = c.string()?;
+            let profile = match c.u8()? {
+                0 => None,
+                1 => Some(ProfileText { edge: c.string()?, path: c.string()? }),
+                other => return c.err(format!("bad profile flag {other}")),
+            };
+            Request::Compile { bench, scale, scheme, profile }
+        }
+        REQ_RUNCELL => Request::RunCell {
+            bench: c.string()?,
+            scale: c.u32()?,
+            scheme: c.string()?,
+            strict: match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return c.err(format!("bad strict flag {other}")),
+            },
+        },
+        REQ_SHUTDOWN => Request::Shutdown,
+        other => return c.err(format!("unknown request tag {other}")),
+    };
+    c.done()?;
+    Ok(Envelope { deadline_ms, request })
+}
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Pong => buf.push(RESP_PONG),
+        Response::Profile { edge, path } => {
+            buf.push(RESP_PROFILE);
+            put_str(&mut buf, edge);
+            put_str(&mut buf, path);
+        }
+        Response::Compile { report } => {
+            buf.push(RESP_COMPILE);
+            put_str(&mut buf, report);
+        }
+        Response::RunCell { metrics_json } => {
+            buf.push(RESP_RUNCELL);
+            put_str(&mut buf, metrics_json);
+        }
+        Response::Busy => buf.push(RESP_BUSY),
+        Response::ShuttingDown => buf.push(RESP_SHUTTING_DOWN),
+        Response::Error { kind, message } => {
+            buf.push(RESP_ERROR);
+            buf.push(kind.to_u8());
+            put_str(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Decodes a frame payload into a response.
+///
+/// # Errors
+/// [`ProtoError`] on any malformed payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut c = Cursor::new(payload);
+    let tag = c.u8()?;
+    let resp = match tag {
+        RESP_PONG => Response::Pong,
+        RESP_PROFILE => Response::Profile { edge: c.string()?, path: c.string()? },
+        RESP_COMPILE => Response::Compile { report: c.string()? },
+        RESP_RUNCELL => Response::RunCell { metrics_json: c.string()? },
+        RESP_BUSY => Response::Busy,
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_ERROR => {
+            let kind_byte = c.u8()?;
+            let Some(kind) = ErrorKind::from_u8(kind_byte) else {
+                return c.err(format!("unknown error kind {kind_byte}"));
+            };
+            Response::Error { kind, message: c.string()? }
+        }
+        other => return c.err(format!("unknown response tag {other}")),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Envelope> {
+        vec![
+            Envelope::new(Request::Ping),
+            Envelope {
+                deadline_ms: 250,
+                request: Request::Profile { bench: "wc".into(), scale: 1, depth: 15 },
+            },
+            Envelope::new(Request::Compile {
+                bench: "gcc".into(),
+                scale: 2,
+                scheme: "P4".into(),
+                profile: None,
+            }),
+            Envelope::new(Request::Compile {
+                bench: "alt".into(),
+                scale: 1,
+                scheme: "P4e".into(),
+                profile: Some(ProfileText {
+                    edge: "pps-edge-profile v1\n".into(),
+                    path: "pps-path-profile v1 depth 15\n".into(),
+                }),
+            }),
+            Envelope {
+                deadline_ms: 1000,
+                request: Request::RunCell {
+                    bench: "wc".into(),
+                    scale: 1,
+                    scheme: "M4".into(),
+                    strict: true,
+                },
+            },
+            Envelope::new(Request::Shutdown),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for env in sample_requests() {
+            let payload = encode_request(&env);
+            assert_eq!(decode_request(&payload).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Pong,
+            Response::Profile { edge: "e".into(), path: "p".into() },
+            Response::Compile { report: "pps-compile-report v1\n".into() },
+            Response::RunCell { metrics_json: "{}".into() },
+            Response::Busy,
+            Response::ShuttingDown,
+            Response::Error { kind: ErrorKind::DeadlineExceeded, message: "late".into() },
+        ];
+        for resp in responses {
+            let payload = encode_response(&resp);
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_error_at_an_offset() {
+        for env in sample_requests() {
+            let payload = encode_request(&env);
+            for cut in 0..payload.len() {
+                let e = decode_request(&payload[..cut]);
+                assert!(e.is_err(), "{env:?} cut at {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut payload = encode_request(&Envelope::new(Request::Ping));
+        payload.push(7);
+        let e = decode_request(&payload).unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn error_kinds_round_trip() {
+        for v in 0..=8u8 {
+            let k = ErrorKind::from_u8(v).unwrap();
+            assert_eq!(k.to_u8(), v);
+        }
+        assert!(ErrorKind::from_u8(9).is_none());
+    }
+}

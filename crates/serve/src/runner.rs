@@ -10,10 +10,13 @@ use pps_ir::trace::TeeSink;
 use pps_ir::FaultInjector;
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
-use pps_profile::{EdgeProfiler, PathProfiler, DEFAULT_PATH_DEPTH};
+use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
+use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
 use pps_sim::{simulate_obs, Layout, SbDynStats};
 use pps_suite::Benchmark;
 use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Any failure of one benchmark × scheme run, with the benchmark name
 /// attached so sweep-level reports can say *which* run failed.
@@ -36,6 +39,14 @@ pub enum RunError {
         /// The underlying pipeline error.
         error: PipelineError,
     },
+    /// Loading or saving a serialized profile failed
+    /// ([`RunConfig::profile_in`] / [`RunConfig::profile_out`]).
+    Profile {
+        /// Benchmark being measured.
+        bench: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -43,6 +54,7 @@ impl fmt::Display for RunError {
         match self {
             RunError::Exec { bench, stage, error } => write!(f, "{bench} {stage}: {error}"),
             RunError::Pipeline { bench, error } => write!(f, "{bench} pipeline: {error}"),
+            RunError::Profile { bench, message } => write!(f, "{bench} profile: {message}"),
         }
     }
 }
@@ -52,6 +64,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Exec { error, .. } => Some(error),
             RunError::Pipeline { error, .. } => Some(error),
+            RunError::Profile { .. } => None,
         }
     }
 }
@@ -77,6 +90,16 @@ pub struct RunConfig {
     /// from this value and the benchmark name only, so the same faults hit
     /// the same procedures no matter how runs are scheduled across workers.
     pub fault_seed: Option<u64>,
+    /// Directory of saved profiles (`<bench>.edgeprof` / `<bench>.pathprof`,
+    /// the `pps_profile::serialize` text formats). When set, the training
+    /// run is skipped and profiles are loaded instead; a missing pair is an
+    /// error unless [`RunConfig::profile_out`] also points somewhere (then
+    /// the run falls back to training and saves — cache semantics).
+    pub profile_in: Option<String>,
+    /// Directory to save freshly collected profiles into (atomic
+    /// write-then-rename, so concurrent cells of the same benchmark never
+    /// tear a file).
+    pub profile_out: Option<String>,
 }
 
 impl RunConfig {
@@ -84,6 +107,58 @@ impl RunConfig {
     pub fn paper() -> Self {
         RunConfig::default()
     }
+}
+
+/// File paths of a benchmark's saved profile pair under `dir`.
+fn profile_paths(dir: &str, bench: &str) -> (String, String) {
+    (format!("{dir}/{bench}.edgeprof"), format!("{dir}/{bench}.pathprof"))
+}
+
+/// Loads a saved profile pair; `Ok(None)` when either file is absent.
+fn load_profiles(
+    dir: &str,
+    bench: &str,
+    depth: usize,
+) -> Result<Option<(EdgeProfile, PathProfile)>, String> {
+    let (ep, pp) = profile_paths(dir, bench);
+    if !Path::new(&ep).exists() || !Path::new(&pp).exists() {
+        return Ok(None);
+    }
+    let edge_text = std::fs::read_to_string(&ep).map_err(|e| format!("{ep}: {e}"))?;
+    let edge = edge_from_text(&edge_text).map_err(|e| format!("{ep}: {e}"))?;
+    let path_text = std::fs::read_to_string(&pp).map_err(|e| format!("{pp}: {e}"))?;
+    let path = path_from_text(&path_text).map_err(|e| format!("{pp}: {e}"))?;
+    if path.depth() != depth {
+        return Err(format!(
+            "{pp}: saved at depth {}, this run wants depth {depth}",
+            path.depth()
+        ));
+    }
+    Ok(Some((edge, path)))
+}
+
+/// Saves a profile pair atomically (unique temp name, then rename), so
+/// parallel cells of the same benchmark can save concurrently without
+/// tearing each other's files.
+fn save_profiles(
+    dir: &str,
+    bench: &str,
+    edge: &EdgeProfile,
+    path: &PathProfile,
+) -> Result<(), String> {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let (ep, pp) = profile_paths(dir, bench);
+    for (dest, text) in [(ep, edge_to_text(edge)), (pp, path_to_text(path))] {
+        let tmp = format!(
+            "{dest}.tmp.{}.{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        );
+        std::fs::write(&tmp, text).map_err(|e| format!("{tmp}: {e}"))?;
+        std::fs::rename(&tmp, &dest).map_err(|e| format!("{dest}: {e}"))?;
+    }
+    Ok(())
 }
 
 /// FNV-1a over `bytes` — stable benchmark-name hashing for fault seeds
@@ -165,15 +240,44 @@ pub fn run_scheme_obs(
         move |error: ExecError| RunError::Exec { bench: bench.name.to_string(), stage, error }
     };
 
-    // 1. One training run feeds both profilers.
+    // 1. Profiles: load a saved pair when configured, otherwise one
+    // training run feeds both profilers (optionally saving the pair so
+    // later runs — or a serve daemon's Compile requests — can reuse it).
     let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
     let profile_span = obs.span("profile").arg("depth", depth);
-    let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
-    Interp::new(&program, exec_config)
-        .run_traced(&bench.train_args, &mut tee)
-        .map_err(exec_err("train run"))?;
-    let edge = tee.a.finish();
-    let path = tee.b.finish();
+    let profile_err =
+        |message: String| RunError::Profile { bench: bench.name.to_string(), message };
+    let mut loaded: Option<(EdgeProfile, PathProfile)> = None;
+    if let Some(dir) = &config.profile_in {
+        match load_profiles(dir, bench.name, depth).map_err(&profile_err)? {
+            Some(pair) => loaded = Some(pair),
+            // With an output directory the missing pair is a cache miss:
+            // train below and save. Without one it is a user error.
+            None if config.profile_out.is_some() => {}
+            None => {
+                return Err(profile_err(format!(
+                    "no saved profile in {dir} (expected {name}.edgeprof and \
+                     {name}.pathprof); run with --profile-out first",
+                    name = bench.name
+                )))
+            }
+        }
+    }
+    let (edge, path) = match loaded {
+        Some(pair) => pair,
+        None => {
+            let mut tee =
+                TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
+            Interp::new(&program, exec_config)
+                .run_traced(&bench.train_args, &mut tee)
+                .map_err(exec_err("train run"))?;
+            let pair = (tee.a.finish(), tee.b.finish());
+            if let Some(dir) = &config.profile_out {
+                save_profiles(dir, bench.name, &pair.0, &pair.1).map_err(&profile_err)?;
+            }
+            pair
+        }
+    };
     edge.record_metrics(&obs);
     path.record_metrics(&obs);
     drop(profile_span);
@@ -301,6 +405,39 @@ mod tests {
         assert!(p4.miss_rate >= 0.0 && p4.miss_rate < 1.0);
         // The runs went through the guarded pipeline and were clean.
         assert!(bb.guard.clean() && m4.guard.clean() && p4.guard.clean());
+    }
+
+    #[test]
+    fn saved_profiles_reproduce_the_training_run() {
+        let bench = benchmark_by_name("wc", Scale::quick()).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("pps-profile-io-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+
+        // Pass 1: train and save.
+        let mut save_cfg = RunConfig::paper();
+        save_cfg.profile_out = Some(dir.clone());
+        let trained = run_scheme(&bench, Scheme::P4, &save_cfg).unwrap();
+        assert!(Path::new(&format!("{dir}/wc.edgeprof")).exists());
+        assert!(Path::new(&format!("{dir}/wc.pathprof")).exists());
+
+        // Pass 2: load; measurements must be identical.
+        let mut load_cfg = RunConfig::paper();
+        load_cfg.profile_in = Some(dir.clone());
+        let loaded = run_scheme(&bench, Scheme::P4, &load_cfg).unwrap();
+        assert_eq!(loaded.cycles, trained.cycles);
+        assert_eq!(loaded.cycles_icache, trained.cycles_icache);
+        assert_eq!(loaded.static_instrs, trained.static_instrs);
+        assert_eq!(loaded.sb_stats, trained.sb_stats);
+
+        // A missing pair without an output fallback is a structured error.
+        let mut missing_cfg = RunConfig::paper();
+        missing_cfg.profile_in = Some(format!("{dir}/nowhere"));
+        let err = run_scheme(&bench, Scheme::P4, &missing_cfg).unwrap_err();
+        assert!(matches!(err, RunError::Profile { .. }), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! The compile-service daemon: accept loop, bounded queue, worker team,
+//! and graceful drain.
+//!
+//! Threading model (all scoped, no detached threads):
+//!
+//! - the **accept loop** runs on the caller's thread with a nonblocking
+//!   listener, polling the shutdown flag between accepts;
+//! - each connection gets a **connection thread** that reads frames,
+//!   answers `Ping`/`Shutdown` inline, and pushes real work onto the
+//!   bounded queue ([`pps_core::pool::BoundedQueue`]) — a full queue is an
+//!   immediate [`Response::Busy`], never a blocked producer;
+//! - a fixed team of **worker threads** pops jobs, enforces each request's
+//!   queue-wait deadline, runs the [`Handler`], and hands the response back
+//!   to the connection thread over a per-request channel.
+//!
+//! Shutdown (SIGTERM via [`crate::signal`], an in-band
+//! [`Request::Shutdown`], or [`ServerHandle::shutdown`]) flips one atomic
+//! flag: the accept loop stops accepting, connection threads finish their
+//! in-flight request and close, then the queue is closed and the workers
+//! drain everything already accepted before exiting — accepted work is
+//! never dropped.
+
+use crate::frame::{self, FrameError};
+use crate::proto::{decode_request, encode_response, Envelope, ErrorKind, Request, Response};
+use pps_core::pool::{BoundedQueue, PushError};
+use pps_obs::Obs;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Executes decoded requests. `Ping` and `Shutdown` never reach the
+/// handler; everything else does.
+pub trait Handler: Send + Sync {
+    /// Produces the response for one request. Panics are caught and
+    /// reported as [`ErrorKind::Internal`].
+    fn handle(&self, request: &Request, obs: &Obs) -> Response;
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing requests (default: available parallelism).
+    pub workers: usize,
+    /// Bounded-queue capacity; a full queue rejects with `Busy`.
+    pub queue_capacity: usize,
+    /// How often idle loops re-check the shutdown flag.
+    pub poll: Duration,
+    /// How long a started frame may take to arrive completely.
+    pub frame_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = pps_core::pool::default_jobs();
+        ServeConfig {
+            workers,
+            queue_capacity: (workers * 8).max(16),
+            poll: Duration::from_millis(20),
+            frame_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters the server reports when it exits (also exported through the
+/// `serve.*` metrics while running).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests that produced a reply (including errors and `Busy`).
+    pub requests: u64,
+    /// `Busy` rejections among those.
+    pub busy: u64,
+    /// Connections dropped for malformed frames.
+    pub frame_errors: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    busy: AtomicU64,
+    frame_errors: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One queued request: the decoded envelope, when it was accepted, and the
+/// channel its response travels back on.
+struct Job {
+    env: Envelope,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Runs the server on the calling thread until `shutdown` becomes true,
+/// then drains and returns the final stats.
+///
+/// # Errors
+/// Only listener setup errors; per-connection failures are absorbed into
+/// the stats.
+pub fn serve(
+    listener: TcpListener,
+    config: &ServeConfig,
+    handler: &dyn Handler,
+    obs: &Obs,
+    shutdown: &AtomicBool,
+) -> io::Result<ServerStats> {
+    listener.set_nonblocking(true)?;
+    let queue: BoundedQueue<Job> = BoundedQueue::new(config.queue_capacity);
+    let stats = AtomicStats::default();
+    let active_conns = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..config.workers.max(1) {
+            let queue = &queue;
+            let obs = obs.clone();
+            scope.spawn(move || worker_loop(w, queue, handler, &obs));
+        }
+
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    active_conns.fetch_add(1, Ordering::SeqCst);
+                    let queue = &queue;
+                    let stats = &stats;
+                    let active_conns = &active_conns;
+                    let config = config.clone();
+                    let obs = obs.clone();
+                    scope.spawn(move || {
+                        let r = conn_loop(stream, &config, queue, shutdown, stats, &obs);
+                        if let Err(e) = r {
+                            obs.log(pps_obs::Level::Debug, || {
+                                format!("connection {peer}: {e}")
+                            });
+                        }
+                        active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.poll);
+                }
+                Err(_) => std::thread::sleep(config.poll),
+            }
+        }
+
+        // Drain: stop accepting (done), wait for connection threads to
+        // finish their in-flight request, then let workers empty the
+        // queue.
+        while active_conns.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(config.poll);
+        }
+        queue.close();
+    });
+
+    Ok(stats.snapshot())
+}
+
+/// A server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<io::Result<ServerStats>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serves
+    /// on a background thread.
+    ///
+    /// # Errors
+    /// Bind/local-addr failures.
+    pub fn spawn(
+        addr: &str,
+        config: ServeConfig,
+        handler: Arc<dyn Handler>,
+        obs: Obs,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            serve(listener, &config, handler.as_ref(), &obs, &flag)
+        });
+        Ok(ServerHandle { addr: local, shutdown, thread })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag (shared with the serving thread).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Requests a graceful drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the server to finish draining.
+    ///
+    /// # Errors
+    /// The serve loop's setup error, if any.
+    ///
+    /// # Panics
+    /// Propagates a panic of the serving thread.
+    pub fn join(self) -> io::Result<ServerStats> {
+        self.thread.join().expect("serve thread panicked")
+    }
+}
+
+enum First {
+    Byte(u8),
+    Eof,
+    TimedOut,
+    Err(io::Error),
+}
+
+fn read_first(stream: &mut TcpStream) -> First {
+    let mut b = [0u8; 1];
+    match stream.read(&mut b) {
+        Ok(0) => First::Eof,
+        Ok(_) => First::Byte(b[0]),
+        Err(e)
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+            ) =>
+        {
+            First::TimedOut
+        }
+        Err(e) => First::Err(e),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    frame::write_frame(stream, &encode_response(resp))
+}
+
+/// Serves one connection until EOF, shutdown, or a poisoned stream.
+fn conn_loop(
+    mut stream: TcpStream,
+    config: &ServeConfig,
+    queue: &BoundedQueue<Job>,
+    shutdown: &AtomicBool,
+    stats: &AtomicStats,
+    obs: &Obs,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_nonblocking(false)?;
+    loop {
+        stream.set_read_timeout(Some(config.poll))?;
+        let first = match read_first(&mut stream) {
+            First::Eof => return Ok(()),
+            First::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            First::Err(e) => return Err(e),
+            First::Byte(b) => b,
+        };
+
+        // A frame has started: give it a generous (but bounded) window to
+        // arrive in full, so a stalled peer cannot pin the thread forever.
+        stream.set_read_timeout(Some(config.frame_timeout))?;
+        let started = Instant::now();
+        let payload = match frame::read_frame_after(first, &mut stream) {
+            Ok(p) => p,
+            Err(e) => {
+                // The stream offset can no longer be trusted: send one
+                // structured error, then close.
+                stats.frame_errors.fetch_add(1, Ordering::Relaxed);
+                record(obs, stats, "frame", "bad-frame", started);
+                let resp = Response::Error {
+                    kind: ErrorKind::BadFrame,
+                    message: frame_error_message(&e),
+                };
+                let _ = write_response(&mut stream, &resp);
+                return Ok(());
+            }
+        };
+
+        let env = match decode_request(&payload) {
+            Ok(env) => env,
+            Err(e) => {
+                // Frame boundaries held, so the connection survives a
+                // malformed payload.
+                record(obs, stats, "payload", "bad-request", started);
+                write_response(
+                    &mut stream,
+                    &Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() },
+                )?;
+                continue;
+            }
+        };
+
+        let kind = env.request.kind_name();
+        let resp = match env.request {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+            _ => {
+                let (tx, rx) = mpsc::channel();
+                let depth = queue.len();
+                match queue.try_push(Job { env, enqueued: started, reply: tx }) {
+                    Ok(()) => {
+                        obs.histogram("serve.queue_depth", depth as f64);
+                        rx.recv().unwrap_or(Response::Error {
+                            kind: ErrorKind::Internal,
+                            message: "worker dropped the request".into(),
+                        })
+                    }
+                    Err(PushError::Full(_)) => {
+                        stats.busy.fetch_add(1, Ordering::Relaxed);
+                        Response::Busy
+                    }
+                    Err(PushError::Closed(_)) => Response::ShuttingDown,
+                }
+            }
+        };
+
+        record(obs, stats, kind, resp.outcome_name(), started);
+        write_response(&mut stream, &resp)?;
+    }
+}
+
+fn frame_error_message(e: &FrameError) -> String {
+    format!("{e}")
+}
+
+/// Request-level instrumentation: one labeled counter tick and the
+/// end-to-end latency histogram.
+fn record(obs: &Obs, stats: &AtomicStats, kind: &str, outcome: &str, started: Instant) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    if obs.is_recording() {
+        obs.counter_labeled("serve.requests", &[("type", kind), ("outcome", outcome)], 1);
+        obs.with_label("type", kind)
+            .histogram("serve.latency_ms", started.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+/// Pops jobs until the queue closes and drains; enforces deadlines, shields
+/// the server from handler panics.
+fn worker_loop(index: usize, queue: &BoundedQueue<Job>, handler: &dyn Handler, obs: &Obs) {
+    while let Some(job) = queue.pop() {
+        let waited = job.enqueued.elapsed();
+        let deadline = job.env.deadline_ms;
+        let request = &job.env.request;
+        let resp = if deadline > 0 && waited > Duration::from_millis(u64::from(deadline)) {
+            Response::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                message: format!(
+                    "request waited {:.1}ms in queue, deadline {deadline}ms",
+                    waited.as_secs_f64() * 1e3
+                ),
+            }
+        } else {
+            let span = obs
+                .span("serve.request")
+                .arg("type", request.kind_name())
+                .arg("worker", index as u64);
+            let r = catch_unwind(AssertUnwindSafe(|| handler.handle(request, obs)))
+                .unwrap_or_else(|_| Response::Error {
+                    kind: ErrorKind::Internal,
+                    message: "handler panicked".into(),
+                });
+            drop(span);
+            r
+        };
+        // The connection thread may have died; its channel being gone is
+        // not the worker's problem.
+        let _ = job.reply.send(resp);
+    }
+}

@@ -1,0 +1,297 @@
+//! Executes decoded requests against the real scheduling pipeline.
+//!
+//! [`execute`] is deliberately a pure function of the request (plus the
+//! workspace's deterministic pipeline), so the load generator can compute
+//! the expected reply in-process and assert the daemon's bytes are
+//! identical — the service must never drift from the library.
+
+use crate::proto::{ErrorKind, ProfileText, Request, Response};
+use crate::runner::{run_scheme_obs, RunConfig, RunError};
+use crate::server::Handler;
+use pps_compact::CompactConfig;
+use pps_core::{guarded_form_and_compact_obs, FormConfig, GuardConfig, GuardMode, Scheme};
+use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::trace::TeeSink;
+use pps_obs::{Level, Obs, ObsConfig};
+use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
+use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
+use pps_suite::{benchmark_by_name, Benchmark, Scale};
+
+/// Largest accepted suite scale — bounds per-request work.
+pub const MAX_SCALE: u32 = 100;
+
+/// The production [`Handler`]: every request runs the same code paths the
+/// CLI harness uses.
+#[derive(Debug, Default)]
+pub struct PipelineHandler;
+
+impl Handler for PipelineHandler {
+    fn handle(&self, request: &Request, obs: &Obs) -> Response {
+        execute(request, obs)
+    }
+}
+
+/// Parses a scheme name as printed by [`Scheme::name`]: `BB`, `M<n>`,
+/// `P<n>`, `P<n>e`.
+pub fn parse_scheme(name: &str) -> Option<Scheme> {
+    if name == "BB" {
+        return Some(Scheme::BasicBlock);
+    }
+    if let Some(n) = name.strip_prefix('M') {
+        return n.parse().ok().map(|unroll| Scheme::Edge { unroll });
+    }
+    if let Some(rest) = name.strip_prefix('P') {
+        let (digits, restrained) = match rest.strip_suffix('e') {
+            Some(d) => (d, true),
+            None => (rest, false),
+        };
+        return digits
+            .parse()
+            .ok()
+            .map(|unroll| Scheme::Path { unroll, restrained });
+    }
+    None
+}
+
+fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error { kind, message: message.into() }
+}
+
+fn lookup_bench(name: &str, scale: u32) -> Result<Benchmark, Response> {
+    if scale == 0 || scale > MAX_SCALE {
+        return Err(error(
+            ErrorKind::BadRequest,
+            format!("scale {scale} out of range 1..={MAX_SCALE}"),
+        ));
+    }
+    benchmark_by_name(name, Scale(scale))
+        .ok_or_else(|| error(ErrorKind::UnknownBench, format!("no benchmark `{name}`")))
+}
+
+/// One training run feeding both profilers.
+fn train_profiles(
+    bench: &Benchmark,
+    depth: usize,
+) -> Result<(EdgeProfile, PathProfile), Response> {
+    let mut tee = TeeSink::new(
+        EdgeProfiler::new(&bench.program),
+        PathProfiler::new(&bench.program, depth),
+    );
+    Interp::new(&bench.program, ExecConfig::default())
+        .run_traced(&bench.train_args, &mut tee)
+        .map_err(|e| error(ErrorKind::Exec, format!("{} train run: {e}", bench.name)))?;
+    Ok((tee.a.finish(), tee.b.finish()))
+}
+
+/// Executes one request, deterministically. `Ping`/`Shutdown` are answered
+/// by the server itself and only reach here in tests.
+pub fn execute(request: &Request, obs: &Obs) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::ShuttingDown,
+        Request::Profile { bench, scale, depth } => profile(bench, *scale, *depth),
+        Request::Compile { bench, scale, scheme, profile } => {
+            compile(bench, *scale, scheme, profile.as_ref(), obs)
+        }
+        Request::RunCell { bench, scale, scheme, strict } => {
+            run_cell(bench, *scale, scheme, *strict, obs)
+        }
+    }
+}
+
+fn profile(bench: &str, scale: u32, depth: u32) -> Response {
+    let bench = match lookup_bench(bench, scale) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let depth = if depth == 0 { DEFAULT_PATH_DEPTH } else { depth as usize };
+    match train_profiles(&bench, depth) {
+        Ok((edge, path)) => Response::Profile {
+            edge: edge_to_text(&edge),
+            path: path_to_text(&path),
+        },
+        Err(r) => r,
+    }
+}
+
+fn compile(
+    bench: &str,
+    scale: u32,
+    scheme_name: &str,
+    profile: Option<&ProfileText>,
+    obs: &Obs,
+) -> Response {
+    let Some(scheme) = parse_scheme(scheme_name) else {
+        return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
+    };
+    let bench = match lookup_bench(bench, scale) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let (edge, path) = match profile {
+        Some(p) => {
+            let edge = match edge_from_text(&p.edge) {
+                Ok(e) => e,
+                Err(e) => return error(ErrorKind::BadProfile, format!("edge profile: {e}")),
+            };
+            let path = match path_from_text(&p.path) {
+                Ok(p) => p,
+                Err(e) => return error(ErrorKind::BadProfile, format!("path profile: {e}")),
+            };
+            (edge, path)
+        }
+        None => match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
+            Ok(pair) => pair,
+            Err(r) => return r,
+        },
+    };
+
+    let mut program = bench.program.clone();
+    let guard = GuardConfig {
+        oracle_inputs: vec![bench.train_args.clone()],
+        ..GuardConfig::default()
+    };
+    let guarded = match guarded_form_and_compact_obs(
+        &mut program,
+        &edge,
+        Some(&path),
+        scheme,
+        &FormConfig::default(),
+        &CompactConfig::default(),
+        &guard,
+        obs,
+    ) {
+        Ok(g) => g,
+        Err(e) => return error(ErrorKind::Pipeline, e.to_string()),
+    };
+
+    let stats = &guarded.stats;
+    let report = format!(
+        "pps-compile-report v1\n\
+         bench {bench} scheme {scheme}\n\
+         procs {procs}\n\
+         degraded {degraded}\n\
+         incidents {incidents}\n\
+         superblocks {superblocks}\n\
+         tail_dup_blocks {tail_dup}\n\
+         enlarged_blocks {enlarged}\n\
+         skipped_low_completion {skipped}\n\
+         splits {splits}\n\
+         static_before {before}\n\
+         static_after {after}\n\
+         sched_items {items}\n",
+        bench = bench.name,
+        scheme = scheme.name(),
+        procs = guarded.report.total_procs,
+        degraded = guarded.report.degraded_procs,
+        incidents = guarded.report.incidents.len(),
+        superblocks = stats.superblocks,
+        tail_dup = stats.tail_dup_blocks,
+        enlarged = stats.enlarged_blocks,
+        skipped = stats.skipped_low_completion,
+        splits = stats.splits,
+        before = stats.static_before,
+        after = stats.static_after,
+        items = guarded.compacted.total_items(),
+    );
+    Response::Compile { report }
+}
+
+fn run_cell(bench: &str, scale: u32, scheme_name: &str, strict: bool, _obs: &Obs) -> Response {
+    let Some(scheme) = parse_scheme(scheme_name) else {
+        return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
+    };
+    let bench = match lookup_bench(bench, scale) {
+        Ok(b) => b,
+        Err(r) => return r,
+    };
+    let mut config = RunConfig::paper();
+    config.guard.mode = if strict { GuardMode::Strict } else { GuardMode::Degrade };
+    // The cell records into its own metrics-only registry — exactly what
+    // `pps-harness --metrics-out` exports for the same cell, and byte-
+    // deterministic, so clients can diff replies against local runs.
+    let cell_obs = Obs::recording(ObsConfig { level: Level::Off, trace: false, metrics: true });
+    match run_scheme_obs(&bench, scheme, &config, &cell_obs) {
+        Ok(_) => Response::RunCell {
+            metrics_json: cell_obs
+                .export_metrics_json()
+                .unwrap_or_else(|| "{}".to_string()),
+        },
+        Err(e @ RunError::Exec { .. }) => error(ErrorKind::Exec, e.to_string()),
+        Err(e @ RunError::Pipeline { .. }) => error(ErrorKind::Pipeline, e.to_string()),
+        Err(e) => error(ErrorKind::Internal, e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for scheme in [Scheme::BasicBlock, Scheme::M4, Scheme::M16, Scheme::P4, Scheme::P4E] {
+            assert_eq!(parse_scheme(&scheme.name()), Some(scheme), "{}", scheme.name());
+        }
+        assert_eq!(parse_scheme("Q4"), None);
+        assert_eq!(parse_scheme("M"), None);
+        assert_eq!(parse_scheme("P4x"), None);
+    }
+
+    #[test]
+    fn unknown_bench_and_scale_bounds_are_structured_errors() {
+        let r = execute(
+            &Request::Profile { bench: "nope".into(), scale: 1, depth: 0 },
+            &Obs::noop(),
+        );
+        assert!(matches!(r, Response::Error { kind: ErrorKind::UnknownBench, .. }));
+        let r = execute(
+            &Request::Profile { bench: "wc".into(), scale: 0, depth: 0 },
+            &Obs::noop(),
+        );
+        assert!(matches!(r, Response::Error { kind: ErrorKind::BadRequest, .. }));
+    }
+
+    #[test]
+    fn profile_then_compile_against_it_matches_server_trained_compile() {
+        let obs = Obs::noop();
+        let Response::Profile { edge, path } = execute(
+            &Request::Profile { bench: "wc".into(), scale: 1, depth: 0 },
+            &obs,
+        ) else {
+            panic!("profile failed");
+        };
+        let with_profile = execute(
+            &Request::Compile {
+                bench: "wc".into(),
+                scale: 1,
+                scheme: "P4".into(),
+                profile: Some(ProfileText { edge, path }),
+            },
+            &obs,
+        );
+        let trained = execute(
+            &Request::Compile { bench: "wc".into(), scale: 1, scheme: "P4".into(), profile: None },
+            &obs,
+        );
+        assert_eq!(with_profile, trained, "saved profile must reproduce training");
+        let Response::Compile { report } = trained else { panic!("compile failed") };
+        assert!(report.starts_with("pps-compile-report v1\n"));
+        assert!(report.contains("superblocks "));
+    }
+
+    #[test]
+    fn run_cell_is_deterministic_and_matches_metrics_schema() {
+        let req = Request::RunCell {
+            bench: "wc".into(),
+            scale: 1,
+            scheme: "M4".into(),
+            strict: true,
+        };
+        let a = execute(&req, &Obs::noop());
+        let b = execute(&req, &Obs::noop());
+        assert_eq!(a, b, "RunCell must be byte-deterministic");
+        let Response::RunCell { metrics_json } = a else { panic!("runcell failed") };
+        pps_obs::json::parse(&metrics_json).expect("valid metrics JSON");
+        assert!(metrics_json.contains("sim."), "simulator metrics present");
+    }
+}

@@ -1,0 +1,42 @@
+//! SIGTERM/SIGINT → shutdown-flag bridge, via a direct `signal(2)` FFI
+//! binding (stdlib only; no external crates).
+//!
+//! The handler does one async-signal-safe thing: store `true` into an
+//! `AtomicBool` registered beforehand. The daemon's accept loop polls that
+//! flag, so a `kill -TERM` produces the same graceful drain as an in-band
+//! `Shutdown` request.
+
+#![cfg(unix)]
+
+use std::os::raw::c_int;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_signal(_sig: c_int) {
+    // Only an atomic store: async-signal-safe.
+    if let Some(flag) = SHUTDOWN.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+extern "C" {
+    fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+}
+
+/// Registers `flag` to be set on SIGTERM or SIGINT. Only the first
+/// registration in a process takes effect.
+pub fn install_shutdown_flag(flag: Arc<AtomicBool>) {
+    let _ = SHUTDOWN.set(flag);
+    // SAFETY: `on_signal` is an async-signal-safe extern "C" fn and stays
+    // alive for the process lifetime; replacing the default disposition of
+    // SIGTERM/SIGINT is the entire point.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}

@@ -16,7 +16,9 @@
 //! - [`sim`] — the compiled-simulation analog (cycle accounting, I-cache,
 //!   layout);
 //! - [`suite`] — the benchmark programs of Table 1 (micro + SPEC analogs);
-//! - [`harness`] — experiment drivers regenerating every table and figure.
+//! - [`harness`] — experiment drivers regenerating every table and figure;
+//! - [`serve`] — the compile-service daemon (framed protocol, bounded
+//!   queue, load-generating client via `pps-harness loadgen`).
 //!
 //! [`testgen`] generates random structured programs for the differential
 //! property tests in `tests/`.
@@ -32,5 +34,6 @@ pub use pps_ir as ir;
 pub use pps_machine as machine;
 pub use pps_obs as obs;
 pub use pps_profile as profile;
+pub use pps_serve as serve;
 pub use pps_sim as sim;
 pub use pps_suite as suite;

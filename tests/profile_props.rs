@@ -171,3 +171,101 @@ proptest! {
         prop_assert_eq!(f1.partition, f2.partition);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Serialization round-trips (`pps::profile::serialize`): the text formats
+// must preserve every count — across procedures and out to the paper's
+// depth-15 windows — and re-serialize to the identical canonical text.
+
+use pps::profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
+use pps::profile::{EdgeProfile, PathProfile};
+use pps::suite::{benchmark_by_name, Scale};
+
+/// Profiles one program with both profilers over a single traced run.
+fn collect_both(
+    program: &pps::ir::Program,
+    args: &[i64],
+    depth: usize,
+) -> (EdgeProfile, PathProfile) {
+    let mut tee = pps::ir::trace::TeeSink::new(
+        EdgeProfiler::new(program),
+        PathProfiler::new(program, depth),
+    );
+    Interp::new(program, ExecConfig::default())
+        .run_traced(args, &mut tee)
+        .unwrap();
+    (tee.a.finish(), tee.b.finish())
+}
+
+/// Asserts both profiles survive text round-trips exactly, window by
+/// window, for every procedure.
+fn assert_round_trip(program: &pps::ir::Program, edge: &EdgeProfile, path: &PathProfile) {
+    let edge_text = edge_to_text(edge);
+    let edge_back = edge_from_text(&edge_text).unwrap();
+    assert_eq!(edge_to_text(&edge_back), edge_text, "edge canonical fixpoint");
+
+    let path_text = path_to_text(path);
+    let path_back = path_from_text(&path_text).unwrap();
+    assert_eq!(path_back.depth(), path.depth());
+    assert_eq!(path_to_text(&path_back), path_text, "path canonical fixpoint");
+
+    for (pid, proc) in program.iter_procs() {
+        for (b, _) in proc.iter_blocks() {
+            assert_eq!(edge_back.block_freq(pid, b), edge.block_freq(pid, b));
+            for (s, f) in edge.out_edges(pid, b) {
+                assert_eq!(edge_back.edge_freq(pid, b, s), f);
+            }
+        }
+        for (window, freq) in path.iter_maximal_windows(pid) {
+            assert_eq!(
+                path_back.freq(pid, &window),
+                freq,
+                "{pid} window {window:?} lost its count"
+            );
+        }
+    }
+}
+
+/// Counted branches among a window's first `len-1` blocks — the quantity
+/// the depth limit bounds.
+fn window_branches(proc: &pps::ir::Proc, window: &[BlockId]) -> usize {
+    window
+        .iter()
+        .take(window.len().saturating_sub(1))
+        .filter(|&&b| proc.block(b).term.is_counted_branch())
+        .count()
+}
+
+#[test]
+fn serialized_profiles_round_trip_on_a_multi_proc_benchmark_at_depth_15() {
+    let bench = benchmark_by_name("gcc", Scale::quick()).unwrap();
+    assert!(
+        bench.program.procs.len() > 1,
+        "need a multi-procedure program, got {}",
+        bench.program.procs.len()
+    );
+    let (edge, path) = collect_both(&bench.program, &bench.train_args, 15);
+    assert_round_trip(&bench.program, &edge, &path);
+
+    // The run must actually exercise the depth limit: somewhere a maximal
+    // window saturates at exactly 15 counted branches, so the round trip
+    // above covered full-depth windows, not just short ones.
+    let saturated = bench.program.proc_ids().any(|pid| {
+        let proc = bench.program.proc(pid);
+        path.iter_maximal_windows(pid)
+            .iter()
+            .any(|(w, _)| window_branches(proc, w) == 15)
+    });
+    assert!(saturated, "no maximal window reached the depth-15 limit");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialized_profiles_round_trip_on_random_multi_proc_programs(seed in 0u64..100_000) {
+        let program = gen_program(seed, GenConfig::default());
+        let (edge, path) = collect_both(&program, &[], 15);
+        assert_round_trip(&program, &edge, &path);
+    }
+}
