@@ -15,6 +15,12 @@
 #                             to the in-process pipeline, plus malformed-
 #                             frame probes), then drain it and assert a
 #                             clean exit
+#   ./ci.sh drift-smoke       continuous-PGO loop end to end: daemon with
+#                             fast sweeps, loadgen --drift phase-shifts the
+#                             workload's profiles; assert >=1 hot-swap,
+#                             zero rollbacks, no in-flight recompiles at
+#                             drain, and zero reply mismatches throughout;
+#                             writes BENCH_drift.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -101,19 +107,72 @@ serve_smoke() {
   rm -rf "$out"
 }
 
+drift_smoke() {
+  echo "== drift smoke (continuous PGO) =="
+  out="$(mktemp -d)"
+  cargo build --release -p pps-serve -p pps-harness
+
+  # Fast sweep knobs so the loop closes in CI time: sweep every 50ms, no
+  # recompile cooldown, drift-check once two profiles have merged.
+  ./target/release/pps-serve --addr 127.0.0.1:0 --port-file "$out/port" \
+    --pgo-interval-ms 50 --pgo-cooldown-ms 0 --pgo-min-samples 2 \
+    --metrics-out "$out/serve-metrics.json" --log-level info \
+    > "$out/daemon.log" 2>&1 &
+  daemon=$!
+
+  for _ in $(seq 1 100); do
+    [ -s "$out/port" ] && break
+    kill -0 "$daemon" 2>/dev/null || { echo "daemon died before binding"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$out/port" ] || { echo "daemon never wrote its port file"; exit 1; }
+  addr="$(cat "$out/port")"
+
+  # Phase A: steady mix with true profiles. Phase B (--drift): the mix's
+  # Compile slot carries weight-inverted profiles, shifting the daemon's
+  # aggregate until the sweeper recompiles and hot-swaps the unit. Every
+  # reply in both phases is verified byte-identical to the in-process
+  # pipeline; --shutdown then drains the daemon.
+  ./target/release/pps-harness loadgen --addr "$addr" \
+    --conns 8 --requests 24 --bench wc --scale 1 --scheme P4 \
+    --drift --drift-timeout-s 120 --shutdown \
+    --out "$out/loadgen.json" --log-level warn
+
+  if ! wait "$daemon"; then
+    echo "daemon exited nonzero after drain"; cat "$out/daemon.log"; exit 1
+  fi
+  test -s "$out/loadgen.json" || { echo "missing loadgen.json"; exit 1; }
+  grep -q '"mismatches": 0' "$out/loadgen.json" || { echo "reply mismatches under drift"; exit 1; }
+  grep -q '"errors": 0' "$out/loadgen.json" || { echo "loadgen errors under drift"; exit 1; }
+  swaps="$(grep -o '"swaps": [0-9]*' "$out/loadgen.json" | head -1 | grep -o '[0-9]*$')"
+  [ "${swaps:-0}" -ge 1 ] || { echo "no hot-swap observed (swaps=${swaps:-0})"; exit 1; }
+  grep -q '"rollbacks": 0' "$out/loadgen.json" || { echo "rollback leak"; exit 1; }
+  grep -q '"in_flight_final": 0' "$out/loadgen.json" \
+    || { echo "recompile still in flight at drain"; exit 1; }
+  grep -q 'pgo.profiles_merged' "$out/serve-metrics.json" \
+    || { echo "daemon metrics missing pgo counters"; exit 1; }
+  grep -q 'hot-swapped' "$out/daemon.log" || { echo "daemon log missing swap"; exit 1; }
+
+  cp "$out/loadgen.json" BENCH_drift.json
+  echo "drift smoke OK (BENCH_drift.json updated)"
+  rm -rf "$out"
+}
+
 case "$stage" in
   gate) gate ;;
   obs-smoke) obs_smoke ;;
   parallel-harness) parallel_harness ;;
   serve-smoke) serve_smoke ;;
+  drift-smoke) drift_smoke ;;
   all)
     gate
     obs_smoke
     parallel_harness
     serve_smoke
+    drift_smoke
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|serve-smoke|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|serve-smoke|drift-smoke|all]" >&2
     exit 2
     ;;
 esac

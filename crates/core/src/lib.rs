@@ -33,6 +33,7 @@ pub mod guard;
 pub mod pipeline;
 pub mod pool;
 pub mod select;
+pub mod swap;
 pub mod tail_dup;
 pub mod unit;
 
@@ -46,4 +47,5 @@ pub use pipeline::{
     form_and_compact, form_and_compact_obs, form_program, form_program_obs,
     form_program_parallel, form_unit, FormStats, FormedProgram,
 };
+pub use swap::{SwapOutcome, SwapSlot};
 pub use unit::CompileUnit;

@@ -58,12 +58,21 @@ fn loadgen_usage() -> ! {
         "usage: pps-harness loadgen --addr HOST:PORT [--conns N] [--requests M]\n\
          \x20                          [--bench NAME] [--scale N] [--scheme NAME]\n\
          \x20                          [--probe-malformed] [--shutdown] [--out FILE]\n\
+         \x20                          [--retries N] [--retry-budget N]\n\
+         \x20                          [--busy-retries N]\n\
+         \x20                          [--drift] [--drift-timeout-s N]\n\
          \x20                          [--log-level off|error|warn|info|debug]\n\
          Drives a pps-serve daemon with a Profile/Compile/RunCell mix over N\n\
          concurrent connections, verifying every reply byte-for-byte against\n\
-         the in-process pipeline. --probe-malformed also sends corrupt frames\n\
-         and asserts clean rejection; --shutdown drains the daemon afterwards;\n\
-         --out writes the throughput/latency report as JSON."
+         the in-process pipeline. Busy replies, timeouts, and disconnects are\n\
+         retried with bounded backoff: --retries caps transport-fault attempts\n\
+         per request, --retry-budget caps total fault retries per run, and\n\
+         --busy-retries caps Busy (backpressure) waits per request, which\n\
+         don't draw on the fault budget. --probe-malformed also\n\
+         sends corrupt frames and asserts clean rejection; --shutdown drains\n\
+         the daemon afterwards; --drift phase-shifts the workload's profiles\n\
+         and waits up to --drift-timeout-s for a continuous-PGO hot-swap\n\
+         (needs a daemon with --pgo on); --out writes the report as JSON."
     );
     std::process::exit(2);
 }
@@ -99,6 +108,33 @@ fn loadgen_main(args: &[String]) -> ExitCode {
             "--scheme" => config.scheme = it.next().unwrap_or_else(|| loadgen_usage()).clone(),
             "--probe-malformed" => config.probe_malformed = true,
             "--shutdown" => config.shutdown = true,
+            "--retries" => {
+                config.retry.max_attempts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| loadgen_usage());
+            }
+            "--retry-budget" => {
+                config.retry.budget =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| loadgen_usage());
+            }
+            "--busy-retries" => {
+                config.retry.busy_attempts = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| loadgen_usage());
+            }
+            "--drift" => config.drift = true,
+            "--drift-timeout-s" => {
+                let s: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| loadgen_usage());
+                config.drift_timeout = std::time::Duration::from_secs(s);
+            }
             "--out" => out = Some(it.next().unwrap_or_else(|| loadgen_usage()).clone()),
             "--log-level" => {
                 level = Level::parse(it.next().unwrap_or_else(|| loadgen_usage()))
@@ -122,12 +158,14 @@ fn loadgen_main(args: &[String]) -> ExitCode {
     };
 
     println!(
-        "loadgen: {} ok, {} mismatches, {} errors, {} busy retries in {:.2}s \
-         ({:.1} req/s; p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms max {:.1}ms; probes {}/{})",
+        "loadgen: {} ok, {} mismatches, {} errors, {} busy + {} transport retries \
+         in {:.2}s ({:.1} req/s; p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms max {:.1}ms; \
+         probes {}/{})",
         report.ok,
         report.mismatches,
         report.errors,
         report.busy_retries,
+        report.transport_retries,
         report.elapsed_s,
         report.throughput_rps,
         report.latency.p50,
@@ -137,6 +175,20 @@ fn loadgen_main(args: &[String]) -> ExitCode {
         report.probes_passed,
         report.probes_run,
     );
+    if let Some(d) = &report.drift {
+        println!(
+            "loadgen drift: swap after {:.2}s ({} recompiles, {} swaps, {} rollbacks, \
+             max generation {}, {} in flight at drain); runcell p50 {:.1}ms -> {:.1}ms",
+            d.swap_wait_s,
+            d.recompiles,
+            d.swaps,
+            d.rollbacks,
+            d.max_generation,
+            d.in_flight_final,
+            d.phase_a_runcell.p50,
+            d.phase_b_runcell.p50,
+        );
+    }
     for f in &report.failures {
         eprintln!("[loadgen failure] {f}");
     }

@@ -6,18 +6,96 @@
 //! pipeline produces for the same request — the daemon must never drift
 //! from the library. Reports throughput and p50/p95/p99/max latency, and
 //! can optionally probe the frame layer with malformed input
-//! (`--probe-malformed`) and drain the daemon (`--shutdown`).
+//! (`--probe-malformed`), drain the daemon (`--shutdown`), or run the
+//! **drifting-workload mode** (`--drift`): after a steady phase of true
+//! profiles, the mix phase-shifts to `Compile` requests carrying a
+//! weight-inverted path profile, then polls the in-band health snapshot
+//! until the daemon's continuous-PGO loop detects the drift and hot-swaps
+//! a recompiled unit — with every reply still byte-verified.
+//!
+//! Transient failures — `Busy` backpressure, reply timeouts, mid-request
+//! disconnects — are absorbed by a bounded [`RetryPolicy`] (exponential
+//! backoff with deterministic jitter, per-run retry budget); everything
+//! retried is reported in the JSON summary.
 
+use pps_ir::ProcId;
 use pps_obs::{Level, Obs};
-use pps_serve::frame::{self, HEADER_LEN, MAX_PAYLOAD, VERSION};
-use pps_serve::proto::{encode_response, Envelope, ProfileText, Request, Response};
+use pps_profile::path::PathProfile;
+use pps_profile::serialize::{path_from_text, path_to_text};
+use pps_serve::frame::{self, FrameError, HEADER_LEN, MAX_PAYLOAD, VERSION};
+use pps_serve::proto::{encode_response, Envelope, HealthSnapshot, ProfileText, Request, Response};
 use pps_serve::service::execute;
-use pps_serve::Client;
-use std::io::{Read, Write};
+use pps_serve::{Client, ClientError};
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Bounded retry for transient request failures. Two failure classes get
+/// separate bounds: *transport faults* (reply timeouts, mid-request
+/// disconnects) are capped at [`RetryPolicy::max_attempts`] per request
+/// and draw from a per-run [`RetryPolicy::budget`] shared across all
+/// connections — when it runs dry, failures surface instead of masking a
+/// sick daemon under infinite patience. `Busy` replies are backpressure,
+/// not faults: the daemon is healthy and explicitly asking the client to
+/// wait, so they get their own, much larger per-request cap
+/// ([`RetryPolicy::busy_attempts`]) and don't consume the fault budget.
+/// Backoff is exponential from [`RetryPolicy::base`] to
+/// [`RetryPolicy::cap`] with deterministic "equal jitter" (half fixed,
+/// half seeded by request index and attempt), so concurrent workers don't
+/// retry in lockstep yet runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Transport-fault attempts per request, including the first
+    /// (1 = no retry).
+    pub max_attempts: usize,
+    /// `Busy` replies tolerated per request before giving up. At the
+    /// backoff ceiling this bounds the per-request wait to roughly
+    /// `busy_attempts × cap`.
+    pub busy_attempts: usize,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Total transport-fault retries allowed per run, shared across
+    /// connections.
+    pub budget: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            busy_attempts: 256,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            budget: 1024,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based) of request `index`:
+    /// exponential with deterministic equal jitter.
+    fn backoff(&self, index: usize, attempt: usize) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16) as u32)
+            .min(self.cap);
+        // splitmix64 over (index, attempt) — no RNG dependency, and the
+        // same request retries with the same delays in every run.
+        let mut z = (index as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jitter = (z % 1000) as f64 / 1000.0;
+        exp.mul_f64(0.5 + 0.5 * jitter)
+    }
+}
 
 /// What to drive at the daemon.
 #[derive(Debug, Clone)]
@@ -41,6 +119,14 @@ pub struct LoadgenConfig {
     /// Per-reply timeout. Pipeline requests on a loaded box can take a
     /// while; default 300s.
     pub reply_timeout: Duration,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Drifting-workload mode: phase-shift to weight-inverted profiles
+    /// after the steady phase and wait for a continuous-PGO hot-swap.
+    pub drift: bool,
+    /// How long drift mode waits for the daemon to swap (and then to
+    /// finish in-flight recompiles) before declaring failure.
+    pub drift_timeout: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -55,6 +141,9 @@ impl Default for LoadgenConfig {
             probe_malformed: false,
             shutdown: false,
             reply_timeout: Duration::from_secs(300),
+            retry: RetryPolicy::default(),
+            drift: false,
+            drift_timeout: Duration::from_secs(120),
         }
     }
 }
@@ -72,6 +161,34 @@ pub struct LatencyMs {
     pub max: f64,
 }
 
+/// Continuous-PGO observations of a drift-mode run, from the daemon's
+/// in-band health snapshots plus per-phase `RunCell` latencies.
+#[derive(Debug, Clone, Default)]
+pub struct DriftStats {
+    /// Steady-phase (true profiles) `RunCell` latency.
+    pub phase_a_runcell: LatencyMs,
+    /// Drifted-phase (inverted profiles) `RunCell` latency.
+    pub phase_b_runcell: LatencyMs,
+    /// `RunCell` requests measured per phase.
+    pub runcells: [usize; 2],
+    /// Profiles the daemon folded into its aggregate by run end.
+    pub profiles_merged: u64,
+    /// Background recompiles the daemon attempted.
+    pub recompiles: u64,
+    /// Hot-swaps that landed.
+    pub swaps: u64,
+    /// Recompiles rolled back (must be 0 without injected faults).
+    pub rollbacks: u64,
+    /// Highest unit generation seen (≥ 2 proves a swap).
+    pub max_generation: u64,
+    /// In-flight recompiles at the final health poll (0 = clean drain).
+    pub in_flight_final: u32,
+    /// Health polls issued while waiting.
+    pub health_polls: usize,
+    /// Seconds from the phase shift to the first observed swap.
+    pub swap_wait_s: f64,
+}
+
 /// Outcome of one load run.
 #[derive(Debug, Clone, Default)]
 pub struct LoadgenReport {
@@ -80,10 +197,18 @@ pub struct LoadgenReport {
     /// Requests whose reply decoded but differed from the in-process
     /// pipeline's bytes.
     pub mismatches: usize,
-    /// Transport/decode failures.
+    /// Transport/decode failures (after retries were exhausted).
     pub errors: usize,
     /// `Busy` replies absorbed by retry (each retry counts once).
     pub busy_retries: usize,
+    /// Timeouts/disconnects absorbed by reconnect-and-retry.
+    pub transport_retries: usize,
+    /// Requests that failed because the per-run retry budget ran dry.
+    pub budget_exhausted: usize,
+    /// The run's retry budget (from [`RetryPolicy::budget`]).
+    pub retry_budget: usize,
+    /// Drift-mode observations (`None` unless `--drift`).
+    pub drift: Option<DriftStats>,
     /// Wall-clock for the measured request phase, seconds.
     pub elapsed_s: f64,
     /// `ok / elapsed_s`.
@@ -116,14 +241,42 @@ impl LoadgenReport {
             .iter()
             .map(|f| format!("\"{}\"", f.replace('\\', "\\\\").replace('"', "\\\"")))
             .collect();
+        let drift = match &self.drift {
+            None => "null".to_string(),
+            Some(d) => format!(
+                "{{\n    \"phase_a_runcell_ms\": {{\"p50\": {ap50:.2}, \"p95\": {ap95:.2}, \"count\": {ac}}},\n    \
+                 \"phase_b_runcell_ms\": {{\"p50\": {bp50:.2}, \"p95\": {bp95:.2}, \"count\": {bc}}},\n    \
+                 \"profiles_merged\": {merged},\n    \"recompiles\": {recompiles},\n    \
+                 \"swaps\": {swaps},\n    \"rollbacks\": {rollbacks},\n    \
+                 \"max_generation\": {max_gen},\n    \"in_flight_final\": {in_flight},\n    \
+                 \"health_polls\": {polls},\n    \"swap_wait_s\": {wait:.3}\n  }}",
+                ap50 = d.phase_a_runcell.p50,
+                ap95 = d.phase_a_runcell.p95,
+                ac = d.runcells[0],
+                bp50 = d.phase_b_runcell.p50,
+                bp95 = d.phase_b_runcell.p95,
+                bc = d.runcells[1],
+                merged = d.profiles_merged,
+                recompiles = d.recompiles,
+                swaps = d.swaps,
+                rollbacks = d.rollbacks,
+                max_gen = d.max_generation,
+                in_flight = d.in_flight_final,
+                polls = d.health_polls,
+                wait = d.swap_wait_s,
+            ),
+        };
         format!(
             "{{\n  \"bench\": \"{bench}\",\n  \"scale\": {scale},\n  \"scheme\": \"{scheme}\",\n  \
              \"conns\": {conns},\n  \"requests\": {requests},\n  \"ok\": {ok},\n  \
              \"mismatches\": {mismatches},\n  \"errors\": {errors},\n  \"busy_retries\": {busy},\n  \
+             \"retry\": {{\"busy\": {busy}, \"transport\": {transport}, \"budget\": {budget}, \
+             \"budget_exhausted\": {exhausted}}},\n  \
              \"elapsed_s\": {elapsed:.3},\n  \"throughput_rps\": {rps:.2},\n  \
              \"latency_ms\": {{\"p50\": {p50:.2}, \"p95\": {p95:.2}, \"p99\": {p99:.2}, \"max\": {max:.2}}},\n  \
              \"mix\": {{\"profile\": {m0}, \"compile\": {m1}, \"runcell\": {m2}}},\n  \
              \"probes\": {{\"run\": {pr}, \"passed\": {pp}}},\n  \
+             \"drift\": {drift},\n  \
              \"failures\": [{failures}]\n}}\n",
             bench = config.bench,
             scale = config.scale,
@@ -134,6 +287,9 @@ impl LoadgenReport {
             mismatches = self.mismatches,
             errors = self.errors,
             busy = self.busy_retries,
+            transport = self.transport_retries,
+            budget = self.retry_budget,
+            exhausted = self.budget_exhausted,
             elapsed = self.elapsed_s,
             rps = self.throughput_rps,
             p50 = self.latency.p50,
@@ -170,11 +326,22 @@ fn mix_request(config: &LoadgenConfig, slot: usize, profile: &ProfileText) -> Re
     }
 }
 
-/// Shared worker state: the next request index and accumulated outcomes.
-struct Shared {
+/// Shared worker state: the next request index, the run-level retry
+/// budget (shared across phases), and accumulated outcomes.
+struct Shared<'a> {
     next: AtomicUsize,
     total: usize,
+    retry_budget: &'a AtomicUsize,
     results: Mutex<WorkerTally>,
+}
+
+impl Shared<'_> {
+    /// Takes one retry from the shared budget; false when it ran dry.
+    fn take_retry(&self) -> bool {
+        self.retry_budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok()
+    }
 }
 
 #[derive(Default)]
@@ -183,9 +350,139 @@ struct WorkerTally {
     mismatches: usize,
     errors: usize,
     busy_retries: usize,
+    transport_retries: usize,
+    budget_exhausted: usize,
     latencies_us: Vec<u64>,
+    runcell_us: Vec<u64>,
     mix: [usize; 3],
     failures: Vec<String>,
+}
+
+impl WorkerTally {
+    fn absorb(&mut self, local: WorkerTally) {
+        self.ok += local.ok;
+        self.mismatches += local.mismatches;
+        self.errors += local.errors;
+        self.busy_retries += local.busy_retries;
+        self.transport_retries += local.transport_retries;
+        self.budget_exhausted += local.budget_exhausted;
+        self.latencies_us.extend(local.latencies_us);
+        self.runcell_us.extend(local.runcell_us);
+        for (a, b) in self.mix.iter_mut().zip(local.mix) {
+            *a += b;
+        }
+        self.failures.extend(local.failures);
+    }
+}
+
+/// True for failures worth retrying on a fresh connection: reply timeouts
+/// and mid-request disconnects. After a timeout the old stream may carry a
+/// late reply, so the retry must reconnect — same-connection retry would
+/// desynchronize request/reply pairing.
+fn retryable(e: &ClientError) -> bool {
+    fn io_retryable(e: &io::Error) -> bool {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::Interrupted
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::UnexpectedEof
+        )
+    }
+    match e {
+        ClientError::Io(e) => io_retryable(e),
+        ClientError::Frame(FrameError::Io(e)) => io_retryable(e),
+        ClientError::Frame(FrameError::Truncated) => true,
+        _ => false,
+    }
+}
+
+/// One request through the retry policy. Returns the verified-decodable
+/// response and its latency, or an error string once retries are
+/// exhausted. `client` is reconnected as needed and left usable (or
+/// `None`) for the next request.
+fn call_with_retry(
+    config: &LoadgenConfig,
+    shared: &Shared,
+    local: &mut WorkerTally,
+    client: &mut Option<Client>,
+    env: &Envelope,
+    index: usize,
+) -> Result<(Response, Duration), String> {
+    let policy = &config.retry;
+    let kind = env.request.kind_name();
+    let max_faults = policy.max_attempts.max(1);
+    let max_busy = policy.busy_attempts.max(1);
+    // Failed transport attempts (including the initial try) and Busy
+    // replies for this request, bounded separately — backpressure waits
+    // must not eat into the fault allowance.
+    let mut faults = 0usize;
+    let mut busy = 0usize;
+    let mut last_error;
+    // Takes a shared-budget token and sleeps before a transport-fault
+    // retry; `Err` when the run-wide budget is dry.
+    let fault_backoff = |local: &mut WorkerTally, attempt: usize, last: &str| {
+        if !shared.take_retry() {
+            local.budget_exhausted += 1;
+            return Err(format!(
+                "request {index} ({kind}): retry budget exhausted after: {last}"
+            ));
+        }
+        std::thread::sleep(policy.backoff(index, attempt));
+        Ok(())
+    };
+    loop {
+        if client.is_none() {
+            match Client::connect(&config.addr, Some(config.reply_timeout)) {
+                Ok(c) => *client = Some(c),
+                Err(e) => {
+                    faults += 1;
+                    local.transport_retries += 1;
+                    last_error = format!("reconnect: {e}");
+                    if faults >= max_faults {
+                        break;
+                    }
+                    fault_backoff(local, faults, &last_error)?;
+                    continue;
+                }
+            }
+        }
+        let c = client.as_mut().expect("connected above");
+        let start = Instant::now();
+        match c.call(env) {
+            Ok(Response::Busy) => {
+                local.busy_retries += 1;
+                busy += 1;
+                if busy >= max_busy {
+                    return Err(format!(
+                        "request {index} ({kind}): still busy after {max_busy} replies"
+                    ));
+                }
+                // Backpressure, not a fault: wait out the queue without
+                // drawing the shared fault budget.
+                std::thread::sleep(policy.backoff(index, busy));
+            }
+            Ok(resp) => return Ok((resp, start.elapsed())),
+            Err(e) if retryable(&e) => {
+                // The stream can no longer be trusted; retry reconnects.
+                *client = None;
+                faults += 1;
+                local.transport_retries += 1;
+                last_error = e.to_string();
+                if faults >= max_faults {
+                    break;
+                }
+                fault_backoff(local, faults, &last_error)?;
+            }
+            Err(e) => return Err(format!("request {index} ({kind}): {e}")),
+        }
+    }
+    Err(format!(
+        "request {index} ({kind}): {max_faults} attempts exhausted, last: {last_error}"
+    ))
 }
 
 fn worker(
@@ -194,18 +491,7 @@ fn worker(
     expected: &[Vec<u8>; 3],
     profile: &ProfileText,
 ) {
-    let mut client = match Client::connect(&config.addr, Some(config.reply_timeout)) {
-        Ok(c) => c,
-        Err(e) => {
-            let mut tally = shared.results.lock().unwrap();
-            // Every request this worker would have served becomes an error
-            // only if no other worker picks it up; workers share one
-            // counter, so just record the connect failure once.
-            tally.failures.push(format!("connect {}: {e}", config.addr));
-            tally.errors += 1;
-            return;
-        }
-    };
+    let mut client: Option<Client> = None;
     let mut local = WorkerTally::default();
     loop {
         let i = shared.next.fetch_add(1, Ordering::Relaxed);
@@ -214,29 +500,16 @@ fn worker(
         }
         let slot = i % 3;
         local.mix[slot] += 1;
-        let request = mix_request(config, slot, profile);
-        let env = Envelope::new(request);
-        // Busy means the bounded queue rejected us: back off and retry the
-        // same request on the same connection.
-        let mut backoff = Duration::from_millis(5);
-        let outcome = loop {
-            let start = Instant::now();
-            match client.call(&env) {
-                Ok(Response::Busy) => {
-                    local.busy_retries += 1;
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(200));
-                }
-                Ok(resp) => break Ok((resp, start.elapsed())),
-                Err(e) => break Err(format!("request {i} ({}): {e}", env.request.kind_name())),
-            }
-        };
-        match outcome {
+        let env = Envelope::new(mix_request(config, slot, profile));
+        match call_with_retry(config, shared, &mut local, &mut client, &env, i) {
             Ok((resp, elapsed)) => {
                 let got = encode_response(&resp);
                 if got == expected[slot] {
                     local.ok += 1;
                     local.latencies_us.push(elapsed.as_micros() as u64);
+                    if slot == 2 {
+                        local.runcell_us.push(elapsed.as_micros() as u64);
+                    }
                 } else {
                     local.mismatches += 1;
                     if local.failures.len() < 5 {
@@ -259,16 +532,163 @@ fn worker(
             }
         }
     }
-    let mut tally = shared.results.lock().unwrap();
-    tally.ok += local.ok;
-    tally.mismatches += local.mismatches;
-    tally.errors += local.errors;
-    tally.busy_retries += local.busy_retries;
-    tally.latencies_us.extend(local.latencies_us);
-    for (a, b) in tally.mix.iter_mut().zip(local.mix) {
-        *a += b;
+    shared.results.lock().unwrap().absorb(local);
+}
+
+/// Drives `requests` requests of the standard mix over
+/// `config.conns` connections, verifying against `expected`, and returns
+/// the phase's tally. `budget` is the run-level retry budget, decremented
+/// in place so successive phases share it.
+fn drive(
+    config: &LoadgenConfig,
+    budget: &AtomicUsize,
+    expected: &[Vec<u8>; 3],
+    profile: &ProfileText,
+    requests: usize,
+) -> WorkerTally {
+    let shared = Shared {
+        next: AtomicUsize::new(0),
+        total: requests,
+        retry_budget: budget,
+        results: Mutex::new(WorkerTally::default()),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..config.conns.max(1) {
+            scope.spawn(|| worker(config, &shared, expected, profile));
+        }
+    });
+    shared.results.into_inner().unwrap()
+}
+
+fn latency_ms(us: &mut [u64]) -> LatencyMs {
+    us.sort_unstable();
+    LatencyMs {
+        p50: percentile(us, 0.50),
+        p95: percentile(us, 0.95),
+        p99: percentile(us, 0.99),
+        max: percentile(us, 1.0),
     }
-    tally.failures.extend(local.failures);
+}
+
+/// One `Ping` round-trip for the daemon's health snapshot.
+fn poll_health(addr: &str) -> Result<HealthSnapshot, String> {
+    let mut client = Client::connect(addr, Some(Duration::from_secs(10)))
+        .map_err(|e| format!("health connect: {e}"))?;
+    match client.request(Request::Ping).map_err(|e| format!("health ping: {e}"))? {
+        Response::Pong { health } => Ok(health),
+        other => Err(format!("health ping: expected Pong, got {}", other.outcome_name())),
+    }
+}
+
+/// Weight-inverts the path profile so its hot set becomes its cold set:
+/// every maximal window's count becomes `(max + 1 - count) * BOOST`. The
+/// boost makes the inverted mass dominate the daemon's aggregate even
+/// though the mix's `Profile`/`RunCell` slots keep feeding true profiles
+/// into it.
+fn drifted_profile_text(profile: &ProfileText) -> Result<ProfileText, String> {
+    const BOOST: u64 = 100;
+    let path = path_from_text(&profile.path).map_err(|e| format!("parse path profile: {e}"))?;
+    let per_proc: Vec<Vec<(Vec<_>, u64)>> = (0..path.num_procs())
+        .map(|pi| {
+            let windows = path.iter_maximal_windows(ProcId::new(pi as u32));
+            let max = windows.iter().map(|(_, c)| *c).max().unwrap_or(0);
+            windows
+                .into_iter()
+                .map(|(w, c)| (w, (max + 1 - c).saturating_mul(BOOST)))
+                .collect()
+        })
+        .collect();
+    let inverted = PathProfile::from_windows(path.depth(), per_proc);
+    Ok(ProfileText { edge: profile.edge.clone(), path: path_to_text(&inverted) })
+}
+
+/// The drifting-workload phase: shift the mix's `Compile` slot to a
+/// weight-inverted profile, drive another `config.requests` requests (all
+/// still byte-verified), then poll the health snapshot until the daemon's
+/// continuous-PGO loop hot-swaps a recompiled unit and finishes every
+/// in-flight recompile. Phase-B outcomes are absorbed into `tally`.
+fn drift_phase(
+    config: &LoadgenConfig,
+    budget: &AtomicUsize,
+    profile: &ProfileText,
+    tally: &mut WorkerTally,
+    obs: &Obs,
+) -> Result<(DriftStats, Duration), String> {
+    let start = Instant::now();
+    let base = poll_health(&config.addr)?;
+    if !base.pgo_enabled {
+        return Err("drift mode needs a daemon running with --pgo on".to_string());
+    }
+
+    let mut stats = DriftStats {
+        phase_a_runcell: latency_ms(&mut tally.runcell_us.clone()),
+        ..DriftStats::default()
+    };
+    stats.runcells[0] = tally.runcell_us.len();
+
+    let drifted = drifted_profile_text(profile)?;
+    let expected_b: [Vec<u8>; 3] = [0usize, 1, 2].map(|slot| {
+        let req = mix_request(config, slot, &drifted);
+        encode_response(&execute(&req, &Obs::noop()))
+    });
+    obs.log(Level::Info, || {
+        format!(
+            "drift phase: driving {} requests with weight-inverted profiles ...",
+            config.requests
+        )
+    });
+    let phase_b = drive(config, budget, &expected_b, &drifted, config.requests);
+    stats.phase_b_runcell = latency_ms(&mut phase_b.runcell_us.clone());
+    stats.runcells[1] = phase_b.runcell_us.len();
+    tally.absorb(phase_b);
+
+    // Wait for the hot-swap, then for the recompile tier to go idle.
+    let shift = Instant::now();
+    let deadline = shift + config.drift_timeout;
+    let mut last;
+    loop {
+        last = poll_health(&config.addr)?;
+        stats.health_polls += 1;
+        if last.swaps > base.swaps {
+            stats.swap_wait_s = shift.elapsed().as_secs_f64();
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "no hot-swap within {:?} (recompiles {}, swaps {}, rollbacks {}, \
+                 profiles merged {}, drifted units {})",
+                config.drift_timeout,
+                last.recompiles,
+                last.swaps,
+                last.rollbacks,
+                last.profiles_merged,
+                last.drifted_units,
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    while last.in_flight_recompiles > 0 {
+        if Instant::now() >= deadline {
+            break; // reported via in_flight_final
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        last = poll_health(&config.addr)?;
+        stats.health_polls += 1;
+    }
+    obs.log(Level::Info, || {
+        format!(
+            "drift detected and swapped after {:.2}s ({} recompiles, {} swaps, {} rollbacks)",
+            stats.swap_wait_s, last.recompiles, last.swaps, last.rollbacks
+        )
+    });
+
+    stats.profiles_merged = last.profiles_merged;
+    stats.recompiles = last.recompiles;
+    stats.swaps = last.swaps;
+    stats.rollbacks = last.rollbacks;
+    stats.max_generation = last.max_generation;
+    stats.in_flight_final = last.in_flight_recompiles;
+    Ok((stats, start.elapsed()))
 }
 
 fn percentile(sorted_us: &[u64], q: f64) -> f64 {
@@ -317,38 +737,42 @@ pub fn run(config: &LoadgenConfig, obs: &Obs) -> Result<LoadgenReport, String> {
         encode_response(&execute(&req, &Obs::noop()))
     });
 
-    let shared = Shared {
-        next: AtomicUsize::new(0),
-        total: config.requests,
-        results: Mutex::new(WorkerTally::default()),
-    };
-
+    let budget = AtomicUsize::new(config.retry.budget);
     obs.log(Level::Info, || {
         format!("driving {} requests over {} connections ...", config.requests, config.conns)
     });
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..config.conns.max(1) {
-            scope.spawn(|| worker(config, &shared, &expected, &profile));
-        }
-    });
-    let elapsed = start.elapsed();
+    let mut tally = drive(config, &budget, &expected, &profile, config.requests);
+    let mut elapsed = start.elapsed();
 
-    let mut tally = shared.results.into_inner().unwrap();
-    tally.latencies_us.sort_unstable();
+    // Drift mode rides on the same tally and retry budget: phase A above
+    // was the steady phase; phase B shifts the profile under the daemon.
+    let mut drift = None;
+    if config.drift {
+        match drift_phase(config, &budget, &profile, &mut tally, obs) {
+            Ok((stats, phase_elapsed)) => {
+                elapsed += phase_elapsed;
+                drift = Some(stats);
+            }
+            Err(e) => {
+                tally.errors += 1;
+                tally.failures.push(format!("drift: {e}"));
+            }
+        }
+    }
+
     let mut report = LoadgenReport {
         ok: tally.ok,
         mismatches: tally.mismatches,
         errors: tally.errors,
         busy_retries: tally.busy_retries,
+        transport_retries: tally.transport_retries,
+        budget_exhausted: tally.budget_exhausted,
+        retry_budget: config.retry.budget,
+        drift,
         elapsed_s: elapsed.as_secs_f64(),
         throughput_rps: tally.ok as f64 / elapsed.as_secs_f64().max(1e-9),
-        latency: LatencyMs {
-            p50: percentile(&tally.latencies_us, 0.50),
-            p95: percentile(&tally.latencies_us, 0.95),
-            p99: percentile(&tally.latencies_us, 0.99),
-            max: percentile(&tally.latencies_us, 1.0),
-        },
+        latency: latency_ms(&mut tally.latencies_us),
         mix: tally.mix,
         probes_run: 0,
         probes_passed: 0,
@@ -436,7 +860,7 @@ fn probe_malformed(config: &LoadgenConfig, report: &mut LoadgenReport, obs: &Obs
         .map_err(|e| e.to_string())
         .and_then(|mut c| c.request(Request::Ping).map_err(|e| e.to_string()))
     {
-        Ok(Response::Pong) => report.probes_passed += 1,
+        Ok(Response::Pong { .. }) => report.probes_passed += 1,
         Ok(other) => report
             .failures
             .push(format!("post-probe ping: expected Pong, got {}", other.outcome_name())),
@@ -515,5 +939,124 @@ mod tests {
         report.failures.push("a \"quoted\" failure".to_string());
         let json = report.to_json(&config);
         pps_obs::json::parse(&json).expect("loadgen report JSON parses");
+    }
+
+    /// Fake daemon for retry-policy tests: replies `Busy` to the first
+    /// `busy_replies` requests on each connection, then `Pong`. With
+    /// `busy_replies == usize::MAX` it is permanently saturated.
+    fn busy_then_pong_server(busy_replies: usize) -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            // One connection is enough for these tests; exit when the
+            // client hangs up.
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut served = 0usize;
+            while frame::read_frame(&mut stream).is_ok() {
+                let resp = if served < busy_replies {
+                    Response::Busy
+                } else {
+                    Response::Pong { health: HealthSnapshot::default() }
+                };
+                served += 1;
+                if frame::write_frame(&mut stream, &encode_response(&resp)).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn fast_retry(max_attempts: usize, busy_attempts: usize, budget: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            busy_attempts,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(1),
+            budget,
+        }
+    }
+
+    fn test_shared(budget: &AtomicUsize) -> Shared<'_> {
+        Shared {
+            next: AtomicUsize::new(0),
+            total: 0,
+            retry_budget: budget,
+            results: Mutex::new(WorkerTally::default()),
+        }
+    }
+
+    #[test]
+    fn busy_replies_are_not_bounded_by_fault_attempts_or_budget() {
+        // 10 Busy replies with max_attempts 2 and a ZERO fault budget:
+        // backpressure waits must succeed anyway, without touching either
+        // bound.
+        let (addr, server) = busy_then_pong_server(10);
+        let config = LoadgenConfig {
+            addr,
+            retry: fast_retry(2, 256, 0),
+            ..LoadgenConfig::default()
+        };
+        let budget = AtomicUsize::new(config.retry.budget);
+        let shared = test_shared(&budget);
+        let mut local = WorkerTally::default();
+        let mut client = None;
+        let env = Envelope::new(Request::Ping);
+        let got = call_with_retry(&config, &shared, &mut local, &mut client, &env, 0);
+        assert!(matches!(got, Ok((Response::Pong { .. }, _))), "got {got:?}");
+        assert_eq!(local.busy_retries, 10);
+        assert_eq!(local.transport_retries, 0);
+        assert_eq!(local.budget_exhausted, 0);
+        assert_eq!(budget.load(Ordering::Relaxed), 0, "Busy must not draw the fault budget");
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn saturated_daemon_exhausts_the_busy_cap() {
+        let (addr, server) = busy_then_pong_server(usize::MAX);
+        let config = LoadgenConfig {
+            addr,
+            retry: fast_retry(6, 5, 1024),
+            ..LoadgenConfig::default()
+        };
+        let budget = AtomicUsize::new(config.retry.budget);
+        let shared = test_shared(&budget);
+        let mut local = WorkerTally::default();
+        let mut client = None;
+        let env = Envelope::new(Request::Ping);
+        let got = call_with_retry(&config, &shared, &mut local, &mut client, &env, 0);
+        let err = got.expect_err("permanently busy daemon must fail the request");
+        assert!(err.contains("still busy after 5"), "unexpected error: {err}");
+        assert_eq!(local.busy_retries, 5);
+        drop(client);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn transport_faults_still_drain_the_shared_budget() {
+        // A server that drops the connection mid-request: the retry is a
+        // transport fault, and with a zero budget it must surface as
+        // budget exhaustion rather than retrying forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let _ = frame::read_frame(&mut stream);
+            // Drop without replying: the client sees EOF.
+        });
+        let config =
+            LoadgenConfig { addr, retry: fast_retry(6, 256, 0), ..LoadgenConfig::default() };
+        let budget = AtomicUsize::new(config.retry.budget);
+        let shared = test_shared(&budget);
+        let mut local = WorkerTally::default();
+        let mut client = None;
+        let env = Envelope::new(Request::Ping);
+        let got = call_with_retry(&config, &shared, &mut local, &mut client, &env, 0);
+        let err = got.expect_err("dropped connection with zero budget must fail");
+        assert!(err.contains("retry budget exhausted"), "unexpected error: {err}");
+        assert_eq!(local.transport_retries, 1);
+        assert_eq!(local.budget_exhausted, 1);
+        server.join().expect("server thread");
     }
 }

@@ -51,11 +51,13 @@
 
 pub mod edge;
 pub mod forward;
+pub mod merge;
 pub mod path;
 pub mod predict;
 pub mod serialize;
 
 pub use edge::{EdgeProfile, EdgeProfiler};
+pub use merge::{merge_edges, merge_paths, path_drift, DriftReport, MergeError};
 pub use forward::{ForwardPathProfile, ForwardPathProfiler};
 pub use path::{PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
 pub use predict::{EdgePredictor, PathPredictor, PredictStats, Predictor};

@@ -13,18 +13,26 @@
 //! and latency/queue-depth histograms as JSON on exit.
 
 use pps_obs::{Level, Obs, ObsConfig};
-use pps_serve::server::{serve, ServeConfig};
+use pps_serve::pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
+use pps_serve::server::{serve, Handler, ServeConfig};
 use pps_serve::service::PipelineHandler;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20               [--port-file FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
+         \x20               [--pgo on|off] [--pgo-interval-ms N] [--pgo-min-samples N]\n\
+         \x20               [--pgo-enter X] [--pgo-exit X] [--pgo-cooldown-ms N]\n\
+         \x20               [--pgo-budget N] [--pgo-top-k N] [--pgo-fault none|panic|corrupt]\n\
          Serves Profile/Compile/RunCell requests over the PPSF framed protocol.\n\
+         With --pgo on (default), live profiles are aggregated, drifted units\n\
+         are recompiled in the background, and verified rebuilds hot-swap in\n\
+         atomically (see README \u{a7}Continuous PGO).\n\
          Stop with SIGTERM, SIGINT, or an in-band Shutdown request; accepted\n\
          work is drained before exit."
     );
@@ -38,10 +46,56 @@ fn main() -> ExitCode {
     let mut port_file: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut level = Level::Info;
+    let mut pgo_enabled = true;
+    let mut pgo = PgoConfig::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--pgo" => {
+                pgo_enabled = match it.next().map(String::as_str) {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                };
+            }
+            "--pgo-interval-ms" => {
+                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                pgo.interval = Duration::from_millis(ms.max(1));
+            }
+            "--pgo-min-samples" => {
+                pgo.min_samples =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--pgo-enter" => {
+                pgo.enter_threshold =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--pgo-exit" => {
+                pgo.exit_threshold =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--pgo-cooldown-ms" => {
+                let ms: u64 = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                pgo.cooldown = Duration::from_millis(ms);
+            }
+            "--pgo-budget" => {
+                pgo.recompiles_per_sweep =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--pgo-top-k" => {
+                pgo.top_k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--pgo-fault" => {
+                pgo.fault = it
+                    .next()
+                    .and_then(|v| PgoFault::parse(v))
+                    .unwrap_or_else(|| usage());
+            }
             "--addr" => addr = it.next().unwrap_or_else(|| usage()).clone(),
             "--workers" => {
                 config.workers = it
@@ -109,14 +163,36 @@ fn main() -> ExitCode {
         }
     }
 
-    let handler = PipelineHandler;
-    let stats = match serve(listener, &config, &handler, &obs, &shutdown) {
+    // With PGO on, the handler feeds every request's profiles into the
+    // aggregator and a background sweeper recompiles drifted units; with
+    // it off the plain pipeline handler serves identically-shaped replies.
+    let (handler, runtime): (Box<dyn Handler>, Option<PgoRuntime>) = if pgo_enabled {
+        let state = Arc::new(PgoState::new(pgo, obs.clone()));
+        obs.log(Level::Info, || {
+            let c = state.config();
+            format!(
+                "pgo: on (interval {:?}, enter {:.2}, exit {:.2}, budget {}/sweep, fault {:?})",
+                c.interval, c.enter_threshold, c.exit_threshold, c.recompiles_per_sweep, c.fault
+            )
+        });
+        let runtime = PgoRuntime::start(Arc::clone(&state));
+        (Box::new(PgoHandler::new(state)), Some(runtime))
+    } else {
+        (Box::new(PipelineHandler), None)
+    };
+
+    let stats = match serve(listener, &config, handler.as_ref(), &obs, &shutdown) {
         Ok(stats) => stats,
         Err(e) => {
             eprintln!("[pps-serve error] serve: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // The server has drained; stop the sweeper and wait out any in-flight
+    // recompile so exit never races a swap.
+    if let Some(runtime) = runtime {
+        runtime.shutdown();
+    }
 
     obs.log(Level::Info, || {
         format!(

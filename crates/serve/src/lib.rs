@@ -25,6 +25,7 @@
 
 pub mod client;
 pub mod frame;
+pub mod pgo;
 pub mod proto;
 pub mod runner;
 pub mod server;
@@ -32,7 +33,8 @@ pub mod service;
 pub mod signal;
 
 pub use client::{Client, ClientError};
-pub use proto::{Envelope, ErrorKind, ProfileText, Request, Response};
+pub use pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
+pub use proto::{Envelope, ErrorKind, HealthSnapshot, ProfileText, Request, Response};
 pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
 pub use server::{serve, Handler, ServeConfig, ServerHandle, ServerStats};
-pub use service::{execute, parse_scheme, PipelineHandler};
+pub use service::{execute, execute_with, parse_scheme, PipelineHandler, ProfileSink};

@@ -1,0 +1,614 @@
+//! The continuous-PGO loop: aggregate live profiles, detect drift, and
+//! recompile drifted units off the request path with atomic hot-swap.
+//!
+//! Three pieces close the loop the paper leaves open (profiles from a
+//! training run steering *future* runs):
+//!
+//! - **Aggregation** — [`PgoState`] implements
+//!   [`crate::service::ProfileSink`], so every profile a request trains or
+//!   carries (`Profile`, `Compile`, `RunCell`) is folded into a per-bench
+//!   live aggregate by counter addition ([`pps_profile::merge`]).
+//!   Publishing is a pure side effect: replies stay byte-identical to
+//!   sink-less execution.
+//! - **Drift detection** — each serving unit remembers the path profile it
+//!   was compiled against; [`PgoState::sweep`] scores the live aggregate
+//!   against it ([`pps_profile::path_drift`]: top-k overlap + weight
+//!   divergence) with hysteresis (enter above `enter_threshold`, exit
+//!   below `exit_threshold`) so a unit oscillating near the line doesn't
+//!   flap.
+//! - **Fault-isolated recompile + swap** — drifted units are rebuilt
+//!   against an aggregate snapshot inside `catch_unwind`, behind the
+//!   strict PR 1 guard (structural verifier + differential oracle). Only a
+//!   fully verified unit is published, through a generation-stamped CAS
+//!   ([`pps_core::SwapSlot::swap_if`]): a stale recompile (another swap
+//!   landed first) or any fault rolls back — the old unit keeps serving,
+//!   untouched. A per-sweep recompile budget plus a per-unit cooldown
+//!   bound churn under oscillating workloads.
+//!
+//! [`PgoRuntime`] runs [`PgoState::sweep`] on a background thread;
+//! [`PgoRuntime::shutdown`] drains it — the swap is a single slot
+//! operation, so shutdown can never observe a half-swapped unit.
+
+use crate::proto::HealthSnapshot;
+use crate::server::Handler;
+use crate::service::{execute_with, ProfileSink};
+use pps_compact::CompactConfig;
+use pps_core::{
+    guarded_form_and_compact_hooked_obs, FormConfig, GuardConfig, GuardMode, Scheme, SwapOutcome,
+    SwapSlot,
+};
+use pps_ir::FaultInjector;
+use pps_obs::{Level, Obs};
+use pps_profile::{merge_edges, merge_paths, path_drift, EdgeProfile, PathProfile};
+use pps_suite::{benchmark_by_name, Scale};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::service::parse_scheme;
+
+/// Injected recompile fault, for exercising the containment paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PgoFault {
+    /// No injection — recompiles run for real.
+    #[default]
+    None,
+    /// The recompile attempt panics before reaching the pipeline; the
+    /// tier's `catch_unwind` must contain it.
+    Panic,
+    /// A deterministic effective fault corrupts each procedure after
+    /// formation (the guard's post-pass seam); the strict verifier /
+    /// differential oracle must reject the unit.
+    Corrupt,
+}
+
+impl PgoFault {
+    /// Parses a `--pgo-fault` CLI value.
+    pub fn parse(s: &str) -> Option<PgoFault> {
+        match s {
+            "none" => Some(PgoFault::None),
+            "panic" => Some(PgoFault::Panic),
+            "corrupt" => Some(PgoFault::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs of the continuous-PGO loop.
+#[derive(Debug, Clone)]
+pub struct PgoConfig {
+    /// Profiles that must be folded into a bench's aggregate before its
+    /// units are drift-checked (a one-sample aggregate is noise).
+    pub min_samples: u64,
+    /// Background sweep period.
+    pub interval: Duration,
+    /// Hot windows compared by the drift metric.
+    pub top_k: usize,
+    /// Hysteresis: a unit enters the drifted set at or above this score.
+    pub enter_threshold: f64,
+    /// Hysteresis: a drifted unit exits below this score.
+    pub exit_threshold: f64,
+    /// Minimum wall time between recompiles of the same unit.
+    pub cooldown: Duration,
+    /// Recompiles allowed per sweep, across all units (churn budget).
+    pub recompiles_per_sweep: usize,
+    /// Injected fault mode (tests and the drift-smoke stage).
+    pub fault: PgoFault,
+}
+
+impl Default for PgoConfig {
+    fn default() -> Self {
+        PgoConfig {
+            min_samples: 2,
+            interval: Duration::from_millis(500),
+            top_k: 16,
+            enter_threshold: 0.5,
+            exit_threshold: 0.25,
+            cooldown: Duration::from_secs(5),
+            recompiles_per_sweep: 2,
+            fault: PgoFault::None,
+        }
+    }
+}
+
+/// A compiled unit as the PGO tier tracks it: the profiles it was built
+/// against (the drift reference), its verified compile report, and the
+/// aggregate epoch it snapshotted.
+#[derive(Debug, Clone)]
+pub struct ServingUnit {
+    /// Edge profile the unit was compiled against.
+    pub edge: EdgeProfile,
+    /// Path profile the unit was compiled against — drift is measured
+    /// from this.
+    pub path: PathProfile,
+    /// Deterministic compile report (`pps-compile-report v1`), empty for
+    /// the initial request-path unit (its report went to the client).
+    pub report: String,
+    /// Aggregate epoch the profiles were snapshotted at.
+    pub epoch: u64,
+}
+
+/// Live merged profiles for one benchmark.
+struct Aggregate {
+    edge: EdgeProfile,
+    path: PathProfile,
+    samples: u64,
+    /// Bumped on every merge, so sweeps can skip unchanged aggregates.
+    epoch: u64,
+}
+
+/// Sweep-owned drift bookkeeping for one unit.
+struct UnitMeta {
+    drifted: bool,
+    last_score: f64,
+    last_recompile: Option<Instant>,
+}
+
+struct UnitEntry {
+    slot: SwapSlot<ServingUnit>,
+    meta: Mutex<UnitMeta>,
+}
+
+/// What one [`PgoState::sweep`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Units whose drift score was (re)evaluated.
+    pub evaluated: usize,
+    /// Units in the drifted set when the sweep finished.
+    pub drifted: usize,
+    /// Recompiles attempted this sweep.
+    pub recompiles: usize,
+    /// Recompiles that swapped in.
+    pub swaps: usize,
+    /// Recompiles rolled back (fault, verifier reject, or stale CAS).
+    pub rollbacks: usize,
+    /// Drifted units skipped for cooldown or budget.
+    pub deferred: usize,
+}
+
+/// Shared state of the continuous-PGO loop. One instance is shared by the
+/// request path (as a [`ProfileSink`]), the background sweeper, and the
+/// health snapshot.
+pub struct PgoState {
+    config: PgoConfig,
+    aggregates: Mutex<HashMap<String, Aggregate>>,
+    units: Mutex<HashMap<(String, u32, String), Arc<UnitEntry>>>,
+    profiles_merged: AtomicU64,
+    merges_skipped: AtomicU64,
+    recompiles: AtomicU64,
+    swaps: AtomicU64,
+    rollbacks: AtomicU64,
+    in_flight: AtomicU32,
+    obs: Obs,
+}
+
+impl PgoState {
+    /// Creates the loop state; `obs` receives the `pgo.*` counters and
+    /// histograms.
+    pub fn new(config: PgoConfig, obs: Obs) -> Self {
+        PgoState {
+            config,
+            aggregates: Mutex::new(HashMap::new()),
+            units: Mutex::new(HashMap::new()),
+            profiles_merged: AtomicU64::new(0),
+            merges_skipped: AtomicU64::new(0),
+            recompiles: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
+            in_flight: AtomicU32::new(0),
+            obs,
+        }
+    }
+
+    /// The configuration the loop runs with.
+    pub fn config(&self) -> &PgoConfig {
+        &self.config
+    }
+
+    /// `(samples, epoch)` of a bench's aggregate, if any — test/ops
+    /// introspection.
+    pub fn aggregate_stats(&self, bench: &str) -> Option<(u64, u64)> {
+        let aggs = self.aggregates.lock().unwrap();
+        aggs.get(bench).map(|a| (a.samples, a.epoch))
+    }
+
+    /// Current generation of a unit's swap slot, if the unit is tracked.
+    pub fn unit_generation(&self, bench: &str, scale: u32, scheme: &str) -> Option<u64> {
+        let units = self.units.lock().unwrap();
+        units
+            .get(&(bench.to_string(), scale, scheme.to_string()))
+            .map(|u| u.slot.generation())
+    }
+
+    /// The serving copy of a unit, if tracked: `(generation, unit)`.
+    pub fn unit(&self, bench: &str, scale: u32, scheme: &str) -> Option<(u64, Arc<ServingUnit>)> {
+        let units = self.units.lock().unwrap();
+        units
+            .get(&(bench.to_string(), scale, scheme.to_string()))
+            .map(|u| u.slot.load())
+    }
+
+    /// Fills the PGO half of the health snapshot.
+    pub fn fill_health(&self, mut base: HealthSnapshot) -> HealthSnapshot {
+        base.pgo_enabled = true;
+        base.profiles_merged = self.profiles_merged.load(Ordering::Relaxed);
+        base.recompiles = self.recompiles.load(Ordering::Relaxed);
+        base.swaps = self.swaps.load(Ordering::Relaxed);
+        base.rollbacks = self.rollbacks.load(Ordering::Relaxed);
+        base.in_flight_recompiles = self.in_flight.load(Ordering::Relaxed);
+        let units = self.units.lock().unwrap();
+        base.units = units.len() as u32;
+        base.max_generation = units.values().map(|u| u.slot.generation()).max().unwrap_or(0);
+        base.drifted_units = units
+            .values()
+            .filter(|u| u.meta.lock().unwrap().drifted)
+            .count() as u32;
+        base
+    }
+
+    /// One pass of the drift detector + recompile tier. The background
+    /// runtime calls this on its interval; tests call it directly for a
+    /// fully synchronous loop.
+    pub fn sweep(&self) -> SweepReport {
+        let mut report = SweepReport::default();
+        let entries: Vec<((String, u32, String), Arc<UnitEntry>)> = {
+            let units = self.units.lock().unwrap();
+            units.iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+        };
+        let mut budget = self.config.recompiles_per_sweep;
+        for ((bench, scale, scheme), entry) in entries {
+            let snapshot = {
+                let aggs = self.aggregates.lock().unwrap();
+                match aggs.get(&bench) {
+                    Some(a) if a.samples >= self.config.min_samples => {
+                        Some((a.edge.clone(), a.path.clone(), a.epoch))
+                    }
+                    _ => None,
+                }
+            };
+            let Some((agg_edge, agg_path, agg_epoch)) = snapshot else { continue };
+
+            let (generation, unit) = entry.slot.load();
+            let drift = path_drift(&unit.path, &agg_path, self.config.top_k);
+            report.evaluated += 1;
+            self.obs.histogram("pgo.drift_score", drift.score);
+
+            let wants_recompile = {
+                let mut meta = entry.meta.lock().unwrap();
+                meta.last_score = drift.score;
+                if !meta.drifted && drift.score >= self.config.enter_threshold {
+                    meta.drifted = true;
+                    self.obs.log(Level::Info, || {
+                        format!(
+                            "pgo: {bench}/{scale}/{scheme} drifted \
+                             (score {:.3}, overlap {:.3}, divergence {:.3})",
+                            drift.score, drift.top_k_overlap, drift.weight_divergence
+                        )
+                    });
+                } else if meta.drifted && drift.score < self.config.exit_threshold {
+                    meta.drifted = false;
+                }
+                // Already serving this aggregate epoch: a fresh recompile
+                // would rebuild the same unit.
+                meta.drifted && unit.epoch != agg_epoch
+            };
+
+            if wants_recompile {
+                let cooled = {
+                    let meta = entry.meta.lock().unwrap();
+                    meta.last_recompile
+                        .is_none_or(|t| t.elapsed() >= self.config.cooldown)
+                };
+                if budget == 0 || !cooled {
+                    report.deferred += 1;
+                } else {
+                    budget -= 1;
+                    report.recompiles += 1;
+                    entry.meta.lock().unwrap().last_recompile = Some(Instant::now());
+                    let swapped = self.recompile(
+                        &bench, scale, &scheme, &entry, generation, agg_edge, agg_path, agg_epoch,
+                    );
+                    if swapped {
+                        report.swaps += 1;
+                    } else {
+                        report.rollbacks += 1;
+                    }
+                }
+            }
+        }
+        report.drifted = {
+            let units = self.units.lock().unwrap();
+            units.values().filter(|u| u.meta.lock().unwrap().drifted).count()
+        };
+        self.obs.histogram("pgo.sweep_recompiles", report.recompiles as f64);
+        report
+    }
+
+    /// Rebuilds one unit against the aggregate snapshot and publishes it
+    /// via CAS. Returns true when the new unit swapped in; any failure —
+    /// panic, pipeline error, verifier/oracle reject, stale generation —
+    /// leaves the serving copy untouched and counts a rollback.
+    #[allow(clippy::too_many_arguments)]
+    fn recompile(
+        &self,
+        bench_name: &str,
+        scale: u32,
+        scheme_name: &str,
+        entry: &UnitEntry,
+        observed_gen: u64,
+        edge: EdgeProfile,
+        path: PathProfile,
+        epoch: u64,
+    ) -> bool {
+        self.recompiles.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let fault = self.config.fault;
+        let obs = self.obs.clone();
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            build_unit(bench_name, scale, scheme_name, &edge, &path, epoch, fault, &obs)
+        }));
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+
+        let outcome = match built {
+            Ok(Ok(unit)) => match entry.slot.swap_if(observed_gen, unit) {
+                SwapOutcome::Swapped(generation) => {
+                    self.obs.log(Level::Info, || {
+                        format!(
+                            "pgo: {bench_name}/{scale}/{scheme_name} hot-swapped \
+                             (generation {generation}, epoch {epoch})"
+                        )
+                    });
+                    "swapped"
+                }
+                SwapOutcome::Stale(_) => "stale",
+            },
+            Ok(Err(message)) => {
+                self.obs.log(Level::Warn, || {
+                    format!("pgo: {bench_name}/{scale}/{scheme_name} recompile rejected: {message}")
+                });
+                "rejected"
+            }
+            Err(_) => {
+                self.obs.log(Level::Warn, || {
+                    format!("pgo: {bench_name}/{scale}/{scheme_name} recompile panicked (contained)")
+                });
+                "panicked"
+            }
+        };
+        self.obs
+            .counter_labeled("pgo.recompiles", &[("outcome", outcome)], 1);
+        if outcome == "swapped" {
+            self.swaps.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            self.rollbacks.fetch_add(1, Ordering::Relaxed);
+            self.obs.counter("pgo.rollbacks", 1);
+            false
+        }
+    }
+}
+
+/// Compiles `(bench, scale, scheme)` against the given profiles behind the
+/// strict guard (verifier + differential oracle on the training input).
+/// Runs inside the caller's `catch_unwind`.
+#[allow(clippy::too_many_arguments)]
+fn build_unit(
+    bench_name: &str,
+    scale: u32,
+    scheme_name: &str,
+    edge: &EdgeProfile,
+    path: &PathProfile,
+    epoch: u64,
+    fault: PgoFault,
+    obs: &Obs,
+) -> Result<ServingUnit, String> {
+    if fault == PgoFault::Panic {
+        panic!("pgo: injected recompile panic");
+    }
+    let scheme: Scheme =
+        parse_scheme(scheme_name).ok_or_else(|| format!("no scheme `{scheme_name}`"))?;
+    let bench = benchmark_by_name(bench_name, Scale(scale))
+        .ok_or_else(|| format!("no benchmark `{bench_name}`"))?;
+    let mut program = bench.program.clone();
+    let guard = GuardConfig {
+        mode: GuardMode::Strict,
+        oracle_inputs: vec![bench.train_args.clone()],
+        ..GuardConfig::default()
+    };
+    let step_budget = guard.step_budget;
+    let oracle_inputs = guard.oracle_inputs.clone();
+    let mut injector = FaultInjector::new(0xD81F);
+    let guarded = guarded_form_and_compact_hooked_obs(
+        &mut program,
+        edge,
+        Some(path),
+        scheme,
+        &FormConfig::default(),
+        &CompactConfig::default(),
+        &guard,
+        obs,
+        &mut |prog, pid| {
+            if fault == PgoFault::Corrupt {
+                let _ = injector.inject_effective(prog, pid, &oracle_inputs, step_budget, 32);
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let stats = &guarded.stats;
+    let report = format!(
+        "pps-compile-report v1\n\
+         bench {bench_name} scheme {scheme}\n\
+         superblocks {superblocks}\n\
+         static_after {after}\n\
+         epoch {epoch}\n",
+        scheme = scheme.name(),
+        superblocks = stats.superblocks,
+        after = stats.static_after,
+    );
+    Ok(ServingUnit { edge: edge.clone(), path: path.clone(), report, epoch })
+}
+
+impl ProfileSink for PgoState {
+    fn publish(&self, bench: &str, _scale: u32, edge: &EdgeProfile, path: &PathProfile) {
+        let mut aggs = self.aggregates.lock().unwrap();
+        match aggs.get_mut(bench) {
+            None => {
+                aggs.insert(
+                    bench.to_string(),
+                    Aggregate { edge: edge.clone(), path: path.clone(), samples: 1, epoch: 1 },
+                );
+            }
+            Some(agg) => {
+                // Different collection depths (or a shape change) make the
+                // pair unmergeable; count and skip rather than poison the
+                // aggregate.
+                match (merge_edges(&agg.edge, edge), merge_paths(&agg.path, path)) {
+                    (Ok(e), Ok(p)) => {
+                        agg.edge = e;
+                        agg.path = p;
+                        agg.samples += 1;
+                        agg.epoch += 1;
+                    }
+                    (_, Err(e)) | (Err(e), _) => {
+                        self.merges_skipped.fetch_add(1, Ordering::Relaxed);
+                        self.obs.counter("pgo.merges_skipped", 1);
+                        self.obs.log(Level::Debug, || {
+                            format!("pgo: skipped unmergeable profile for {bench}: {e}")
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+        self.profiles_merged.fetch_add(1, Ordering::Relaxed);
+        self.obs.counter("pgo.profiles_merged", 1);
+    }
+
+    fn observe_unit(&self, bench: &str, scale: u32, scheme: &str, path: &PathProfile) {
+        let key = (bench.to_string(), scale, scheme.to_string());
+        let mut units = self.units.lock().unwrap();
+        if units.contains_key(&key) {
+            return;
+        }
+        // The request path already compiled (and replied with) this unit;
+        // the tier only needs its drift reference. The edge half is not
+        // used by the drift metric, so an empty placeholder suffices until
+        // the first recompile stores the real pair.
+        units.insert(
+            key,
+            Arc::new(UnitEntry {
+                slot: SwapSlot::new(ServingUnit {
+                    edge: EdgeProfile::default(),
+                    path: path.clone(),
+                    report: String::new(),
+                    epoch: 0,
+                }),
+                meta: Mutex::new(UnitMeta {
+                    drifted: false,
+                    last_score: 0.0,
+                    last_recompile: None,
+                }),
+            }),
+        );
+        self.obs.counter("pgo.units_observed", 1);
+    }
+}
+
+/// A [`Handler`] that executes requests through the pipeline while feeding
+/// the continuous-PGO loop, and enriches health snapshots with loop state.
+pub struct PgoHandler {
+    state: Arc<PgoState>,
+}
+
+impl PgoHandler {
+    /// Wraps the loop state as the daemon's handler.
+    pub fn new(state: Arc<PgoState>) -> Self {
+        PgoHandler { state }
+    }
+
+    /// The shared loop state.
+    pub fn state(&self) -> &Arc<PgoState> {
+        &self.state
+    }
+}
+
+impl Handler for PgoHandler {
+    fn handle(&self, request: &crate::proto::Request, obs: &Obs) -> crate::proto::Response {
+        execute_with(request, obs, Some(self.state.as_ref()))
+    }
+
+    fn health(&self, base: HealthSnapshot) -> HealthSnapshot {
+        self.state.fill_health(base)
+    }
+}
+
+/// The background sweeper: runs [`PgoState::sweep`] every
+/// [`PgoConfig::interval`] until shut down.
+pub struct PgoRuntime {
+    state: Arc<PgoState>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PgoRuntime {
+    /// Starts the sweeper thread.
+    pub fn start(state: Arc<PgoState>) -> Self {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let flag = Arc::clone(&stop);
+        let sweeper = Arc::clone(&state);
+        let interval = state.config.interval;
+        let thread = std::thread::Builder::new()
+            .name("pps-pgo-sweeper".into())
+            .spawn(move || {
+                let (lock, cvar) = &*flag;
+                loop {
+                    {
+                        let mut stopped = lock.lock().unwrap();
+                        while !*stopped {
+                            let (guard, timeout) =
+                                cvar.wait_timeout(stopped, interval).unwrap();
+                            stopped = guard;
+                            if timeout.timed_out() {
+                                break;
+                            }
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    sweeper.sweep();
+                }
+            })
+            .expect("spawn pgo sweeper");
+        PgoRuntime { state, stop, thread: Some(thread) }
+    }
+
+    /// The shared loop state.
+    pub fn state(&self) -> &Arc<PgoState> {
+        &self.state
+    }
+
+    /// Stops the sweeper and waits for any in-flight sweep to finish.
+    /// Because publication is a single CAS, no half-swapped unit can
+    /// survive this join.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let (lock, cvar) = &*self.stop;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for PgoRuntime {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

@@ -10,6 +10,13 @@
 
 use std::fmt;
 
+/// Protocol minor version, reported in the [`HealthSnapshot`] so clients
+/// can detect feature level in-band. Minor 1 added the health snapshot
+/// itself (the `Pong` reply was previously empty). The frame-layer major
+/// version (`frame::VERSION`) is unchanged — old clients still frame and
+/// route replies correctly, they just carry more payload.
+pub const PROTO_MINOR: u32 = 1;
+
 /// A payload-decoding failure with the byte offset where it happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoError {
@@ -188,11 +195,53 @@ impl fmt::Display for ErrorKind {
     }
 }
 
+/// In-band server health, carried by every `Pong` reply (protocol
+/// minor 1). Lets loadgen and ops observe the continuous-PGO loop state
+/// without a side channel: drift detection, swaps, and rollbacks are all
+/// visible through the same socket the work flows over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSnapshot {
+    /// Server's [`PROTO_MINOR`].
+    pub proto_minor: u32,
+    /// Requests currently waiting in the bounded queue.
+    pub queue_depth: u32,
+    /// The queue's capacity.
+    pub queue_capacity: u32,
+    /// Worker threads serving the queue.
+    pub workers: u32,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Requests decoded so far.
+    pub requests: u64,
+    /// Whether the continuous-PGO loop is running.
+    pub pgo_enabled: bool,
+    /// Profiles folded into the live aggregate so far.
+    pub profiles_merged: u64,
+    /// Serving units tracked by the PGO tier.
+    pub units: u32,
+    /// Highest unit generation currently serving (1 = never re-swapped).
+    pub max_generation: u64,
+    /// Units whose drift score is currently above the enter threshold.
+    pub drifted_units: u32,
+    /// Background recompiles attempted.
+    pub recompiles: u64,
+    /// Recompiles that landed via atomic swap.
+    pub swaps: u64,
+    /// Recompiles rejected (fault, verifier/oracle reject, or stale CAS)
+    /// and rolled back — the old unit kept serving.
+    pub rollbacks: u64,
+    /// Recompiles running right now (must be 0 after a clean drain).
+    pub in_flight_recompiles: u32,
+}
+
 /// One service reply.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Reply to [`Request::Ping`].
-    Pong,
+    Pong {
+        /// Server health at reply time.
+        health: HealthSnapshot,
+    },
     /// Serialized edge + path profiles.
     Profile {
         /// `pps-edge-profile v1` text.
@@ -229,7 +278,7 @@ impl Response {
     /// Stable lowercase outcome tag for metrics labels.
     pub fn outcome_name(&self) -> &'static str {
         match self {
-            Response::Pong | Response::Profile { .. } | Response::Compile { .. } | Response::RunCell { .. } => "ok",
+            Response::Pong { .. } | Response::Profile { .. } | Response::Compile { .. } | Response::RunCell { .. } => "ok",
             Response::Busy => "busy",
             Response::ShuttingDown => "shutting-down",
             Response::Error { kind, .. } => kind.name(),
@@ -240,6 +289,10 @@ impl Response {
 // --- encoding primitives ----------------------------------------------
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
@@ -281,6 +334,21 @@ impl<'a> Cursor<'a> {
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtoError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => {
+                self.pos -= 1;
+                self.err(format!("bad bool {other}"))
+            }
+        }
     }
 
     fn string(&mut self) -> Result<String, ProtoError> {
@@ -403,7 +471,24 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtoError> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut buf = Vec::new();
     match resp {
-        Response::Pong => buf.push(RESP_PONG),
+        Response::Pong { health } => {
+            buf.push(RESP_PONG);
+            put_u32(&mut buf, health.proto_minor);
+            put_u32(&mut buf, health.queue_depth);
+            put_u32(&mut buf, health.queue_capacity);
+            put_u32(&mut buf, health.workers);
+            put_u64(&mut buf, health.connections);
+            put_u64(&mut buf, health.requests);
+            buf.push(u8::from(health.pgo_enabled));
+            put_u64(&mut buf, health.profiles_merged);
+            put_u32(&mut buf, health.units);
+            put_u64(&mut buf, health.max_generation);
+            put_u32(&mut buf, health.drifted_units);
+            put_u64(&mut buf, health.recompiles);
+            put_u64(&mut buf, health.swaps);
+            put_u64(&mut buf, health.rollbacks);
+            put_u32(&mut buf, health.in_flight_recompiles);
+        }
         Response::Profile { edge, path } => {
             buf.push(RESP_PROFILE);
             put_str(&mut buf, edge);
@@ -436,7 +521,25 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut c = Cursor::new(payload);
     let tag = c.u8()?;
     let resp = match tag {
-        RESP_PONG => Response::Pong,
+        RESP_PONG => Response::Pong {
+            health: HealthSnapshot {
+                proto_minor: c.u32()?,
+                queue_depth: c.u32()?,
+                queue_capacity: c.u32()?,
+                workers: c.u32()?,
+                connections: c.u64()?,
+                requests: c.u64()?,
+                pgo_enabled: c.bool()?,
+                profiles_merged: c.u64()?,
+                units: c.u32()?,
+                max_generation: c.u64()?,
+                drifted_units: c.u32()?,
+                recompiles: c.u64()?,
+                swaps: c.u64()?,
+                rollbacks: c.u64()?,
+                in_flight_recompiles: c.u32()?,
+            },
+        },
         RESP_PROFILE => Response::Profile { edge: c.string()?, path: c.string()? },
         RESP_COMPILE => Response::Compile { report: c.string()? },
         RESP_RUNCELL => Response::RunCell { metrics_json: c.string()? },
@@ -505,7 +608,26 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let responses = vec![
-            Response::Pong,
+            Response::Pong { health: HealthSnapshot::default() },
+            Response::Pong {
+                health: HealthSnapshot {
+                    proto_minor: PROTO_MINOR,
+                    queue_depth: 3,
+                    queue_capacity: 64,
+                    workers: 4,
+                    connections: 17,
+                    requests: 123_456,
+                    pgo_enabled: true,
+                    profiles_merged: 99,
+                    units: 6,
+                    max_generation: 4,
+                    drifted_units: 2,
+                    recompiles: 11,
+                    swaps: 9,
+                    rollbacks: 2,
+                    in_flight_recompiles: 1,
+                },
+            },
             Response::Profile { edge: "e".into(), path: "p".into() },
             Response::Compile { report: "pps-compile-report v1\n".into() },
             Response::RunCell { metrics_json: "{}".into() },

@@ -100,6 +100,12 @@ pub struct RunConfig {
     /// write-then-rename, so concurrent cells of the same benchmark never
     /// tear a file).
     pub profile_out: Option<String>,
+    /// An already-collected profile pair to compile against, skipping both
+    /// the training run and any [`RunConfig::profile_in`] lookup. The serve
+    /// daemon uses this to train once, fold the pair into its live
+    /// aggregate, and still hand the *same object* to the pipeline — so
+    /// metrics stay byte-identical to the train-inline path.
+    pub preloaded: Option<std::sync::Arc<(EdgeProfile, PathProfile)>>,
 }
 
 impl RunConfig {
@@ -247,8 +253,8 @@ pub fn run_scheme_obs(
     let profile_span = obs.span("profile").arg("depth", depth);
     let profile_err =
         |message: String| RunError::Profile { bench: bench.name.to_string(), message };
-    let mut loaded: Option<(EdgeProfile, PathProfile)> = None;
-    if let Some(dir) = &config.profile_in {
+    let mut loaded: Option<(EdgeProfile, PathProfile)> = config.preloaded.as_deref().cloned();
+    if let (None, Some(dir)) = (&loaded, &config.profile_in) {
         match load_profiles(dir, bench.name, depth).map_err(&profile_err)? {
             Some(pair) => loaded = Some(pair),
             // With an output directory the missing pair is a cache miss:

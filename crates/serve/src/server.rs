@@ -21,7 +21,10 @@
 //! never dropped.
 
 use crate::frame::{self, FrameError};
-use crate::proto::{decode_request, encode_response, Envelope, ErrorKind, Request, Response};
+use crate::proto::{
+    decode_request, encode_response, Envelope, ErrorKind, HealthSnapshot, Request, Response,
+    PROTO_MINOR,
+};
 use pps_core::pool::{BoundedQueue, PushError};
 use pps_obs::Obs;
 use std::io::{self, Read};
@@ -37,6 +40,13 @@ pub trait Handler: Send + Sync {
     /// Produces the response for one request. Panics are caught and
     /// reported as [`ErrorKind::Internal`].
     fn handle(&self, request: &Request, obs: &Obs) -> Response;
+
+    /// Enriches the server-built health snapshot with handler-level state
+    /// (the continuous-PGO tier fills in aggregate/drift/swap counters
+    /// here). The default handler has nothing to add.
+    fn health(&self, base: HealthSnapshot) -> HealthSnapshot {
+        base
+    }
 }
 
 /// Server tuning knobs.
@@ -144,7 +154,7 @@ pub fn serve(
                     let config = config.clone();
                     let obs = obs.clone();
                     scope.spawn(move || {
-                        let r = conn_loop(stream, &config, queue, shutdown, stats, &obs);
+                        let r = conn_loop(stream, &config, queue, handler, shutdown, stats, &obs);
                         if let Err(e) = r {
                             obs.log(pps_obs::Level::Debug, || {
                                 format!("connection {peer}: {e}")
@@ -261,6 +271,7 @@ fn conn_loop(
     mut stream: TcpStream,
     config: &ServeConfig,
     queue: &BoundedQueue<Job>,
+    handler: &dyn Handler,
     shutdown: &AtomicBool,
     stats: &AtomicStats,
     obs: &Obs,
@@ -317,7 +328,18 @@ fn conn_loop(
 
         let kind = env.request.kind_name();
         let resp = match env.request {
-            Request::Ping => Response::Pong,
+            Request::Ping => {
+                let base = HealthSnapshot {
+                    proto_minor: PROTO_MINOR,
+                    queue_depth: queue.len() as u32,
+                    queue_capacity: config.queue_capacity as u32,
+                    workers: config.workers as u32,
+                    connections: stats.connections.load(Ordering::Relaxed),
+                    requests: stats.requests.load(Ordering::Relaxed),
+                    ..HealthSnapshot::default()
+                };
+                Response::Pong { health: handler.health(base) }
+            }
             Request::Shutdown => {
                 shutdown.store(true, Ordering::SeqCst);
                 Response::ShuttingDown

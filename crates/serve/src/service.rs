@@ -5,9 +5,10 @@
 //! the expected reply in-process and assert the daemon's bytes are
 //! identical — the service must never drift from the library.
 
-use crate::proto::{ErrorKind, ProfileText, Request, Response};
+use crate::proto::{ErrorKind, HealthSnapshot, ProfileText, Request, Response};
 use crate::runner::{run_scheme_obs, RunConfig, RunError};
 use crate::server::Handler;
+use std::sync::Arc;
 use pps_compact::CompactConfig;
 use pps_core::{guarded_form_and_compact_obs, FormConfig, GuardConfig, GuardMode, Scheme};
 use pps_ir::interp::{ExecConfig, Interp};
@@ -29,6 +30,20 @@ impl Handler for PipelineHandler {
     fn handle(&self, request: &Request, obs: &Obs) -> Response {
         execute(request, obs)
     }
+}
+
+/// Observes the profiles that flow through request execution — the
+/// continuous-PGO aggregator implements this to fold every trained or
+/// client-supplied profile pair into its live aggregate. Publishing is a
+/// pure side effect: it must never change the response bytes.
+pub trait ProfileSink: Send + Sync {
+    /// A profile pair for `bench` at `scale` was trained or accepted
+    /// during request execution.
+    fn publish(&self, bench: &str, scale: u32, edge: &EdgeProfile, path: &PathProfile);
+
+    /// A compiled unit for `(bench, scale, scheme)` was produced against
+    /// `path` — the reference profile drift is measured from.
+    fn observe_unit(&self, bench: &str, scale: u32, scheme: &str, path: &PathProfile);
 }
 
 /// Parses a scheme name as printed by [`Scheme::name`]: `BB`, `M<n>`,
@@ -86,30 +101,44 @@ fn train_profiles(
 /// Executes one request, deterministically. `Ping`/`Shutdown` are answered
 /// by the server itself and only reach here in tests.
 pub fn execute(request: &Request, obs: &Obs) -> Response {
+    execute_with(request, obs, None)
+}
+
+/// [`execute`] with an optional [`ProfileSink`] observing the profiles the
+/// request trains or carries. The sink is side-effect-only: for any
+/// request, `execute_with(req, obs, Some(sink))` returns exactly the bytes
+/// `execute(req, obs)` would — the load generator asserts this by diffing
+/// daemon replies against in-process `execute`.
+pub fn execute_with(request: &Request, obs: &Obs, sink: Option<&dyn ProfileSink>) -> Response {
     match request {
-        Request::Ping => Response::Pong,
+        Request::Ping => Response::Pong { health: HealthSnapshot::default() },
         Request::Shutdown => Response::ShuttingDown,
-        Request::Profile { bench, scale, depth } => profile(bench, *scale, *depth),
+        Request::Profile { bench, scale, depth } => profile(bench, *scale, *depth, sink),
         Request::Compile { bench, scale, scheme, profile } => {
-            compile(bench, *scale, scheme, profile.as_ref(), obs)
+            compile(bench, *scale, scheme, profile.as_ref(), obs, sink)
         }
         Request::RunCell { bench, scale, scheme, strict } => {
-            run_cell(bench, *scale, scheme, *strict, obs)
+            run_cell(bench, *scale, scheme, *strict, obs, sink)
         }
     }
 }
 
-fn profile(bench: &str, scale: u32, depth: u32) -> Response {
+fn profile(bench: &str, scale: u32, depth: u32, sink: Option<&dyn ProfileSink>) -> Response {
     let bench = match lookup_bench(bench, scale) {
         Ok(b) => b,
         Err(r) => return r,
     };
     let depth = if depth == 0 { DEFAULT_PATH_DEPTH } else { depth as usize };
     match train_profiles(&bench, depth) {
-        Ok((edge, path)) => Response::Profile {
-            edge: edge_to_text(&edge),
-            path: path_to_text(&path),
-        },
+        Ok((edge, path)) => {
+            if let Some(sink) = sink {
+                sink.publish(bench.name, scale, &edge, &path);
+            }
+            Response::Profile {
+                edge: edge_to_text(&edge),
+                path: path_to_text(&path),
+            }
+        }
         Err(r) => r,
     }
 }
@@ -120,6 +149,7 @@ fn compile(
     scheme_name: &str,
     profile: Option<&ProfileText>,
     obs: &Obs,
+    sink: Option<&dyn ProfileSink>,
 ) -> Response {
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
@@ -145,6 +175,9 @@ fn compile(
             Err(r) => return r,
         },
     };
+    if let Some(sink) = sink {
+        sink.publish(bench.name, scale, &edge, &path);
+    }
 
     let mut program = bench.program.clone();
     let guard = GuardConfig {
@@ -164,6 +197,9 @@ fn compile(
         Ok(g) => g,
         Err(e) => return error(ErrorKind::Pipeline, e.to_string()),
     };
+    if let Some(sink) = sink {
+        sink.observe_unit(bench.name, scale, scheme_name, &path);
+    }
 
     let stats = &guarded.stats;
     let report = format!(
@@ -197,7 +233,14 @@ fn compile(
     Response::Compile { report }
 }
 
-fn run_cell(bench: &str, scale: u32, scheme_name: &str, strict: bool, _obs: &Obs) -> Response {
+fn run_cell(
+    bench: &str,
+    scale: u32,
+    scheme_name: &str,
+    strict: bool,
+    _obs: &Obs,
+    sink: Option<&dyn ProfileSink>,
+) -> Response {
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
     };
@@ -207,6 +250,20 @@ fn run_cell(bench: &str, scale: u32, scheme_name: &str, strict: bool, _obs: &Obs
     };
     let mut config = RunConfig::paper();
     config.guard.mode = if strict { GuardMode::Strict } else { GuardMode::Degrade };
+    if let Some(sink) = sink {
+        // Train here so the pair can be folded into the aggregate, then
+        // hand the same objects to the runner — the metrics it records are
+        // identical to its own train-inline path, keeping the reply
+        // byte-for-byte equal to sink-less execution.
+        match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
+            Ok((edge, path)) => {
+                sink.publish(bench.name, scale, &edge, &path);
+                sink.observe_unit(bench.name, scale, scheme_name, &path);
+                config.preloaded = Some(Arc::new((edge, path)));
+            }
+            Err(r) => return r,
+        }
+    }
     // The cell records into its own metrics-only registry — exactly what
     // `pps-harness --metrics-out` exports for the same cell, and byte-
     // deterministic, so clients can diff replies against local runs.

@@ -137,7 +137,7 @@ fn malformed_headers_get_one_bad_frame_reply_then_close() {
 
     // The daemon is still healthy.
     let mut client = Client::connect(&addr.to_string(), Some(Duration::from_secs(10))).unwrap();
-    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong)));
+    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong { .. })));
     server.shutdown();
     server.join().unwrap();
 }
@@ -171,7 +171,7 @@ fn truncated_frames_and_mid_request_disconnects_never_hang() {
 
     // Still serving.
     let mut client = Client::connect(&addr.to_string(), Some(Duration::from_secs(10))).unwrap();
-    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong)));
+    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong { .. })));
     server.shutdown();
     server.join().unwrap();
 }
@@ -192,9 +192,9 @@ fn malformed_payload_keeps_the_connection_alive() {
     assert!(matches!(resp, Response::Error { kind: ErrorKind::BadRequest, .. }), "got {resp:?}");
     frame::write_frame(&mut stream, &encode_request(&Envelope::new(Request::Ping))).unwrap();
     let payload = frame::read_frame(&mut stream).expect("conn survived");
-    assert!(matches!(decode_response(&payload), Ok(Response::Pong)));
+    assert!(matches!(decode_response(&payload), Ok(Response::Pong { .. })));
 
-    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong)));
+    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong { .. })));
     server.shutdown();
     server.join().unwrap();
 }
@@ -258,7 +258,7 @@ fn seeded_corruption_sweep_never_panics_or_hangs() {
     }
 
     let mut client = Client::connect(&addr.to_string(), Some(Duration::from_secs(10))).unwrap();
-    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong)));
+    assert!(matches!(client.request(Request::Ping), Ok(Response::Pong { .. })));
     server.shutdown();
     server.join().unwrap();
 }

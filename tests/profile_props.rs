@@ -269,3 +269,91 @@ proptest! {
         assert_round_trip(&program, &edge, &path);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Merge algebra (`pps::profile::merge`): the continuous-PGO aggregator
+// folds profiles by counter addition, so the operation must be commutative
+// and associative — *in serialized form*, since the daemon's aggregates are
+// compared and shipped as canonical text. Depth 15 over random multi-proc
+// programs, like the round-trip suite above.
+
+use pps::profile::{merge_edges, merge_paths};
+
+/// A path profile over a *different support*: keeps only the windows whose
+/// enumeration index satisfies `keep`, with counts rescaled and salted.
+/// Merging profiles with partial window overlap is exactly what the
+/// daemon's aggregate does when the workload shifts.
+fn path_variant(path: &PathProfile, keep: impl Fn(usize) -> bool, scale: u64) -> PathProfile {
+    let per_proc = (0..path.num_procs())
+        .map(|pi| {
+            path.iter_maximal_windows(ProcId::new(pi as u32))
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| keep(*i))
+                .map(|(i, (w, c))| (w, c * scale + i as u64 + 1))
+                .collect()
+        })
+        .collect();
+    PathProfile::from_windows(path.depth(), per_proc)
+}
+
+/// Three genuinely different profile pairs of the same program: the paths
+/// cover overlapping-but-distinct window subsets with distinct weights,
+/// the edges are distinct multiples of the traced run.
+fn three_profiles(seed: u64) -> [(EdgeProfile, PathProfile); 3] {
+    let program = gen_program(seed, GenConfig::default());
+    let (e1, p1) = collect_both(&program, &[], 15);
+    let e2 = merge_edges(&e1, &e1).unwrap();
+    let e3 = merge_edges(&e2, &e1).unwrap();
+    let p2 = path_variant(&p1, |i| i % 2 == 0, 3);
+    let p3 = path_variant(&p1, |i| i % 3 != 0, 7);
+    [(e1, p1), (e2, p2), (e3, p3)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn profile_merge_is_commutative_and_associative_in_serialized_form(
+        seed in 0u64..100_000,
+    ) {
+        let [(ea, pa), (eb, pb), (ec, pc)] = three_profiles(seed);
+
+        // Commutativity: a+b == b+a, byte for byte.
+        prop_assert_eq!(
+            edge_to_text(&merge_edges(&ea, &eb).unwrap()),
+            edge_to_text(&merge_edges(&eb, &ea).unwrap())
+        );
+        prop_assert_eq!(
+            path_to_text(&merge_paths(&pa, &pb).unwrap()),
+            path_to_text(&merge_paths(&pb, &pa).unwrap())
+        );
+
+        // Associativity: (a+b)+c == a+(b+c), byte for byte — the aggregate
+        // is independent of the order requests arrived in.
+        let left_e = merge_edges(&merge_edges(&ea, &eb).unwrap(), &ec).unwrap();
+        let right_e = merge_edges(&ea, &merge_edges(&eb, &ec).unwrap()).unwrap();
+        prop_assert_eq!(edge_to_text(&left_e), edge_to_text(&right_e));
+        let left_p = merge_paths(&merge_paths(&pa, &pb).unwrap(), &pc).unwrap();
+        let right_p = merge_paths(&pa, &merge_paths(&pb, &pc).unwrap()).unwrap();
+        prop_assert_eq!(path_to_text(&left_p), path_to_text(&right_p));
+    }
+
+    #[test]
+    fn merged_profiles_answer_queries_with_summed_counts(seed in 0u64..100_000) {
+        let program = gen_program(seed, GenConfig::default());
+        let (edge, path) = collect_both(&program, &[], 15);
+        let edge2 = merge_edges(&edge, &edge).unwrap();
+        let path2 = merge_paths(&path, &path).unwrap();
+        for (pid, proc) in program.iter_procs() {
+            for (b, _) in proc.iter_blocks() {
+                prop_assert_eq!(edge2.block_freq(pid, b), 2 * edge.block_freq(pid, b));
+            }
+            for (window, _) in path.iter_maximal_windows(pid) {
+                prop_assert_eq!(path2.freq(pid, &window), 2 * path.freq(pid, &window));
+            }
+        }
+        // The merge result also survives the text round trip exactly.
+        assert_round_trip(&program, &edge2, &path2);
+    }
+}
