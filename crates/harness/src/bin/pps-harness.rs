@@ -27,6 +27,7 @@
 use pps_core::GuardMode;
 use pps_harness::experiments::{run_experiment_jobs_config, EXPERIMENTS};
 use pps_harness::loadgen::{self, LoadgenConfig};
+use pps_harness::top::{self, TopConfig};
 use pps_harness::pool::default_jobs;
 use pps_harness::runner::RunConfig;
 use pps_obs::{Level, Obs, ObsConfig};
@@ -40,6 +41,7 @@ fn usage() -> ! {
          \x20                  [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
          \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade] [--jobs N]\n\
          \x20      pps-harness loadgen --addr HOST:PORT [options]  (see `loadgen --help`)\n\
+         \x20      pps-harness top --addr HOST:PORT [options]      (see `top --help`)\n\
          experiments: {}\n\
          modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
          \x20      degrade = fall back to basic-block scheduling per failed procedure (default)\n\
@@ -206,10 +208,72 @@ fn loadgen_main(args: &[String]) -> ExitCode {
     }
 }
 
+fn top_usage() -> ! {
+    eprintln!(
+        "usage: pps-harness top --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
+         \x20                      [--watch-json]\n\
+         Live dashboard for a pps-serve daemon started with --telemetry-addr:\n\
+         polls /metrics (validated Prometheus exposition; rps from counter\n\
+         deltas) and /health (windowed rates + latency quantiles) every\n\
+         interval. --watch-json emits one machine-readable JSON line per poll\n\
+         (schema pps-top v1) instead of repainting; --iterations N exits after\n\
+         N polls (useful for scripts and CI)."
+    );
+    std::process::exit(2);
+}
+
+/// `pps-harness top ...`: exit 0 only while every poll scrapes cleanly.
+fn top_main(args: &[String]) -> ExitCode {
+    let mut config = TopConfig::default();
+    let mut addr_set = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => {
+                config.addr = it.next().unwrap_or_else(|| top_usage()).clone();
+                addr_set = true;
+            }
+            "--interval-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| top_usage());
+                config.interval = std::time::Duration::from_millis(ms);
+            }
+            "--iterations" => {
+                config.iterations = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| top_usage()),
+                );
+            }
+            "--watch-json" => config.json = true,
+            "--help" | "-h" => top_usage(),
+            _ => top_usage(),
+        }
+    }
+    if !addr_set {
+        top_usage();
+    }
+    let mut stdout = std::io::stdout();
+    match top::run(&config, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[top error] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("loadgen") {
         return loadgen_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return top_main(&args[1..]);
     }
     let mut experiment: Option<String> = None;
     let mut scale = Scale::paper();

@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod loadgen;
 pub mod report;
+pub mod top;
 
 // The scoped-thread pool was promoted to `pps_core::pool` (the serve daemon
 // shares it) and the per-cell runner to `pps_serve::runner`; both keep their

@@ -19,6 +19,7 @@
 //! retried is reported in the JSON summary.
 
 use pps_ir::ProcId;
+use pps_obs::quantile::percentile_sorted;
 use pps_obs::{Level, Obs};
 use pps_profile::path::PathProfile;
 use pps_profile::serialize::{path_from_text, path_to_text};
@@ -562,11 +563,14 @@ fn drive(
 
 fn latency_ms(us: &mut [u64]) -> LatencyMs {
     us.sort_unstable();
+    // Microsecond samples, reported in milliseconds; the nearest-rank
+    // quantile itself is the shared `pps_obs::quantile` helper (the same
+    // convention the bucketed histograms estimate against).
     LatencyMs {
-        p50: percentile(us, 0.50),
-        p95: percentile(us, 0.95),
-        p99: percentile(us, 0.99),
-        max: percentile(us, 1.0),
+        p50: percentile_sorted(us, 0.50) / 1e3,
+        p95: percentile_sorted(us, 0.95) / 1e3,
+        p99: percentile_sorted(us, 0.99) / 1e3,
+        max: percentile_sorted(us, 1.0) / 1e3,
     }
 }
 
@@ -689,14 +693,6 @@ fn drift_phase(
     stats.max_generation = last.max_generation;
     stats.in_flight_final = last.in_flight_recompiles;
     Ok((stats, start.elapsed()))
-}
-
-fn percentile(sorted_us: &[u64], q: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
-    sorted_us[idx] as f64 / 1000.0
 }
 
 /// Runs the load phase (plus optional probes and shutdown) against a
@@ -907,11 +903,13 @@ mod tests {
 
     #[test]
     fn percentiles_interpolate_sanely() {
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert!((percentile(&us, 0.50) - 50.0).abs() < 1.5);
-        assert!((percentile(&us, 0.95) - 95.0).abs() < 1.5);
-        assert!((percentile(&us, 1.0) - 100.0).abs() < 0.01);
+        let mut empty: [u64; 0] = [];
+        assert_eq!(latency_ms(&mut empty).p50, 0.0);
+        let mut us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        let lat = latency_ms(&mut us);
+        assert!((lat.p50 - 50.0).abs() < 1.5);
+        assert!((lat.p95 - 95.0).abs() < 1.5);
+        assert!((lat.max - 100.0).abs() < 0.01);
     }
 
     #[test]

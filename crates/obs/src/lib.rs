@@ -30,12 +30,16 @@
 //! registry; the pipeline is single-threaded per run, so contention is
 //! nil, and events are only serialized at export time.
 
+pub mod expo;
 pub mod json;
 pub mod metrics;
+pub mod quantile;
 pub mod trace;
+pub mod window;
 
 pub use metrics::{Histogram, MetricKey, MetricsRegistry};
 pub use trace::{ArgValue, TraceEvent};
+pub use window::{Clock, ManualClock, SystemClock, WindowedRegistry};
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};

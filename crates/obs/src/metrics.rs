@@ -29,7 +29,37 @@ impl MetricKey {
     }
 }
 
-/// Streaming summary of one histogram series.
+/// Finite log-scaled bucket upper bounds; one overflow bucket follows.
+///
+/// Bound `i` is `0.001 * 2^i` — from 1µs-scale up to ~3.4e7 — so one
+/// bucket layout serves latencies in milliseconds, queue depths, and slot
+/// occupancies alike. The bounds are exact binary multiples of the same
+/// base, so bucketing is deterministic across platforms.
+pub const FINITE_BUCKETS: usize = 36;
+
+/// Total bucket count: the finite bounds plus the overflow (`+Inf`) bucket.
+pub const BUCKET_COUNT: usize = FINITE_BUCKETS + 1;
+
+/// Upper bound of finite bucket `i` (callers never index past
+/// [`FINITE_BUCKETS`]; the last bucket's bound is `+Inf`).
+pub fn bucket_bound(i: usize) -> f64 {
+    debug_assert!(i < FINITE_BUCKETS);
+    0.001 * (1u64 << i) as f64
+}
+
+/// Index of the bucket a sample falls into (values at a bound go into
+/// that bound's bucket; anything above the last finite bound overflows).
+pub fn bucket_index(value: f64) -> usize {
+    for i in 0..FINITE_BUCKETS {
+        if value <= bucket_bound(i) {
+            return i;
+        }
+    }
+    FINITE_BUCKETS
+}
+
+/// Streaming summary of one histogram series: count/sum/min/max plus
+/// log-scaled bucket counts for quantile estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Histogram {
     /// Samples recorded.
@@ -40,14 +70,18 @@ pub struct Histogram {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Per-bucket sample counts (non-cumulative); see [`bucket_bound`].
+    pub buckets: [u64; BUCKET_COUNT],
 }
 
 impl Histogram {
-    fn record(&mut self, value: f64) {
+    /// Records one sample into the summary and its bucket.
+    pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
     }
 
     /// Mean of the recorded samples (0 when empty).
@@ -59,21 +93,78 @@ impl Histogram {
         }
     }
 
-    /// Folds another series' summary into this one. Merging is commutative
-    /// except for `sum`, whose float additions are order-sensitive —
-    /// callers wanting reproducible output must merge in a deterministic
-    /// order.
+    /// Smallest sample, or 0 when empty — never the `INFINITY` sentinel
+    /// the accumulator starts from (which must not leak into exports).
+    pub fn min_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty (see [`Histogram::min_or_zero`]).
+    pub fn max_or_zero(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) from the bucket counts by
+    /// linear interpolation inside the target bucket, clamped to the
+    /// observed `[min, max]`. Uses the same nearest-rank convention as
+    /// [`crate::quantile::percentile_sorted`], so the estimate lands in
+    /// the same bucket as the exact sorted-sample quantile — i.e. within
+    /// one bucket width of it. 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64 + 1;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                let lo = if i == 0 { 0.0 } else { bucket_bound(i - 1) };
+                let hi = if i < FINITE_BUCKETS { bucket_bound(i).min(self.max) } else { self.max };
+                let frac = (rank - (cum - c)) as f64 / c as f64;
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another series' summary into this one. Bucket counts add, so
+    /// merging is commutative except for `sum`, whose float additions are
+    /// order-sensitive — callers wanting reproducible output must merge in
+    /// a deterministic order. Merging an empty series is a no-op on
+    /// min/max (the empty sentinel never propagates a finite change).
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
     }
 }
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKET_COUNT],
+        }
     }
 }
 
@@ -145,9 +236,15 @@ impl MetricsRegistry {
     ///   "version": 1,
     ///   "counters":   [{"name": "...", "labels": {...}, "value": 1}],
     ///   "histograms": [{"name": "...", "labels": {...},
-    ///                   "count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}]
+    ///                   "count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0,
+    ///                   "p50": 2.0, "p90": 2.0, "p95": 2.0, "p99": 2.0}]
     /// }
     /// ```
+    ///
+    /// The quantile fields are bucket estimates ([`Histogram::quantile`]);
+    /// they were added in-place (no version bump — the schema only grows
+    /// additively). Count-0 series export `min`/`max`/quantiles as 0, never
+    /// the internal infinity sentinels.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(128 + self.len() * 96);
         out.push_str("{\"schema\":\"pps-metrics\",\"version\":1,\n\"counters\":[");
@@ -171,12 +268,17 @@ impl MetricsRegistry {
             json::escape_into(&mut out, &key.name);
             write_labels(&mut out, &key.labels);
             out.push_str(&format!(
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
                 h.count,
                 json::number(h.sum),
-                json::number(if h.count == 0 { 0.0 } else { h.min }),
-                json::number(if h.count == 0 { 0.0 } else { h.max }),
+                json::number(h.min_or_zero()),
+                json::number(h.max_or_zero()),
                 json::number(h.mean()),
+                json::number(h.quantile(0.50)),
+                json::number(h.quantile(0.90)),
+                json::number(h.quantile(0.95)),
+                json::number(h.quantile(0.99)),
             ));
         }
         out.push_str("\n]}\n");
@@ -250,5 +352,89 @@ mod tests {
         let doc = parse(&MetricsRegistry::default().to_json()).unwrap();
         assert!(doc.get("counters").unwrap().as_arr().unwrap().is_empty());
         assert!(doc.get("histograms").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    /// Regression: a count-0 series (fresh, or the merge of empty series)
+    /// must never leak the `INFINITY`/`NEG_INFINITY` accumulator sentinels
+    /// into the JSON export — every numeric field is 0 and the document
+    /// still parses.
+    #[test]
+    fn empty_and_empty_merged_series_serialize_finite() {
+        let mut r = MetricsRegistry::default();
+        // Force a count-0 series into the registry, then merge two empty
+        // registries' worth of the same key on top of it.
+        r.histograms.insert(MetricKey::new("h", &[]), Histogram::default());
+        let mut other = MetricsRegistry::default();
+        other.histograms.insert(MetricKey::new("h", &[]), Histogram::default());
+        r.merge(&other);
+        let (_, h) = r.histograms().next().unwrap();
+        assert_eq!(h.count, 0);
+        assert!(h.min.is_infinite() && h.max.is_infinite(), "sentinels intact internally");
+        let json = r.to_json();
+        assert!(!json.contains("inf") && !json.contains("Inf"), "sentinel leaked: {json}");
+        let doc = parse(&json).expect("count-0 series export parses");
+        let hs = doc.get("histograms").unwrap().as_arr().unwrap();
+        for field in ["min", "max", "mean", "p50", "p90", "p95", "p99"] {
+            assert_eq!(hs[0].get(field).unwrap().as_num(), Some(0.0), "field {field}");
+        }
+    }
+
+    /// Regression: merging an empty series into a populated one must not
+    /// disturb min/max, and the other direction must adopt them.
+    #[test]
+    fn merge_with_empty_preserves_min_max() {
+        let mut full = Histogram::default();
+        full.record(2.0);
+        full.record(6.0);
+        let empty = Histogram::default();
+        let mut a = full;
+        a.merge(&empty);
+        assert_eq!((a.count, a.min, a.max), (2, 2.0, 6.0));
+        let mut b = empty;
+        b.merge(&full);
+        assert_eq!((b.count, b.min, b.max), (2, 2.0, 6.0));
+        assert_eq!(b.buckets, full.buckets);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover() {
+        for i in 1..FINITE_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0, "negatives fall into the first bucket");
+        assert_eq!(bucket_index(bucket_bound(7)), 7, "bounds are inclusive");
+        assert_eq!(bucket_index(f64::MAX), FINITE_BUCKETS, "overflow bucket");
+    }
+
+    #[test]
+    fn quantiles_estimate_within_a_bucket() {
+        let mut h = Histogram::default();
+        for i in 1..=1000u64 {
+            h.record(i as f64); // 1..=1000, uniform
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0), (1.0, 1000.0)] {
+            let est = h.quantile(q);
+            let idx = bucket_index(exact);
+            let width = if idx == 0 {
+                bucket_bound(0)
+            } else if idx < FINITE_BUCKETS {
+                bucket_bound(idx) - bucket_bound(idx - 1)
+            } else {
+                h.max - bucket_bound(FINITE_BUCKETS - 1)
+            };
+            assert!(
+                (est - exact).abs() <= width,
+                "q={q}: estimate {est} vs exact {exact} (bucket width {width})"
+            );
+        }
+        // Quantiles never leave the observed range.
+        assert!(h.quantile(0.0) >= 1.0 && h.quantile(1.0) <= 1000.0);
+        // Single-sample histogram: every quantile is that sample.
+        let mut one = Histogram::default();
+        one.record(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42.0);
+        }
     }
 }

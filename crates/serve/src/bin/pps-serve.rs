@@ -3,6 +3,8 @@
 //! ```text
 //! pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--port-file FILE] [--metrics-out FILE] [--log-level LEVEL]
+//!           [--telemetry-addr HOST:PORT] [--telemetry-port-file FILE]
+//!           [--access-log FILE]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:0` — an ephemeral port), prints
@@ -11,11 +13,17 @@
 //! SIGTERM/SIGINT or an in-band `Shutdown` request, draining accepted work
 //! before exiting. `--metrics-out` writes the `serve.*` request counters
 //! and latency/queue-depth histograms as JSON on exit.
+//!
+//! `--telemetry-addr` starts the live-telemetry HTTP listener
+//! (`/metrics`, `/health`, `/trace` — see README §Live telemetry);
+//! `--access-log` writes one JSON line per reply. Either flag switches the
+//! telemetry layer on; replies stay byte-identical either way.
 
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_serve::pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
-use pps_serve::server::{serve, Handler, ServeConfig};
+use pps_serve::server::{serve_with_telemetry, Handler, ServeConfig};
 use pps_serve::service::PipelineHandler;
+use pps_serve::telemetry::{Telemetry, TelemetryConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::atomic::AtomicBool;
@@ -26,10 +34,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
          \x20               [--port-file FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
+         \x20               [--telemetry-addr HOST:PORT] [--telemetry-port-file FILE]\n\
+         \x20               [--access-log FILE]\n\
          \x20               [--pgo on|off] [--pgo-interval-ms N] [--pgo-min-samples N]\n\
          \x20               [--pgo-enter X] [--pgo-exit X] [--pgo-cooldown-ms N]\n\
          \x20               [--pgo-budget N] [--pgo-top-k N] [--pgo-fault none|panic|corrupt]\n\
          Serves Profile/Compile/RunCell requests over the PPSF framed protocol.\n\
+         --telemetry-addr exposes /metrics (Prometheus text), /health (JSON),\n\
+         and /trace (tail-sampled spans) over HTTP; --access-log writes one\n\
+         JSON line per reply. Replies are byte-identical with telemetry on.\n\
          With --pgo on (default), live profiles are aggregated, drifted units\n\
          are recompiled in the background, and verified rebuilds hot-swap in\n\
          atomically (see README \u{a7}Continuous PGO).\n\
@@ -45,6 +58,9 @@ fn main() -> ExitCode {
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut telemetry_addr: Option<String> = None;
+    let mut telemetry_port_file: Option<String> = None;
+    let mut access_log: Option<String> = None;
     let mut level = Level::Info;
     let mut pgo_enabled = true;
     let mut pgo = PgoConfig::default();
@@ -113,6 +129,13 @@ fn main() -> ExitCode {
             }
             "--port-file" => port_file = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--metrics-out" => metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--telemetry-addr" => {
+                telemetry_addr = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--telemetry-port-file" => {
+                telemetry_port_file = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--access-log" => access_log = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--log-level" => {
                 level = Level::parse(it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| usage());
             }
@@ -121,10 +144,13 @@ fn main() -> ExitCode {
         }
     }
 
+    let telemetry_on = telemetry_addr.is_some() || access_log.is_some();
     let obs = Obs::recording(ObsConfig {
         level,
         trace: false,
-        metrics: metrics_out.is_some(),
+        // /metrics scrapes the cumulative registry, so telemetry needs it
+        // recording even without --metrics-out.
+        metrics: metrics_out.is_some() || telemetry_on,
     });
 
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -163,6 +189,36 @@ fn main() -> ExitCode {
         }
     }
 
+    let telemetry = if telemetry_on {
+        let tconfig = TelemetryConfig { access_log: access_log.clone(), ..TelemetryConfig::default() };
+        match Telemetry::new(telemetry_addr.as_deref(), tconfig) {
+            Ok(t) => Some(Arc::new(t)),
+            Err(e) => {
+                eprintln!("[pps-serve error] telemetry: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    if let Some(t) = &telemetry {
+        if let Some(scrape) = t.http_addr() {
+            println!("pps-serve telemetry on {scrape}");
+            if let Some(path) = &telemetry_port_file {
+                let tmp = format!("{path}.tmp.{}", std::process::id());
+                let write = std::fs::write(&tmp, format!("{scrape}\n"))
+                    .and_then(|()| std::fs::rename(&tmp, path));
+                if let Err(e) = write {
+                    eprintln!("[pps-serve error] telemetry port file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if let Some(path) = &access_log {
+            obs.log(Level::Info, || format!("access log: {path}"));
+        }
+    }
+
     // With PGO on, the handler feeds every request's profiles into the
     // aggregator and a background sweeper recompiles drifted units; with
     // it off the plain pipeline handler serves identically-shaped replies.
@@ -181,7 +237,14 @@ fn main() -> ExitCode {
         (Box::new(PipelineHandler), None)
     };
 
-    let stats = match serve(listener, &config, handler.as_ref(), &obs, &shutdown) {
+    let stats = match serve_with_telemetry(
+        listener,
+        &config,
+        handler.as_ref(),
+        &obs,
+        &shutdown,
+        telemetry.as_deref(),
+    ) {
         Ok(stats) => stats,
         Err(e) => {
             eprintln!("[pps-serve error] serve: {e}");
@@ -200,6 +263,15 @@ fn main() -> ExitCode {
             stats.connections, stats.requests, stats.busy, stats.frame_errors
         )
     });
+    if let Some(t) = &telemetry {
+        obs.log(Level::Info, || {
+            format!(
+                "telemetry: {} access-log lines, {} traces sampled",
+                t.access_log_lines(),
+                t.traces_sampled()
+            )
+        });
+    }
     if let Some(path) = &metrics_out {
         match obs.write_metrics(path) {
             Ok(_) => obs.log(Level::Info, || format!("metrics written to {path}")),

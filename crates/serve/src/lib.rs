@@ -19,7 +19,10 @@
 //!   so replies are byte-comparable against in-process runs;
 //! - [`runner`] — one benchmark × scheme measurement end to end, shared
 //!   with (and re-exported by) `pps-harness`;
-//! - [`signal`] — SIGTERM/SIGINT → shutdown flag (Unix).
+//! - [`signal`] — SIGTERM/SIGINT → shutdown flag (Unix);
+//! - [`telemetry`] — the live-observability layer: rolling-window
+//!   metrics, a `/metrics` / `/health` / `/trace` scrape listener, a
+//!   JSON-lines access log, and tail-sampled request traces.
 //!
 //! The `pps-serve` binary wires these together; see README §Serving.
 
@@ -31,10 +34,12 @@ pub mod runner;
 pub mod server;
 pub mod service;
 pub mod signal;
+pub mod telemetry;
 
 pub use client::{Client, ClientError};
 pub use pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
 pub use proto::{Envelope, ErrorKind, HealthSnapshot, ProfileText, Request, Response};
 pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
-pub use server::{serve, Handler, ServeConfig, ServerHandle, ServerStats};
+pub use server::{serve, serve_with_telemetry, Handler, ServeConfig, ServerHandle, ServerStats};
 pub use service::{execute, execute_with, parse_scheme, PipelineHandler, ProfileSink};
+pub use telemetry::{RequestRecord, Telemetry, TelemetryConfig};

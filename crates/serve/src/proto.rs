@@ -12,10 +12,16 @@ use std::fmt;
 
 /// Protocol minor version, reported in the [`HealthSnapshot`] so clients
 /// can detect feature level in-band. Minor 1 added the health snapshot
-/// itself (the `Pong` reply was previously empty). The frame-layer major
-/// version (`frame::VERSION`) is unchanged — old clients still frame and
-/// route replies correctly, they just carry more payload.
-pub const PROTO_MINOR: u32 = 1;
+/// itself (the `Pong` reply was previously empty); minor 2 appended the
+/// telemetry fields (`telemetry_enabled`, `access_log_lines`,
+/// `traces_sampled`). The `Pong` payload is versioned by its own leading
+/// `proto_minor` field: encoders emit exactly the fields their declared
+/// minor defines, and decoders read fields up to `min(declared, ours)`,
+/// defaulting the rest and skipping unknown trailing bytes from newer
+/// servers. The frame-layer major version (`frame::VERSION`) is unchanged
+/// — old clients still frame and route replies correctly, they just carry
+/// more payload.
+pub const PROTO_MINOR: u32 = 2;
 
 /// A payload-decoding failure with the byte offset where it happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +179,12 @@ impl ErrorKind {
         })
     }
 
+    /// Stable numeric code (also the wire byte). Access-log `retcode`s
+    /// for errors are `10 + code()`.
+    pub fn code(self) -> u8 {
+        self.to_u8()
+    }
+
     /// Stable lowercase tag for metrics labels.
     pub fn name(&self) -> &'static str {
         match self {
@@ -232,6 +244,13 @@ pub struct HealthSnapshot {
     pub rollbacks: u64,
     /// Recompiles running right now (must be 0 after a clean drain).
     pub in_flight_recompiles: u32,
+    /// Whether the live-telemetry layer (scrape endpoint / access log /
+    /// tail sampler) is active. Protocol minor 2.
+    pub telemetry_enabled: bool,
+    /// Access-log lines written so far. Protocol minor 2.
+    pub access_log_lines: u64,
+    /// Span trees retained by the tail sampler so far. Protocol minor 2.
+    pub traces_sampled: u64,
 }
 
 /// One service reply.
@@ -282,6 +301,20 @@ impl Response {
             Response::Busy => "busy",
             Response::ShuttingDown => "shutting-down",
             Response::Error { kind, .. } => kind.name(),
+        }
+    }
+
+    /// Numeric outcome for access logs: 0 ok, 1 busy, 2 shutting-down,
+    /// `10 + ErrorKind::code()` for structured errors.
+    pub fn retcode(&self) -> u32 {
+        match self {
+            Response::Pong { .. }
+            | Response::Profile { .. }
+            | Response::Compile { .. }
+            | Response::RunCell { .. } => 0,
+            Response::Busy => 1,
+            Response::ShuttingDown => 2,
+            Response::Error { kind, .. } => 10 + u32::from(kind.code()),
         }
     }
 }
@@ -359,6 +392,15 @@ impl<'a> Cursor<'a> {
             Ok(s) => Ok(s.to_string()),
             Err(_) => Err(ProtoError { offset: start, message: "invalid UTF-8".into() }),
         }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes whatever is left (fields from a newer protocol minor).
+    fn skip_rest(&mut self) {
+        self.pos = self.buf.len();
     }
 
     fn done(&self) -> Result<(), ProtoError> {
@@ -473,21 +515,31 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     match resp {
         Response::Pong { health } => {
             buf.push(RESP_PONG);
-            put_u32(&mut buf, health.proto_minor);
-            put_u32(&mut buf, health.queue_depth);
-            put_u32(&mut buf, health.queue_capacity);
-            put_u32(&mut buf, health.workers);
-            put_u64(&mut buf, health.connections);
-            put_u64(&mut buf, health.requests);
-            buf.push(u8::from(health.pgo_enabled));
-            put_u64(&mut buf, health.profiles_merged);
-            put_u32(&mut buf, health.units);
-            put_u64(&mut buf, health.max_generation);
-            put_u32(&mut buf, health.drifted_units);
-            put_u64(&mut buf, health.recompiles);
-            put_u64(&mut buf, health.swaps);
-            put_u64(&mut buf, health.rollbacks);
-            put_u32(&mut buf, health.in_flight_recompiles);
+            // The Pong payload is versioned by its declared minor: a
+            // minor-0 Pong is the bare tag, minor 1 added the snapshot,
+            // minor 2 appended the telemetry fields.
+            if health.proto_minor >= 1 {
+                put_u32(&mut buf, health.proto_minor);
+                put_u32(&mut buf, health.queue_depth);
+                put_u32(&mut buf, health.queue_capacity);
+                put_u32(&mut buf, health.workers);
+                put_u64(&mut buf, health.connections);
+                put_u64(&mut buf, health.requests);
+                buf.push(u8::from(health.pgo_enabled));
+                put_u64(&mut buf, health.profiles_merged);
+                put_u32(&mut buf, health.units);
+                put_u64(&mut buf, health.max_generation);
+                put_u32(&mut buf, health.drifted_units);
+                put_u64(&mut buf, health.recompiles);
+                put_u64(&mut buf, health.swaps);
+                put_u64(&mut buf, health.rollbacks);
+                put_u32(&mut buf, health.in_flight_recompiles);
+            }
+            if health.proto_minor >= 2 {
+                buf.push(u8::from(health.telemetry_enabled));
+                put_u64(&mut buf, health.access_log_lines);
+                put_u64(&mut buf, health.traces_sampled);
+            }
         }
         Response::Profile { edge, path } => {
             buf.push(RESP_PROFILE);
@@ -521,25 +573,38 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut c = Cursor::new(payload);
     let tag = c.u8()?;
     let resp = match tag {
-        RESP_PONG => Response::Pong {
-            health: HealthSnapshot {
-                proto_minor: c.u32()?,
-                queue_depth: c.u32()?,
-                queue_capacity: c.u32()?,
-                workers: c.u32()?,
-                connections: c.u64()?,
-                requests: c.u64()?,
-                pgo_enabled: c.bool()?,
-                profiles_merged: c.u64()?,
-                units: c.u32()?,
-                max_generation: c.u64()?,
-                drifted_units: c.u32()?,
-                recompiles: c.u64()?,
-                swaps: c.u64()?,
-                rollbacks: c.u64()?,
-                in_flight_recompiles: c.u32()?,
-            },
-        },
+        RESP_PONG => {
+            // Tolerant by minor: a bare tag is a minor-0 Pong; fields a
+            // newer server appended past our minor are skipped; fields our
+            // minor defines but an older server omitted stay defaulted.
+            let mut health = HealthSnapshot::default();
+            if c.remaining() > 0 {
+                health.proto_minor = c.u32()?;
+                health.queue_depth = c.u32()?;
+                health.queue_capacity = c.u32()?;
+                health.workers = c.u32()?;
+                health.connections = c.u64()?;
+                health.requests = c.u64()?;
+                health.pgo_enabled = c.bool()?;
+                health.profiles_merged = c.u64()?;
+                health.units = c.u32()?;
+                health.max_generation = c.u64()?;
+                health.drifted_units = c.u32()?;
+                health.recompiles = c.u64()?;
+                health.swaps = c.u64()?;
+                health.rollbacks = c.u64()?;
+                health.in_flight_recompiles = c.u32()?;
+            }
+            if health.proto_minor >= 2 {
+                health.telemetry_enabled = c.bool()?;
+                health.access_log_lines = c.u64()?;
+                health.traces_sampled = c.u64()?;
+            }
+            if health.proto_minor > PROTO_MINOR {
+                c.skip_rest();
+            }
+            Response::Pong { health }
+        }
         RESP_PROFILE => Response::Profile { edge: c.string()?, path: c.string()? },
         RESP_COMPILE => Response::Compile { report: c.string()? },
         RESP_RUNCELL => Response::RunCell { metrics_json: c.string()? },
@@ -626,6 +691,9 @@ mod tests {
                     swaps: 9,
                     rollbacks: 2,
                     in_flight_recompiles: 1,
+                    telemetry_enabled: true,
+                    access_log_lines: 4321,
+                    traces_sampled: 12,
                 },
             },
             Response::Profile { edge: "e".into(), path: "p".into() },
@@ -665,7 +733,101 @@ mod tests {
         for v in 0..=8u8 {
             let k = ErrorKind::from_u8(v).unwrap();
             assert_eq!(k.to_u8(), v);
+            assert_eq!(k.code(), v);
         }
         assert!(ErrorKind::from_u8(9).is_none());
+    }
+
+    #[test]
+    fn retcodes_are_stable() {
+        assert_eq!(Response::Pong { health: HealthSnapshot::default() }.retcode(), 0);
+        assert_eq!(Response::Compile { report: String::new() }.retcode(), 0);
+        assert_eq!(Response::Busy.retcode(), 1);
+        assert_eq!(Response::ShuttingDown.retcode(), 2);
+        let err = Response::Error { kind: ErrorKind::DeadlineExceeded, message: String::new() };
+        assert_eq!(err.retcode(), 10 + u32::from(ErrorKind::DeadlineExceeded.code()));
+    }
+
+    fn minor2_snapshot() -> HealthSnapshot {
+        HealthSnapshot {
+            proto_minor: 2,
+            queue_depth: 1,
+            queue_capacity: 64,
+            workers: 4,
+            connections: 10,
+            requests: 100,
+            pgo_enabled: true,
+            profiles_merged: 7,
+            units: 3,
+            max_generation: 2,
+            drifted_units: 1,
+            recompiles: 5,
+            swaps: 4,
+            rollbacks: 1,
+            in_flight_recompiles: 0,
+            telemetry_enabled: true,
+            access_log_lines: 99,
+            traces_sampled: 3,
+        }
+    }
+
+    #[test]
+    fn minor0_pong_is_the_bare_tag_and_round_trips() {
+        // A minor-0 writer sent an empty Pong payload; we must still
+        // produce and accept exactly that shape.
+        let payload = encode_response(&Response::Pong { health: HealthSnapshot::default() });
+        assert_eq!(payload, vec![RESP_PONG]);
+        let decoded = decode_response(&payload).unwrap();
+        assert_eq!(decoded, Response::Pong { health: HealthSnapshot::default() });
+    }
+
+    #[test]
+    fn minor1_payload_decodes_with_telemetry_fields_defaulted() {
+        // A minor-1 server omits the minor-2 fields entirely; a minor-2
+        // client reads the rest and leaves them at their defaults.
+        let health = HealthSnapshot { proto_minor: 1, ..minor2_snapshot() };
+        let payload = encode_response(&Response::Pong { health });
+        let Response::Pong { health: decoded } = decode_response(&payload).unwrap() else {
+            panic!("not a Pong");
+        };
+        assert_eq!(decoded.requests, 100);
+        assert_eq!(decoded.swaps, 4);
+        assert!(!decoded.telemetry_enabled);
+        assert_eq!(decoded.access_log_lines, 0);
+        assert_eq!(decoded.traces_sampled, 0);
+    }
+
+    #[test]
+    fn minor2_telemetry_fields_round_trip() {
+        let resp = Response::Pong { health: minor2_snapshot() };
+        let decoded = decode_response(&encode_response(&resp)).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn future_minor_pong_skips_unknown_trailing_fields() {
+        // Simulate a minor-3 server: declare minor 3 and append bytes a
+        // minor-2 client has never heard of. Decode must read what it
+        // knows and ignore the rest rather than erroring on trailing data.
+        let mut payload =
+            encode_response(&Response::Pong { health: minor2_snapshot() });
+        payload[1..5].copy_from_slice(&3u32.to_be_bytes());
+        payload.extend_from_slice(&[0xAB; 13]);
+        let Response::Pong { health } = decode_response(&payload).unwrap() else {
+            panic!("not a Pong");
+        };
+        assert_eq!(health.proto_minor, 3);
+        assert_eq!(health.access_log_lines, 99);
+        assert_eq!(health.traces_sampled, 3);
+    }
+
+    #[test]
+    fn declared_minor2_without_its_fields_is_malformed() {
+        let health = HealthSnapshot { proto_minor: 1, ..minor2_snapshot() };
+        let mut payload = encode_response(&Response::Pong { health });
+        // Claim minor 2 but ship a minor-1 body: truncated at the
+        // telemetry fields, and the decoder must say so.
+        payload[1..5].copy_from_slice(&2u32.to_be_bytes());
+        assert!(decode_response(&payload).is_err());
     }
 }

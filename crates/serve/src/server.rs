@@ -25,8 +25,9 @@ use crate::proto::{
     decode_request, encode_response, Envelope, ErrorKind, HealthSnapshot, Request, Response,
     PROTO_MINOR,
 };
+use crate::telemetry::{self, RequestRecord, Telemetry};
 use pps_core::pool::{BoundedQueue, PushError};
-use pps_obs::Obs;
+use pps_obs::{Level, Obs, ObsConfig};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -112,7 +113,25 @@ impl AtomicStats {
 struct Job {
     env: Envelope,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    /// Capture a per-request span tree for the tail sampler.
+    want_trace: bool,
+    reply: mpsc::Sender<Finished>,
+}
+
+/// What a worker hands back to the connection thread: the reply plus the
+/// timing split and any captured span tree, so the access log can report
+/// queue-wait vs service time without re-deriving them.
+struct Finished {
+    resp: Response,
+    queue_wait_ms: f64,
+    service_ms: f64,
+    trace_json: Option<String>,
+}
+
+impl Finished {
+    fn inline(resp: Response) -> Finished {
+        Finished { resp, queue_wait_ms: 0.0, service_ms: 0.0, trace_json: None }
+    }
 }
 
 /// Runs the server on the calling thread until `shutdown` becomes true,
@@ -128,12 +147,46 @@ pub fn serve(
     obs: &Obs,
     shutdown: &AtomicBool,
 ) -> io::Result<ServerStats> {
+    serve_with_telemetry(listener, config, handler, obs, shutdown, None)
+}
+
+/// [`serve`], optionally with the live-telemetry layer attached: every
+/// reply is observed (windows, access log, tail sampler) and, when the
+/// [`Telemetry`] owns an HTTP listener, a scrape thread serves
+/// `/metrics`, `/health`, and `/trace` inside the same drain scope.
+///
+/// Reply bytes are identical with and without telemetry — the layer is
+/// strictly observational.
+///
+/// # Errors
+/// Only listener setup errors; per-connection failures are absorbed into
+/// the stats.
+pub fn serve_with_telemetry(
+    listener: TcpListener,
+    config: &ServeConfig,
+    handler: &dyn Handler,
+    obs: &Obs,
+    shutdown: &AtomicBool,
+    telemetry: Option<&Telemetry>,
+) -> io::Result<ServerStats> {
     listener.set_nonblocking(true)?;
     let queue: BoundedQueue<Job> = BoundedQueue::new(config.queue_capacity);
     let stats = AtomicStats::default();
     let active_conns = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
+        if let Some(t) = telemetry {
+            if let Some(http) = t.take_http_listener() {
+                let queue = &queue;
+                let stats = &stats;
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let health = || build_health(queue, config, stats, handler, Some(t));
+                    telemetry::http_loop(http, t, &obs, &health, shutdown, config.poll);
+                });
+            }
+        }
+
         for w in 0..config.workers.max(1) {
             let queue = &queue;
             let obs = obs.clone();
@@ -154,7 +207,9 @@ pub fn serve(
                     let config = config.clone();
                     let obs = obs.clone();
                     scope.spawn(move || {
-                        let r = conn_loop(stream, &config, queue, handler, shutdown, stats, &obs);
+                        let r = conn_loop(
+                            stream, &config, queue, handler, shutdown, stats, &obs, telemetry,
+                        );
                         if let Err(e) = r {
                             obs.log(pps_obs::Level::Debug, || {
                                 format!("connection {peer}: {e}")
@@ -179,6 +234,9 @@ pub fn serve(
         queue.close();
     });
 
+    if let Some(t) = telemetry {
+        t.flush();
+    }
     Ok(stats.snapshot())
 }
 
@@ -207,6 +265,34 @@ impl ServerHandle {
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::spawn(move || {
             serve(listener, &config, handler.as_ref(), &obs, &flag)
+        });
+        Ok(ServerHandle { addr: local, shutdown, thread })
+    }
+
+    /// [`ServerHandle::spawn`] with the live-telemetry layer attached.
+    ///
+    /// # Errors
+    /// Bind/local-addr failures.
+    pub fn spawn_with_telemetry(
+        addr: &str,
+        config: ServeConfig,
+        handler: Arc<dyn Handler>,
+        obs: Obs,
+        telemetry: Arc<Telemetry>,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            serve_with_telemetry(
+                listener,
+                &config,
+                handler.as_ref(),
+                &obs,
+                &flag,
+                Some(&telemetry),
+            )
         });
         Ok(ServerHandle { addr: local, shutdown, thread })
     }
@@ -262,11 +348,65 @@ fn read_first(stream: &mut TcpStream) -> First {
     }
 }
 
-fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
-    frame::write_frame(stream, &encode_response(resp))
+/// Server-built part of the health snapshot, enriched by the handler
+/// (the PGO tier fills in its counters). Shared by the inline `Ping`
+/// path and the telemetry HTTP thread, so `/health` and `Pong` agree.
+fn build_health(
+    queue: &BoundedQueue<Job>,
+    config: &ServeConfig,
+    stats: &AtomicStats,
+    handler: &dyn Handler,
+    telemetry: Option<&Telemetry>,
+) -> HealthSnapshot {
+    let base = HealthSnapshot {
+        proto_minor: PROTO_MINOR,
+        queue_depth: queue.len() as u32,
+        queue_capacity: config.queue_capacity as u32,
+        workers: config.workers as u32,
+        connections: stats.connections.load(Ordering::Relaxed),
+        requests: stats.requests.load(Ordering::Relaxed),
+        telemetry_enabled: telemetry.is_some(),
+        access_log_lines: telemetry.map_or(0, Telemetry::access_log_lines),
+        traces_sampled: telemetry.map_or(0, Telemetry::traces_sampled),
+        ..HealthSnapshot::default()
+    };
+    handler.health(base)
+}
+
+/// Encodes and writes one reply, recording it into the cumulative
+/// metrics and (when attached) the telemetry layer. The reply bytes are
+/// computed before any observation, so telemetry can never perturb them.
+#[allow(clippy::too_many_arguments)]
+fn emit_reply(
+    stream: &mut TcpStream,
+    obs: &Obs,
+    stats: &AtomicStats,
+    telemetry: Option<&Telemetry>,
+    trace_id: u64,
+    kind: &str,
+    started: Instant,
+    fin: Finished,
+) -> io::Result<()> {
+    let payload = encode_response(&fin.resp);
+    record(obs, stats, kind, fin.resp.outcome_name(), started);
+    if let Some(t) = telemetry {
+        t.observe(&RequestRecord {
+            trace_id,
+            kind,
+            outcome: fin.resp.outcome_name(),
+            retcode: fin.resp.retcode(),
+            queue_wait_ms: fin.queue_wait_ms,
+            service_ms: fin.service_ms,
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            bytes: payload.len() as u64,
+            trace_json: fin.trace_json,
+        });
+    }
+    frame::write_frame(stream, &payload)
 }
 
 /// Serves one connection until EOF, shutdown, or a poisoned stream.
+#[allow(clippy::too_many_arguments)]
 fn conn_loop(
     mut stream: TcpStream,
     config: &ServeConfig,
@@ -275,6 +415,7 @@ fn conn_loop(
     shutdown: &AtomicBool,
     stats: &AtomicStats,
     obs: &Obs,
+    telemetry: Option<&Telemetry>,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_nonblocking(false)?;
@@ -296,18 +437,21 @@ fn conn_loop(
         // arrive in full, so a stalled peer cannot pin the thread forever.
         stream.set_read_timeout(Some(config.frame_timeout))?;
         let started = Instant::now();
+        let trace_id = telemetry.map_or(0, Telemetry::next_trace_id);
         let payload = match frame::read_frame_after(first, &mut stream) {
             Ok(p) => p,
             Err(e) => {
                 // The stream offset can no longer be trusted: send one
                 // structured error, then close.
                 stats.frame_errors.fetch_add(1, Ordering::Relaxed);
-                record(obs, stats, "frame", "bad-frame", started);
                 let resp = Response::Error {
                     kind: ErrorKind::BadFrame,
                     message: frame_error_message(&e),
                 };
-                let _ = write_response(&mut stream, &resp);
+                let _ = emit_reply(
+                    &mut stream, obs, stats, telemetry, trace_id, "frame", started,
+                    Finished::inline(resp),
+                );
                 return Ok(());
             }
         };
@@ -317,55 +461,54 @@ fn conn_loop(
             Err(e) => {
                 // Frame boundaries held, so the connection survives a
                 // malformed payload.
-                record(obs, stats, "payload", "bad-request", started);
-                write_response(
-                    &mut stream,
-                    &Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() },
+                let resp =
+                    Response::Error { kind: ErrorKind::BadRequest, message: e.to_string() };
+                emit_reply(
+                    &mut stream, obs, stats, telemetry, trace_id, "payload", started,
+                    Finished::inline(resp),
                 )?;
                 continue;
             }
         };
 
         let kind = env.request.kind_name();
-        let resp = match env.request {
-            Request::Ping => {
-                let base = HealthSnapshot {
-                    proto_minor: PROTO_MINOR,
-                    queue_depth: queue.len() as u32,
-                    queue_capacity: config.queue_capacity as u32,
-                    workers: config.workers as u32,
-                    connections: stats.connections.load(Ordering::Relaxed),
-                    requests: stats.requests.load(Ordering::Relaxed),
-                    ..HealthSnapshot::default()
-                };
-                Response::Pong { health: handler.health(base) }
-            }
+        let fin = match env.request {
+            Request::Ping => Finished::inline(Response::Pong {
+                health: build_health(queue, config, stats, handler, telemetry),
+            }),
             Request::Shutdown => {
                 shutdown.store(true, Ordering::SeqCst);
-                Response::ShuttingDown
+                Finished::inline(Response::ShuttingDown)
             }
             _ => {
                 let (tx, rx) = mpsc::channel();
                 let depth = queue.len();
-                match queue.try_push(Job { env, enqueued: started, reply: tx }) {
+                let job = Job {
+                    env,
+                    enqueued: started,
+                    want_trace: telemetry.is_some(),
+                    reply: tx,
+                };
+                match queue.try_push(job) {
                     Ok(()) => {
                         obs.histogram("serve.queue_depth", depth as f64);
-                        rx.recv().unwrap_or(Response::Error {
-                            kind: ErrorKind::Internal,
-                            message: "worker dropped the request".into(),
+                        rx.recv().unwrap_or_else(|_| {
+                            Finished::inline(Response::Error {
+                                kind: ErrorKind::Internal,
+                                message: "worker dropped the request".into(),
+                            })
                         })
                     }
                     Err(PushError::Full(_)) => {
                         stats.busy.fetch_add(1, Ordering::Relaxed);
-                        Response::Busy
+                        Finished::inline(Response::Busy)
                     }
-                    Err(PushError::Closed(_)) => Response::ShuttingDown,
+                    Err(PushError::Closed(_)) => Finished::inline(Response::ShuttingDown),
                 }
             }
         };
 
-        record(obs, stats, kind, resp.outcome_name(), started);
-        write_response(&mut stream, &resp)?;
+        emit_reply(&mut stream, obs, stats, telemetry, trace_id, kind, started, fin)?;
     }
 }
 
@@ -389,31 +532,62 @@ fn record(obs: &Obs, stats: &AtomicStats, kind: &str, outcome: &str, started: In
 fn worker_loop(index: usize, queue: &BoundedQueue<Job>, handler: &dyn Handler, obs: &Obs) {
     while let Some(job) = queue.pop() {
         let waited = job.enqueued.elapsed();
+        let queue_wait_ms = waited.as_secs_f64() * 1e3;
         let deadline = job.env.deadline_ms;
         let request = &job.env.request;
-        let resp = if deadline > 0 && waited > Duration::from_millis(u64::from(deadline)) {
-            Response::Error {
+        let fin = if deadline > 0 && waited > Duration::from_millis(u64::from(deadline)) {
+            let resp = Response::Error {
                 kind: ErrorKind::DeadlineExceeded,
                 message: format!(
                     "request waited {:.1}ms in queue, deadline {deadline}ms",
                     waited.as_secs_f64() * 1e3
                 ),
-            }
+            };
+            Finished { resp, queue_wait_ms, service_ms: 0.0, trace_json: None }
         } else {
-            let span = obs
-                .span("serve.request")
-                .arg("type", request.kind_name())
-                .arg("worker", index as u64);
-            let r = catch_unwind(AssertUnwindSafe(|| handler.handle(request, obs)))
-                .unwrap_or_else(|_| Response::Error {
-                    kind: ErrorKind::Internal,
-                    message: "handler panicked".into(),
-                });
-            drop(span);
-            r
+            let service_started = Instant::now();
+            let (resp, trace_json) = if job.want_trace {
+                // Record this request's spans into a fork so the tail
+                // sampler can keep the tree; metrics recorded there are
+                // absorbed back, so cumulative series are unchanged and
+                // the reply bytes never depend on telemetry.
+                let req_obs =
+                    Obs::recording(ObsConfig { level: Level::Off, trace: true, metrics: true });
+                let span = req_obs
+                    .span("serve.request")
+                    .arg("type", request.kind_name())
+                    .arg("worker", index as u64);
+                let r = catch_unwind(AssertUnwindSafe(|| handler.handle(request, &req_obs)))
+                    .unwrap_or_else(|_| Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "handler panicked".into(),
+                    });
+                drop(span);
+                let trace_json = req_obs.export_trace_json();
+                obs.absorb(&req_obs);
+                (r, trace_json)
+            } else {
+                let span = obs
+                    .span("serve.request")
+                    .arg("type", request.kind_name())
+                    .arg("worker", index as u64);
+                let r = catch_unwind(AssertUnwindSafe(|| handler.handle(request, obs)))
+                    .unwrap_or_else(|_| Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "handler panicked".into(),
+                    });
+                drop(span);
+                (r, None)
+            };
+            Finished {
+                resp,
+                queue_wait_ms,
+                service_ms: service_started.elapsed().as_secs_f64() * 1e3,
+                trace_json,
+            }
         };
         // The connection thread may have died; its channel being gone is
         // not the worker's problem.
-        let _ = job.reply.send(resp);
+        let _ = job.reply.send(fin);
     }
 }
