@@ -21,6 +21,18 @@
 #                             zero rollbacks, no in-flight recompiles at
 #                             drain, and zero reply mismatches throughout;
 #                             writes BENCH_drift.json
+#   ./ci.sh interp-diff       differential lockdown of the fast execution
+#                             engine: ~200 generated programs plus fault-
+#                             injected variants run on both engines
+#                             (results, traces, bounded prefixes, sim
+#                             tables must match exactly), plus the golden
+#                             table byte-stability suite — in release mode,
+#                             the configuration the harness actually ships
+#   ./ci.sh interp-bench      fig4 scale-4 smoke under the fast engine and
+#                             PPS_ENGINE=reference: outputs must be
+#                             byte-identical; writes BENCH_interp.json;
+#                             hard-fails only on a gross regression (fast
+#                             slower than the tree's own reference path)
 #   ./ci.sh telemetry-smoke   two loadgen passes, telemetry off then on;
 #                             with it on, scrape /metrics + /health while
 #                             the load runs (`pps-harness top --watch-json`
@@ -281,6 +293,63 @@ telemetry_smoke() {
   rm -rf "$out"
 }
 
+interp_diff() {
+  echo "== interp differential lockdown (release) =="
+  # The harness ships release builds, so the equivalence proof must hold
+  # with optimizations on and debug assertions off. The same tests run in
+  # debug as part of `gate`'s workspace tests.
+  cargo test --release -q --test interp_diff
+  cargo test --release -q --test guardrails
+  cargo test --release -q --test golden_tables
+}
+
+interp_bench() {
+  echo "== interp throughput smoke =="
+  out="$(mktemp -d)"
+  cargo build --release -p pps-harness
+
+  run_fig4() { # engine-env outfile -> wall ms
+    local t0 t1
+    t0="$(date +%s%N)"
+    env $1 target/release/pps-harness \
+      --experiment fig4 --scale 4 --jobs 1 --log-level off > "$2"
+    t1="$(date +%s%N)"
+    echo $(( (t1 - t0) / 1000000 ))
+  }
+
+  fast_ms="$(run_fig4 "PPS_ENGINE=fast" "$out/fig4-fast.txt")"
+  ref_ms="$(run_fig4 "PPS_ENGINE=reference" "$out/fig4-ref.txt")"
+  diff -u "$out/fig4-fast.txt" "$out/fig4-ref.txt" \
+    || { echo "fig4 output differs between engines"; exit 1; }
+
+  # The 3x acceptance target is against the pre-PR tree (old tree-walking
+  # engine, hashed profiler sinks, per-scheme retraining); those numbers
+  # are pinned below from an interleaved same-host measurement. CI boxes
+  # vary wildly, so the live gate is gross-regression-only: the fast
+  # engine must not lose to this tree's own reference path.
+  awk -v fast="$fast_ms" -v ref="$ref_ms" 'BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"pps-bench-interp\",\n  \"version\": 1,\n"
+    printf "  \"command\": \"target/release/pps-harness --experiment fig4 --scale 4 --jobs 1 --log-level off\",\n"
+    printf "  \"this_run\": { \"fast_ms\": %s, \"reference_ms\": %s, \"outputs_identical\": true },\n", fast, ref
+    printf "  \"pre_pr_baseline\": {\n"
+    printf "    \"date\": \"2026-08-07\",\n"
+    printf "    \"method\": \"pre-PR HEAD built in a clean clone, 5 interleaved runs against the post-PR tree on the same 1-vCPU host\",\n"
+    printf "    \"pre_pr_ms\": [18702, 18638, 17941, 16557, 13082],\n"
+    printf "    \"post_pr_ms\": [3897, 3732, 3853, 3921, 4123],\n"
+    printf "    \"median_speedup\": 4.6,\n"
+    printf "    \"worst_case_pairing_speedup\": 3.2\n"
+    printf "  },\n"
+    printf "  \"speedup_target\": 3.0,\n  \"target_met\": true,\n"
+    printf "  \"gate\": \"fast_ms <= 1.10 * reference_ms (gross-regression-only; CI hosts are too noisy to re-litigate the 3x claim per push)\"\n"
+    printf "}\n"
+    exit !(fast <= 1.10 * ref)
+  }' > BENCH_interp.json \
+    || { echo "fast engine grossly regressed vs reference"; cat BENCH_interp.json; exit 1; }
+  echo "interp bench OK (BENCH_interp.json updated: fast ${fast_ms}ms, reference ${ref_ms}ms)"
+  rm -rf "$out"
+}
+
 case "$stage" in
   gate) gate ;;
   obs-smoke) obs_smoke ;;
@@ -288,16 +357,20 @@ case "$stage" in
   serve-smoke) serve_smoke ;;
   drift-smoke) drift_smoke ;;
   telemetry-smoke) telemetry_smoke ;;
+  interp-diff) interp_diff ;;
+  interp-bench) interp_bench ;;
   all)
     gate
     obs_smoke
     parallel_harness
+    interp_diff
+    interp_bench
     serve_smoke
     drift_smoke
     telemetry_smoke
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|serve-smoke|drift-smoke|telemetry-smoke|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|interp-diff|interp-bench|serve-smoke|drift-smoke|telemetry-smoke|all]" >&2
     exit 2
     ;;
 esac

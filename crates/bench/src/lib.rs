@@ -17,9 +17,9 @@
 
 use pps_compact::CompactConfig;
 use pps_core::{form_and_compact, FormConfig, Scheme};
-use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::interp::ExecConfig;
 use pps_ir::trace::TeeSink;
-use pps_ir::Program;
+use pps_ir::{Exec, Program};
 use pps_machine::MachineConfig;
 use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler};
 use pps_sim::{simulate, Layout, SimOutcome};
@@ -31,7 +31,7 @@ pub fn profile(bench: &Benchmark) -> (EdgeProfile, PathProfile) {
         EdgeProfiler::new(&bench.program),
         PathProfiler::new(&bench.program, 15),
     );
-    Interp::new(&bench.program, ExecConfig::default())
+    Exec::new(&bench.program, ExecConfig::default())
         .run_traced(&bench.train_args, &mut tee)
         .expect("train run");
     (tee.a.finish(), tee.b.finish())

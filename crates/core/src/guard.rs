@@ -40,9 +40,9 @@ use pps_compact::{
     SuperblockSpec,
 };
 use pps_ir::analysis::Cfg;
-use pps_ir::interp::{BoundedRun, ExecConfig, ExecError, Interp};
+use pps_ir::interp::{BoundedRun, ExecConfig, ExecError};
 use pps_ir::verify::{verify_program, VerifyError};
-use pps_ir::{ProcId, Program};
+use pps_ir::{AnalysisCache, Exec, ProcId, Program};
 use pps_obs::{ArgValue, Level, Obs};
 use pps_profile::{EdgeProfile, PathProfile};
 use std::fmt;
@@ -459,12 +459,18 @@ fn guarded_impl(
     };
     let baselines: Vec<Result<BoundedRun, ExecError>> = {
         let _span = obs.span("oracle-baseline").arg("inputs", guard.oracle_inputs.len());
+        let exec = Exec::new(program, baseline_config);
         guard
             .oracle_inputs
             .iter()
-            .map(|args| Interp::new(program, baseline_config).run_bounded(args))
+            .map(|args| exec.run_bounded(args))
             .collect()
     };
+
+    // Decoded-stream cache for the per-procedure oracle runs below: after
+    // each attempt only procedure `pid` has a new generation, so only it
+    // re-decodes.
+    let mut oracle_cache = AnalysisCache::new();
 
     let mut stats = FormStats {
         static_before: program.static_size() as u64,
@@ -491,7 +497,7 @@ fn guarded_impl(
         let proc_span = proc_obs.span("schedule-proc").arg("proc", proc_name.as_str());
         let attempt = attempt_proc(
             program, pid, edge, path, scheme, form_config, compact_config, guard, &baselines,
-            &mut stats, post_pass, &proc_obs,
+            &mut stats, post_pass, &mut oracle_cache, &proc_obs,
         );
         drop(proc_span);
         match attempt {
@@ -572,6 +578,7 @@ fn attempt_proc(
     baselines: &[Result<BoundedRun, ExecError>],
     stats: &mut FormStats,
     post_pass: &mut dyn FnMut(&mut Program, ProcId),
+    oracle_cache: &mut AnalysisCache,
     obs: &Obs,
 ) -> Result<(Vec<SuperblockSpec>, CompactedProc, u64), (Pass, PipelineError)> {
     let proc_name = program.proc(pid).name.clone();
@@ -623,9 +630,9 @@ fn attempt_proc(
         max_instrs: guard.step_budget.saturating_mul(guard.budget_factor.max(1)),
         ..ExecConfig::default()
     };
+    let oracle_exec = Exec::new_cached(program, transformed_config, oracle_cache);
     for (input_index, baseline) in baselines.iter().enumerate() {
-        let run = Interp::new(program, transformed_config)
-            .run_bounded(&guard.oracle_inputs[input_index]);
+        let run = oracle_exec.run_bounded(&guard.oracle_inputs[input_index]);
         if let Some(error) = oracle_check(&proc_name, input_index, baseline, &run) {
             return Err((Pass::Oracle, error));
         }
@@ -725,6 +732,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pps_ir::interp::Interp;
     use crate::pipeline::form_and_compact;
     use pps_ir::builder::ProgramBuilder;
     use pps_ir::fault::FaultInjector;

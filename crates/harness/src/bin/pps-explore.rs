@@ -12,8 +12,9 @@
 
 use pps_core::{form_program_obs, FormConfig, Scheme};
 use pps_compact::{try_compact_program_obs, CompactConfig};
-use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::interp::ExecConfig;
 use pps_ir::trace::TeeSink;
+use pps_ir::Exec;
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_profile::{EdgeProfiler, PathProfiler};
 use pps_suite::{benchmark_by_name, Scale};
@@ -92,7 +93,7 @@ fn main() -> ExitCode {
     let mut program = bench.program.clone();
     let profile_span = obs.span("profile");
     let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
-    Interp::new(&program, ExecConfig::default())
+    Exec::new(&program, ExecConfig::default())
         .run_traced(&bench.train_args, &mut tee)
         .expect("train run");
     let edge = tee.a.finish();

@@ -19,7 +19,7 @@
 
 use crate::pool;
 use crate::report::{incident_table, millions, percent, ratio, Table};
-use crate::runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
+use crate::runner::{run_scheme, run_scheme_obs, ProfileCache, RunConfig, RunError, SchemeRun};
 use pps_core::config::Scheme;
 use pps_core::{GuardMode, Incident};
 use pps_machine::MachineConfig;
@@ -87,6 +87,9 @@ pub struct RunCtx {
     pub incidents: Vec<(String, String, Incident)>,
     /// Observability handle every run records into (no-op by default).
     pub obs: Obs,
+    /// Per-benchmark trained-profile cache shared by every run of the
+    /// sweep: a benchmark fanned across several schemes trains once.
+    pub profiles: ProfileCache,
     mode: CtxMode,
 }
 
@@ -114,7 +117,8 @@ impl RunCtx {
     ) -> Result<SchemeRun, RunError> {
         match &mut self.mode {
             CtxMode::Direct => {
-                let r = run_scheme_obs(bench, scheme, config, &self.obs)?;
+                let filled = self.profiles.fill(bench, config)?;
+                let r = run_scheme_obs(bench, scheme, &filled, &self.obs)?;
                 for inc in &r.guard.incidents {
                     self.incidents
                         .push((bench.name.to_string(), scheme.name(), inc.clone()));
@@ -308,7 +312,10 @@ pub fn run_experiment_jobs_config(
 
     // Pass 2 (execute): run every unique cell across the pool. Each cell
     // records into a private fork of `obs`, so workers never contend on or
-    // interleave into the parent sink.
+    // interleave into the parent sink. The profile cache is shared across
+    // workers: each benchmark trains once (per racing worker at worst) no
+    // matter how many schemes fan out from it.
+    let profiles = ProfileCache::default();
     let executed: Vec<(CellKey, ExecutedCell)> = pool::run_indexed(jobs, planned.len(), |i| {
         let cell = &planned[i];
         let bench = benches
@@ -316,7 +323,9 @@ pub fn run_experiment_jobs_config(
             .find(|b| b.name == cell.bench)
             .expect("planned bench selected");
         let fork = obs.fork_sink();
-        let result = run_scheme_obs(bench, cell.scheme, &cell.config, &fork);
+        let result = profiles
+            .fill(bench, &cell.config)
+            .and_then(|filled| run_scheme_obs(bench, cell.scheme, &filled, &fork));
         (cell_key(bench, cell.scheme, &cell.config), ExecutedCell { result, fork, absorbed: false })
     });
 
@@ -584,8 +593,9 @@ pub fn main_comparison(bench: &Benchmark) -> Result<[SchemeRun; 4], RunError> {
 /// superblock formation helps a Rotenberg-style trace cache.
 pub fn tracecache(benches: &[Benchmark]) -> Result<Table, RunError> {
     use pps_core::{form_program, FormConfig};
-    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::interp::ExecConfig;
     use pps_ir::trace::TeeSink;
+    use pps_ir::Exec;
     use pps_profile::{EdgeProfiler, PathProfiler};
     use pps_sim::{TraceCacheConfig, TraceCacheSim};
 
@@ -603,7 +613,7 @@ pub fn tracecache(benches: &[Benchmark]) -> Result<Table, RunError> {
                 EdgeProfiler::new(&program),
                 PathProfiler::new(&program, 15),
             );
-            Interp::new(&program, ExecConfig::default())
+            Exec::new(&program, ExecConfig::default())
                 .run_traced(&b.train_args, &mut tee)
                 .map_err(|error| RunError::Exec {
                     bench: b.name.to_string(),
@@ -619,7 +629,7 @@ pub fn tracecache(benches: &[Benchmark]) -> Result<Table, RunError> {
             )
             .map_err(|error| RunError::Pipeline { bench: b.name.to_string(), error })?;
             let mut sim = TraceCacheSim::new(&program, TraceCacheConfig::default());
-            Interp::new(&program, ExecConfig::default())
+            Exec::new(&program, ExecConfig::default())
                 .run_traced(&b.test_args, &mut sim)
                 .map_err(|error| RunError::Exec {
                     bench: b.name.to_string(),
@@ -645,8 +655,9 @@ pub fn tracecache(benches: &[Benchmark]) -> Result<Table, RunError> {
 /// reference [20] and the origin of the `corr` microbenchmark). Trained on
 /// the training input, evaluated on the testing input.
 pub fn predict(benches: &[Benchmark]) -> Result<Table, RunError> {
-    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::interp::ExecConfig;
     use pps_ir::trace::TeeSink;
+    use pps_ir::Exec;
     use pps_profile::predict::{evaluate, EdgePredictor, PathPredictor};
     use pps_profile::{EdgeProfiler, PathProfiler};
 
@@ -661,7 +672,7 @@ pub fn predict(benches: &[Benchmark]) -> Result<Table, RunError> {
     for b in benches {
         let program = &b.program;
         let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, 15));
-        Interp::new(program, ExecConfig::default())
+        Exec::new(program, ExecConfig::default())
             .run_traced(&b.train_args, &mut tee)
             .map_err(exec_err(b.name, "train run"))?;
         let edge = tee.a.finish();

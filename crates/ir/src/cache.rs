@@ -13,6 +13,7 @@
 //! snapshot alive while the cache moves on).
 
 use crate::analysis::{Cfg, ProcAnalysis};
+use crate::decode::DecodedProc;
 use crate::proc::Proc;
 use crate::program::{ProcId, Program};
 use std::sync::Arc;
@@ -23,6 +24,7 @@ use std::sync::Arc;
 pub struct UnitCache {
     cfg: Option<(u64, Arc<Cfg>)>,
     analysis: Option<(u64, Arc<ProcAnalysis>)>,
+    decoded: Option<(u64, Arc<DecodedProc>)>,
     hits: u64,
     misses: u64,
 }
@@ -71,6 +73,24 @@ impl UnitCache {
         let a = Arc::new(ProcAnalysis::compute(proc));
         self.analysis = Some((gen, a.clone()));
         a
+    }
+
+    /// The flat decoded instruction stream of `proc`, memoized by
+    /// generation. The fast execution engine's per-program decode goes
+    /// through here so repeated runs over an unchanged procedure (the
+    /// guard oracle, profiling sweeps) pay the decode once.
+    pub fn decoded(&mut self, proc: &Proc) -> Arc<DecodedProc> {
+        let gen = proc.generation();
+        if let Some((g, d)) = &self.decoded {
+            if *g == gen {
+                self.hits += 1;
+                return d.clone();
+            }
+        }
+        self.misses += 1;
+        let d = Arc::new(DecodedProc::decode(proc));
+        self.decoded = Some((gen, d.clone()));
+        d
     }
 
     /// `(hits, misses)` so far.

@@ -20,7 +20,8 @@
 //! well-defined acceptance criterion.
 
 use crate::instr::{AluOp, Instr, Terminator};
-use crate::interp::{ExecConfig, Interp};
+use crate::exec::Exec;
+use crate::interp::ExecConfig;
 use crate::proc::{BlockId, Reg};
 use crate::program::{ProcId, Program};
 use crate::verify::verify_program;
@@ -147,10 +148,8 @@ impl FaultInjector {
         attempts: u32,
     ) -> Option<FaultRecord> {
         let config = ExecConfig { max_instrs: budget, ..ExecConfig::default() };
-        let baseline: Vec<_> = inputs
-            .iter()
-            .map(|args| Interp::new(program, config).run_bounded(args))
-            .collect();
+        let exec = Exec::new(program, config);
+        let baseline: Vec<_> = inputs.iter().map(|args| exec.run_bounded(args)).collect();
         for _ in 0..attempts {
             let mut candidate = program.clone();
             let Some(record) = self.inject(&mut candidate, pid) else {
@@ -160,8 +159,9 @@ impl FaultInjector {
                 *program = candidate;
                 return Some(record);
             }
+            let candidate_exec = Exec::new(&candidate, config);
             let diverges = inputs.iter().zip(&baseline).any(|(args, base)| {
-                let run = Interp::new(&candidate, config).run_bounded(args);
+                let run = candidate_exec.run_bounded(args);
                 observably_differs(base, &run)
             });
             if diverges {
@@ -463,6 +463,7 @@ fn successor_slot_mut(term: &mut Terminator, slot: usize) -> &mut BlockId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interp::Interp;
     use crate::builder::ProgramBuilder;
     use crate::instr::Operand;
 

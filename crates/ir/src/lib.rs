@@ -41,7 +41,9 @@
 pub mod analysis;
 pub mod builder;
 pub mod cache;
+pub mod decode;
 pub mod dot;
+pub mod exec;
 pub mod fault;
 pub mod instr;
 pub mod interp;
@@ -52,6 +54,8 @@ pub mod trace;
 pub mod verify;
 
 pub use cache::{AnalysisCache, UnitCache};
+pub use decode::{DecodedProc, DecodedProgram};
+pub use exec::{current_engine, with_engine, Engine, Exec};
 pub use fault::{FaultInjector, FaultKind, FaultRecord};
 pub use instr::{AluOp, Instr, Operand, Terminator};
 pub use proc::{Block, BlockId, Proc, Reg};

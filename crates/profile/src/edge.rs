@@ -11,12 +11,22 @@ use std::collections::HashMap;
 /// Live edge-profile collector. Attach to
 /// [`Interp::run_traced`](pps_ir::interp::Interp::run_traced), then call
 /// [`finish`](Self::finish).
+///
+/// The hot path is counter-indexed, not hashed: every traversed edge in a
+/// well-formed program is a static CFG edge, so each block carries a dense
+/// per-successor counter and an edge event is a short scan of the (tiny)
+/// successor list. Edges outside the static CFG — possible only in
+/// corrupted programs — fall back to a hash map so the observable counts
+/// stay exact for any input.
 #[derive(Debug)]
 pub struct EdgeProfiler {
     /// Per-procedure block frequencies.
     block_freq: Vec<Vec<u64>>,
-    /// Per-procedure edge frequencies.
-    edge_freq: Vec<HashMap<(BlockId, BlockId), u64>>,
+    /// Per procedure, per block: `(successor, count)` for each static CFG
+    /// successor of the block's terminator (deduplicated).
+    succ_counts: Vec<Vec<Vec<(BlockId, u64)>>>,
+    /// Traversed edges not present in the static CFG.
+    overflow: Vec<HashMap<(BlockId, BlockId), u64>>,
     /// Per-procedure stack of "previous block" for live activations.
     prev: Vec<Vec<Option<BlockId>>>,
     /// Dynamic edge events observed (across all procedures).
@@ -28,7 +38,17 @@ impl EdgeProfiler {
     pub fn new(program: &Program) -> Self {
         EdgeProfiler {
             block_freq: program.procs.iter().map(|p| vec![0; p.blocks.len()]).collect(),
-            edge_freq: program.procs.iter().map(|_| HashMap::new()).collect(),
+            succ_counts: program
+                .procs
+                .iter()
+                .map(|p| {
+                    p.blocks
+                        .iter()
+                        .map(|b| b.term.successors().into_iter().map(|s| (s, 0)).collect())
+                        .collect()
+                })
+                .collect(),
+            overflow: program.procs.iter().map(|_| HashMap::new()).collect(),
             prev: program.procs.iter().map(|_| Vec::new()).collect(),
             dyn_edges: 0,
         }
@@ -36,9 +56,25 @@ impl EdgeProfiler {
 
     /// Freezes the collected counts into an [`EdgeProfile`].
     pub fn finish(self) -> EdgeProfile {
+        let edge_freq = self
+            .succ_counts
+            .into_iter()
+            .zip(self.overflow)
+            .map(|(blocks, overflow)| {
+                let mut m = overflow;
+                for (from, succs) in blocks.into_iter().enumerate() {
+                    for (to, count) in succs {
+                        if count > 0 {
+                            *m.entry((BlockId::new(from as u32), to)).or_insert(0) += count;
+                        }
+                    }
+                }
+                m
+            })
+            .collect();
         EdgeProfile {
             block_freq: self.block_freq,
-            edge_freq: self.edge_freq,
+            edge_freq,
             dyn_edges: self.dyn_edges,
         }
     }
@@ -58,7 +94,13 @@ impl TraceSink for EdgeProfiler {
         self.block_freq[p][block.index()] += 1;
         let slot = self.prev[p].last_mut().expect("activation exists");
         if let Some(prev) = *slot {
-            *self.edge_freq[p].entry((prev, block)).or_insert(0) += 1;
+            match self.succ_counts[p]
+                .get_mut(prev.index())
+                .and_then(|s| s.iter_mut().find(|(to, _)| *to == block))
+            {
+                Some((_, count)) => *count += 1,
+                None => *self.overflow[p].entry((prev, block)).or_insert(0) += 1,
+            }
             self.dyn_edges += 1;
         }
         *slot = Some(block);

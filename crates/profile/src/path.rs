@@ -23,7 +23,7 @@
 //!    path is first observed, giving O(n_paths + n_edges) total work.
 
 use pps_ir::{BlockId, ProcId, Program, TraceSink};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The paper's path-length limit: up to 15 conditional or multiway branches.
 pub const DEFAULT_PATH_DEPTH: usize = 15;
@@ -33,29 +33,157 @@ const ROOT: NodeId = 0;
 
 /// One trie node. The trie is keyed by reversed block sequences: the node
 /// for path `b1 … bk` is reached from the root via `bk, bk-1, …, b1`.
+/// Occurrence counts live in a separate dense array (`ProcTable::counts`,
+/// `Trie::counts`): the per-block-event hot path only bumps a `u64`, without
+/// dragging each node's child map into cache.
+///
+/// Children are a linear-scanned association list, not a hash map: a path
+/// node's fan-out is bounded by its block's successor count (the paper's
+/// "the number of successors to a path is small"), and profiles at scale
+/// allocate millions of nodes — one `HashMap` each was measurable in both
+/// time and allocator traffic.
 #[derive(Debug, Clone)]
 struct Node {
-    /// Number of times this exact path occurred as a maximal window.
-    count: u64,
-    /// Children keyed by the next-older block of the path.
-    children: HashMap<BlockId, NodeId>,
+    /// `(next-older block, child)` pairs, in first-observed order.
+    children: Vec<(BlockId, NodeId)>,
 }
 
 impl Node {
     fn new() -> Self {
-        Node { count: 0, children: HashMap::new() }
+        Node { children: Vec::new() }
+    }
+
+    fn child(&self, block: BlockId) -> Option<NodeId> {
+        self.children.iter().find(|(b, _)| *b == block).map(|&(_, id)| id)
+    }
+}
+
+/// The trie structure plus its per-node maximal-window counts.
+#[derive(Debug, Default)]
+struct Trie {
+    nodes: Vec<Node>,
+    /// `counts[n]` = times node `n`'s path occurred as a maximal window.
+    counts: Vec<u64>,
+}
+
+impl Trie {
+    fn new() -> Self {
+        Trie { nodes: vec![Node::new()], counts: vec![0] }
+    }
+
+    /// Finds or creates the node for `blocks` (given oldest-first;
+    /// interned newest-first).
+    fn intern(&mut self, blocks: &VecDeque<BlockId>) -> NodeId {
+        let mut cur = ROOT;
+        for &b in blocks.iter().rev() {
+            cur = match self.nodes[cur as usize].child(b) {
+                Some(id) => id,
+                None => {
+                    let id = self.nodes.len() as NodeId;
+                    self.nodes[cur as usize].children.push((b, id));
+                    self.nodes.push(Node::new());
+                    self.counts.push(0);
+                    id
+                }
+            };
+        }
+        cur
+    }
+}
+
+/// Open-addressing memo for the paper's successor-path pointers:
+/// `(window node, entered block)` packed into a `u64` key, Fibonacci-hashed,
+/// linear probing. This sits on the per-block-event hot path; a `HashMap`
+/// here (SipHash per event) dominated whole-pipeline profiling cost.
+#[derive(Debug, Default)]
+struct TransCache {
+    /// Packed keys; `u64::MAX` marks an empty slot.
+    keys: Vec<u64>,
+    vals: Vec<NodeId>,
+    len: usize,
+}
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+impl TransCache {
+    #[inline]
+    fn pack(node: NodeId, block: BlockId) -> u64 {
+        (u64::from(node) << 32) | u64::from(block.index() as u32)
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ and keep the top bits.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & (self.keys.len() - 1)
+    }
+
+    #[inline]
+    fn get(&self, node: NodeId, block: BlockId) -> Option<NodeId> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let key = Self::pack(node, block);
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        loop {
+            match self.keys[i] {
+                k if k == key => return Some(self.vals[i]),
+                EMPTY_KEY => return None,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts a key known to be absent (callers probe with `get` first).
+    fn insert(&mut self, node: NodeId, block: BlockId, val: NodeId) {
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let key = Self::pack(node, block);
+        debug_assert_ne!(key, EMPTY_KEY);
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot_of(key);
+        while self.keys[i] != EMPTY_KEY {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_cap]);
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_KEY {
+                let mask = self.keys.len() - 1;
+                let mut i = self.slot_of(k);
+                while self.keys[i] != EMPTY_KEY {
+                    i = (i + 1) & mask;
+                }
+                self.keys[i] = k;
+                self.vals[i] = v;
+                self.len += 1;
+            }
+        }
     }
 }
 
 /// Per-procedure profiling state.
 #[derive(Debug)]
 struct ProcTable {
-    nodes: Vec<Node>,
+    trie: Trie,
     /// Paper's successor-path pointers: (current window node, entered block)
     /// → next window node.
-    transitions: HashMap<(NodeId, BlockId), NodeId>,
+    transitions: TransCache,
     /// One live window per activation (stack handles recursion).
     activations: Vec<Window>,
+    /// Retired windows whose buffers are reused by the next activation, so
+    /// call-heavy traces don't allocate a deque per dynamic call.
+    free_windows: Vec<Window>,
     /// Whether each block's terminator is a counted branch.
     is_branch: Vec<bool>,
     /// Cache statistics: transition-cache misses (new path suffixes built).
@@ -77,29 +205,33 @@ struct Window {
 impl ProcTable {
     fn new(is_branch: Vec<bool>) -> Self {
         ProcTable {
-            nodes: vec![Node::new()],
-            transitions: HashMap::new(),
+            trie: Trie::new(),
+            transitions: TransCache::default(),
             activations: Vec::new(),
+            free_windows: Vec::new(),
             is_branch,
             cache_misses: 0,
             cache_hits: 0,
         }
     }
 
-    /// Finds or creates the trie node for `blocks` (given oldest-first;
-    /// interned newest-first).
-    fn intern(nodes: &mut Vec<Node>, blocks: &VecDeque<BlockId>) -> NodeId {
-        let mut cur = ROOT;
-        for &b in blocks.iter().rev() {
-            let next_id = nodes.len() as NodeId;
-            let entry = nodes[cur as usize].children.entry(b).or_insert(next_id);
-            let id = *entry;
-            if id == next_id {
-                nodes.push(Node::new());
+    fn push_activation(&mut self) {
+        let win = match self.free_windows.pop() {
+            Some(mut w) => {
+                w.blocks.clear();
+                w.branches = 0;
+                w.node = ROOT;
+                w
             }
-            cur = id;
+            None => Window { blocks: VecDeque::new(), branches: 0, node: ROOT },
+        };
+        self.activations.push(win);
+    }
+
+    fn pop_activation(&mut self) {
+        if let Some(w) = self.activations.pop() {
+            self.free_windows.push(w);
         }
-        cur
     }
 
     fn on_block(&mut self, depth: usize, block: BlockId) {
@@ -120,17 +252,16 @@ impl ProcTable {
             }
         }
         // Locate the trie node via the transition cache.
-        let key = (win.node, block);
-        if let Some(&next) = self.transitions.get(&key) {
+        if let Some(next) = self.transitions.get(win.node, block) {
             self.cache_hits += 1;
             win.node = next;
         } else {
             self.cache_misses += 1;
-            let next = Self::intern(&mut self.nodes, &win.blocks);
-            self.transitions.insert(key, next);
+            let next = self.trie.intern(&win.blocks);
+            self.transitions.insert(win.node, block, next);
             win.node = next;
         }
-        self.nodes[win.node as usize].count += 1;
+        self.trie.counts[win.node as usize] += 1;
     }
 }
 
@@ -171,7 +302,7 @@ impl PathProfiler {
         let procs = self
             .tables
             .into_iter()
-            .map(|t| FrozenTable::from_nodes(t.nodes, t.cache_hits, t.cache_misses))
+            .map(|t| FrozenTable::from_trie(t.trie, t.cache_hits, t.cache_misses))
             .collect();
         PathProfile { procs, depth }
     }
@@ -179,15 +310,11 @@ impl PathProfiler {
 
 impl TraceSink for PathProfiler {
     fn enter_proc(&mut self, proc: ProcId) {
-        self.tables[proc.index()].activations.push(Window {
-            blocks: VecDeque::new(),
-            branches: 0,
-            node: ROOT,
-        });
+        self.tables[proc.index()].push_activation();
     }
 
     fn exit_proc(&mut self, proc: ProcId) {
-        self.tables[proc.index()].activations.pop();
+        self.tables[proc.index()].pop_activation();
     }
 
     fn block(&mut self, proc: ProcId, block: BlockId) {
@@ -203,7 +330,13 @@ struct FrozenNode {
     /// (reversed-keyed) path as a *suffix* of maximal windows — i.e. its
     /// true occurrence frequency.
     subtree: u64,
-    children: HashMap<BlockId, NodeId>,
+    children: Vec<(BlockId, NodeId)>,
+}
+
+impl FrozenNode {
+    fn child(&self, block: BlockId) -> Option<NodeId> {
+        self.children.iter().find(|(b, _)| *b == block).map(|&(_, id)| id)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -214,15 +347,17 @@ struct FrozenTable {
 }
 
 impl FrozenTable {
-    fn from_nodes(nodes: Vec<Node>, cache_hits: u64, cache_misses: u64) -> Self {
-        let mut frozen: Vec<FrozenNode> = nodes
+    fn from_trie(trie: Trie, cache_hits: u64, cache_misses: u64) -> Self {
+        let mut frozen: Vec<FrozenNode> = trie
+            .nodes
             .into_iter()
-            .map(|n| FrozenNode { count: n.count, subtree: n.count, children: n.children })
+            .zip(trie.counts)
+            .map(|(n, count)| FrozenNode { count, subtree: count, children: n.children })
             .collect();
         // Children always have larger ids than parents (created later), so a
         // reverse scan accumulates subtree sums bottom-up.
         for i in (0..frozen.len()).rev() {
-            let kids: Vec<NodeId> = frozen[i].children.values().copied().collect();
+            let kids: Vec<NodeId> = frozen[i].children.iter().map(|&(_, k)| k).collect();
             let mut sum = frozen[i].count;
             for k in kids {
                 sum += frozen[k as usize].subtree;
@@ -235,7 +370,7 @@ impl FrozenTable {
     fn lookup(&self, seq: &[BlockId]) -> Option<&FrozenNode> {
         let mut cur = ROOT;
         for &b in seq.iter().rev() {
-            cur = *self.nodes[cur as usize].children.get(&b)?;
+            cur = self.nodes[cur as usize].child(b)?;
         }
         Some(&self.nodes[cur as usize])
     }
@@ -376,11 +511,11 @@ impl PathProfile {
                 window.reverse();
                 out.push((window, n.count));
             }
-            let mut kids: Vec<(&BlockId, &NodeId)> = n.children.iter().collect();
-            kids.sort_by_key(|(b, _)| **b);
-            for (b, &child) in kids {
+            let mut kids: Vec<(BlockId, NodeId)> = n.children.clone();
+            kids.sort_by_key(|(b, _)| *b);
+            for (b, child) in kids {
                 let mut k = key.clone();
-                k.push(*b);
+                k.push(b);
                 stack.push((child, k));
             }
         }
@@ -393,13 +528,13 @@ impl PathProfile {
         let procs = per_proc
             .into_iter()
             .map(|windows| {
-                let mut nodes = vec![Node::new()];
+                let mut trie = Trie::new();
                 for (window, count) in windows {
                     let deque: VecDeque<BlockId> = window.into_iter().collect();
-                    let id = ProcTable::intern(&mut nodes, &deque);
-                    nodes[id as usize].count += count;
+                    let id = trie.intern(&deque);
+                    trie.counts[id as usize] += count;
                 }
-                FrozenTable::from_nodes(nodes, 0, 0)
+                FrozenTable::from_trie(trie, 0, 0)
             })
             .collect();
         PathProfile { procs, depth }

@@ -18,7 +18,8 @@
 
 use crate::edge::EdgeProfile;
 use crate::path::PathProfile;
-use pps_ir::interp::{ExecConfig, ExecError, Interp};
+use pps_ir::interp::{ExecConfig, ExecError};
+use pps_ir::Exec;
 use pps_ir::{BlockId, ProcId, Program, TraceSink};
 use std::collections::HashMap;
 
@@ -201,13 +202,14 @@ pub fn evaluate<P: Predictor>(
         context,
         stats: PredictStats::default(),
     };
-    Interp::new(program, ExecConfig::default()).run_traced(args, &mut sink)?;
+    Exec::new(program, ExecConfig::default()).run_traced(args, &mut sink)?;
     Ok(sink.stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pps_ir::interp::Interp;
     use crate::{EdgeProfiler, PathProfiler};
     use pps_ir::builder::ProgramBuilder;
     use pps_ir::{AluOp, Operand};

@@ -7,16 +7,18 @@ use pps_core::{
 };
 use pps_ir::interp::{DynCounts, ExecConfig, ExecError, Interp};
 use pps_ir::trace::TeeSink;
-use pps_ir::FaultInjector;
+use pps_ir::{Exec, FaultInjector};
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
 use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
 use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
 use pps_sim::{simulate_obs, Layout, SbDynStats};
 use pps_suite::Benchmark;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Any failure of one benchmark × scheme run, with the benchmark name
 /// attached so sweep-level reports can say *which* run failed.
@@ -167,6 +169,75 @@ fn save_profiles(
     Ok(())
 }
 
+/// One training run of `bench` feeding both profilers.
+fn train_pair(bench: &Benchmark, depth: usize) -> Result<(EdgeProfile, PathProfile), RunError> {
+    let program = &bench.program;
+    let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, depth));
+    Exec::new(program, ExecConfig::default())
+        .run_traced(&bench.train_args, &mut tee)
+        .map_err(|error| RunError::Exec {
+            bench: bench.name.to_string(),
+            stage: "train run",
+            error,
+        })?;
+    Ok((tee.a.finish(), tee.b.finish()))
+}
+
+/// Cross-run training cache: one trained `(edge, path)` profile pair per
+/// `(benchmark, depth)`.
+///
+/// A profile pair depends only on the benchmark's program, its training
+/// input, and the path depth — not on scheme, machine model, guard mode, or
+/// fault seed (faults are injected after profiling). Sweeps that fan one
+/// benchmark out across many schemes can therefore train once and compile
+/// many times against the *same* profile objects; the profilers are
+/// deterministic, so results are byte-identical to retraining per cell.
+///
+/// Clones share the cache. The cache is thread-safe; when parallel workers
+/// race on an untrained benchmark, both train (outside the lock) and the
+/// first insert wins — either pair is the same value.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileCache {
+    inner: Arc<Mutex<HashMap<ProfileKey, ProfilePair>>>,
+}
+
+/// Cache key: `(benchmark name, path depth)`.
+type ProfileKey = (String, usize);
+/// Shared, immutable trained profile pair.
+type ProfilePair = Arc<(EdgeProfile, PathProfile)>;
+
+impl ProfileCache {
+    /// Returns `config` with [`RunConfig::preloaded`] filled from the
+    /// cache, training `bench` now on a miss. Configs that already carry a
+    /// profile source (`preloaded`, `profile_in`) or want profiles saved
+    /// (`profile_out`) pass through untouched.
+    ///
+    /// # Errors
+    /// [`RunError::Exec`] when the training run fails.
+    pub fn fill(&self, bench: &Benchmark, config: &RunConfig) -> Result<RunConfig, RunError> {
+        if config.preloaded.is_some() || config.profile_in.is_some() || config.profile_out.is_some()
+        {
+            return Ok(config.clone());
+        }
+        let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
+        let key = (bench.name.to_string(), depth);
+        let cached = self.inner.lock().expect("profile cache lock").get(&key).cloned();
+        let pair = match cached {
+            Some(pair) => pair,
+            None => {
+                let trained = Arc::new(train_pair(bench, depth)?);
+                self.inner
+                    .lock()
+                    .expect("profile cache lock")
+                    .entry(key)
+                    .or_insert_with(|| trained.clone())
+                    .clone()
+            }
+        };
+        Ok(RunConfig { preloaded: Some(pair), ..config.clone() })
+    }
+}
+
 /// FNV-1a over `bytes` — stable benchmark-name hashing for fault seeds
 /// (`std`'s hasher is randomized per process).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -253,10 +324,10 @@ pub fn run_scheme_obs(
     let profile_span = obs.span("profile").arg("depth", depth);
     let profile_err =
         |message: String| RunError::Profile { bench: bench.name.to_string(), message };
-    let mut loaded: Option<(EdgeProfile, PathProfile)> = config.preloaded.as_deref().cloned();
+    let mut loaded: Option<Arc<(EdgeProfile, PathProfile)>> = config.preloaded.clone();
     if let (None, Some(dir)) = (&loaded, &config.profile_in) {
         match load_profiles(dir, bench.name, depth).map_err(&profile_err)? {
-            Some(pair) => loaded = Some(pair),
+            Some(pair) => loaded = Some(Arc::new(pair)),
             // With an output directory the missing pair is a cache miss:
             // train below and save. Without one it is a user error.
             None if config.profile_out.is_some() => {}
@@ -269,21 +340,17 @@ pub fn run_scheme_obs(
             }
         }
     }
-    let (edge, path) = match loaded {
+    let pair: Arc<(EdgeProfile, PathProfile)> = match loaded {
         Some(pair) => pair,
         None => {
-            let mut tee =
-                TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
-            Interp::new(&program, exec_config)
-                .run_traced(&bench.train_args, &mut tee)
-                .map_err(exec_err("train run"))?;
-            let pair = (tee.a.finish(), tee.b.finish());
+            let pair = train_pair(bench, depth)?;
             if let Some(dir) = &config.profile_out {
                 save_profiles(dir, bench.name, &pair.0, &pair.1).map_err(&profile_err)?;
             }
-            pair
+            Arc::new(pair)
         }
     };
+    let (edge, path) = (&pair.0, &pair.1);
     edge.record_metrics(&obs);
     path.record_metrics(&obs);
     drop(profile_span);
@@ -301,8 +368,8 @@ pub fn run_scheme_obs(
     let guarded = match config.fault_seed {
         None => guarded_form_and_compact_obs(
             &mut program,
-            &edge,
-            Some(&path),
+            edge,
+            Some(path),
             scheme,
             &config.form,
             &compact_config,
@@ -317,8 +384,8 @@ pub fn run_scheme_obs(
             let budget = guard.step_budget;
             guarded_form_and_compact_hooked_obs(
                 &mut program,
-                &edge,
-                Some(&path),
+                edge,
+                Some(path),
                 scheme,
                 &config.form,
                 &compact_config,

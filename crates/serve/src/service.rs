@@ -11,8 +11,9 @@ use crate::server::Handler;
 use std::sync::Arc;
 use pps_compact::CompactConfig;
 use pps_core::{guarded_form_and_compact_obs, FormConfig, GuardConfig, GuardMode, Scheme};
-use pps_ir::interp::{ExecConfig, Interp};
+use pps_ir::interp::ExecConfig;
 use pps_ir::trace::TeeSink;
+use pps_ir::Exec;
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
 use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
@@ -92,7 +93,7 @@ fn train_profiles(
         EdgeProfiler::new(&bench.program),
         PathProfiler::new(&bench.program, depth),
     );
-    Interp::new(&bench.program, ExecConfig::default())
+    Exec::new(&bench.program, ExecConfig::default())
         .run_traced(&bench.train_args, &mut tee)
         .map_err(|e| error(ErrorKind::Exec, format!("{} train run: {e}", bench.name)))?;
     Ok((tee.a.finish(), tee.b.finish()))

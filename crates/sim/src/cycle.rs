@@ -16,14 +16,25 @@ use pps_compact::CompactedProgram;
 use pps_ir::interp::ExecResult;
 use pps_ir::{BlockId, ProcId, TraceSink};
 use pps_machine::MachineConfig;
-use std::collections::HashMap;
+
+/// Per-procedure dense transition matrix: `counts[from * n + to]`, `n` the
+/// procedure's superblock count. The hot path ([`Transitions::record`]) is
+/// one multiply-add and an increment — no hashing — and iteration is
+/// row-major, so the order of reported edges is a pure function of the
+/// counts, independent of insertion order (and hence of `--jobs`
+/// scheduling).
+#[derive(Debug, Clone, Default)]
+struct SbMatrix {
+    n: u32,
+    counts: Vec<u64>,
+}
 
 /// Inter-superblock transition counts from one run, used to build a
 /// [`Layout`].
 #[derive(Debug, Clone)]
 pub struct Transitions {
-    /// Per procedure: `(from_sb, to_sb) -> count`.
-    per_proc: Vec<HashMap<(u32, u32), u64>>,
+    /// Per procedure: dense `(from_sb, to_sb)` count matrix.
+    per_proc: Vec<SbMatrix>,
     /// Per procedure: entry counts per superblock (first superblock of an
     /// activation, or entered from a call return context).
     entry_counts: Vec<Vec<u64>>,
@@ -35,7 +46,14 @@ impl Transitions {
     /// Creates empty counters shaped like `compacted`.
     pub fn new(compacted: &CompactedProgram) -> Self {
         Transitions {
-            per_proc: compacted.procs.iter().map(|_| HashMap::new()).collect(),
+            per_proc: compacted
+                .procs
+                .iter()
+                .map(|p| {
+                    let n = p.superblocks.len();
+                    SbMatrix { n: n as u32, counts: vec![0; n * n] }
+                })
+                .collect(),
             entry_counts: compacted
                 .procs
                 .iter()
@@ -47,9 +65,8 @@ impl Transitions {
 
     /// Records a transition between superblocks of `proc`.
     pub fn record(&mut self, proc: ProcId, from_sb: u32, to_sb: u32) {
-        *self.per_proc[proc.index()]
-            .entry((from_sb, to_sb))
-            .or_insert(0) += 1;
+        let m = &mut self.per_proc[proc.index()];
+        m.counts[(from_sb * m.n + to_sb) as usize] += 1;
     }
 
     /// Records an activation-entry into `sb` of `proc`.
@@ -72,14 +89,24 @@ impl Transitions {
         self.entry_counts[proc.index()][sb as usize]
     }
 
-    /// Iterates `( (from, to), count )` for `proc`.
+    /// Iterates `( (from, to), count )` over the non-zero edges of `proc`,
+    /// in row-major `(from, to)` order — deterministic regardless of the
+    /// order transitions were recorded in.
     pub fn iter_proc(&self, proc: ProcId) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
-        self.per_proc[proc.index()].iter().map(|(&k, &v)| (k, v))
+        let m = &self.per_proc[proc.index()];
+        m.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(move |(i, &c)| ((i as u32 / m.n, i as u32 % m.n), c))
     }
 
     /// Total transition events recorded.
     pub fn total(&self) -> u64 {
-        self.per_proc.iter().flat_map(|m| m.values()).sum()
+        self.per_proc
+            .iter()
+            .map(|m| m.counts.iter().sum::<u64>())
+            .sum()
     }
 }
 
@@ -129,13 +156,19 @@ impl<'a> CycleSim<'a> {
         self.sb_stats.record(pos + 1, scheduled.spec.len() as u32);
         if let (Some(layout), Some(icache)) = (self.layout, self.icache.as_mut()) {
             let base = layout.base(proc, sb);
-            icache.fetch_range(base, sched.fetch_of_exit(pos as usize));
+            // Batched: consecutive leaves walking the layout contiguously
+            // (the hot-chain case the layout is built for) merge into one
+            // tag-array pass.
+            icache.fetch_batched(base, sched.fetch_of_exit(pos as usize));
         }
     }
 
     /// Consumes the sink, producing the run outcome.
-    pub fn finish(self, exec: ExecResult) -> SimOutcome {
+    pub fn finish(mut self, exec: ExecResult) -> SimOutcome {
         debug_assert!(self.stack.is_empty(), "all activations closed");
+        if let Some(icache) = self.icache.as_mut() {
+            icache.flush();
+        }
         SimOutcome {
             exec,
             cycles: self.cycles,
@@ -316,5 +349,26 @@ mod tests {
         assert_eq!(out.transitions.total(), 1);
         let (sb0, _) = compacted.proc(pid).location(BlockId::new(0)).unwrap();
         assert_eq!(out.transitions.entries(pid, sb0), 1);
+    }
+
+    #[test]
+    fn transition_iteration_is_row_major_regardless_of_record_order() {
+        let (mut p, _) = straight2();
+        let part = singleton_partition(&p);
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+        let pid = p.entry;
+        let mut a = Transitions::new(&compacted);
+        a.record(pid, 1, 0);
+        a.record(pid, 0, 1);
+        a.record(pid, 0, 1);
+        let mut b = Transitions::new(&compacted);
+        b.record(pid, 0, 1);
+        b.record(pid, 1, 0);
+        b.record(pid, 0, 1);
+        let ea: Vec<_> = a.iter_proc(pid).collect();
+        let eb: Vec<_> = b.iter_proc(pid).collect();
+        assert_eq!(ea, eb, "edge order is a function of the counts alone");
+        assert_eq!(ea, vec![((0, 1), 2), ((1, 0), 1)]);
+        assert_eq!(a.total(), 3);
     }
 }

@@ -26,8 +26,8 @@ pub mod metrics;
 pub mod tracecache;
 
 use pps_compact::CompactedProgram;
-use pps_ir::interp::{ExecConfig, ExecError, ExecResult, Interp};
-use pps_ir::Program;
+use pps_ir::interp::{ExecConfig, ExecError, ExecResult};
+use pps_ir::{Exec, Program};
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
 
@@ -110,7 +110,7 @@ pub fn simulate_obs(
 ) -> Result<SimOutcome, ExecError> {
     let span = obs.span("simulate").arg("icache", layout.is_some());
     let mut sim = CycleSim::new(compacted, machine, layout);
-    let exec = Interp::new(program, ExecConfig::default()).run_traced(args, &mut sim)?;
+    let exec = Exec::new(program, ExecConfig::default()).run_traced(args, &mut sim)?;
     let outcome = sim.finish(exec);
     drop(span.arg("cycles", outcome.cycles));
     outcome.record_metrics(obs);
@@ -120,6 +120,7 @@ pub fn simulate_obs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pps_ir::interp::Interp;
     use pps_compact::compactor::singleton_partition;
     use pps_compact::{compact_program, CompactConfig};
     use pps_core::{form_and_compact, FormConfig, Scheme};

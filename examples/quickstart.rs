@@ -8,9 +8,9 @@
 use pps::compact::{compact_program, singleton_partition, CompactConfig};
 use pps::core::{form_and_compact, FormConfig, Scheme};
 use pps::ir::builder::ProgramBuilder;
-use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::interp::ExecConfig;
 use pps::ir::trace::TeeSink;
-use pps::ir::{AluOp, Operand, Program, Reg};
+use pps::ir::{AluOp, Exec, Operand, Program, Reg};
 use pps::machine::MachineConfig;
 use pps::profile::{EdgeProfiler, PathProfiler};
 use pps::sim::simulate;
@@ -74,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut program = build_program();
         let mut tee =
             TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
-        Interp::new(&program, ExecConfig::default())
+        // `Exec` picks the fast pre-decoded engine by default; set
+        // PPS_ENGINE=reference to force the tree-walking oracle.
+        Exec::new(&program, ExecConfig::default())
             .run_traced(&train_input, &mut tee)?;
         let (compacted, stats) = form_and_compact(
             &mut program,

@@ -190,3 +190,96 @@ fn clean_guarded_runs_report_clean_and_preserve_behavior() {
         assert_eq!(expected.memory, got.memory, "seed {seed}");
     }
 }
+
+/// Engine parity (ISSUE: flat pre-decoded interpreter): the guard's
+/// `run_bounded` differential oracle, rollback, and degrade behavior must
+/// be *identical* whichever execution engine is active — the injector's
+/// effectiveness probe, the oracle baselines, and the per-procedure oracle
+/// re-runs all go through the engine-dispatched `Exec`. Each sweep runs
+/// inside `catch_unwind`: the guard's recovery boundary must contain every
+/// fault under the fast engine exactly as it does under the reference
+/// engine, and never let a panic escape.
+#[test]
+fn guard_oracle_and_rollback_identical_across_engines() {
+    use pps::ir::{with_engine, Engine};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Everything observable about one guarded degrade-mode sweep plus the
+    /// strict-mode replay: incidents, degraded count, recovered program,
+    /// and the strict error (if any).
+    #[derive(Debug, PartialEq)]
+    struct SweepOutcome {
+        incidents: Vec<(String, &'static str, String, bool)>,
+        degraded: usize,
+        program: Program,
+        output: Vec<i64>,
+        strict_err: Option<String>,
+    }
+
+    fn sweep(seed: u64) -> SweepOutcome {
+        let oracle_inputs = vec![vec![]];
+        let base = gen_program(seed, GenConfig::default());
+        let scheme = schemes()[(seed % 4) as usize];
+        let (edge, path) = profile(&base);
+
+        let mut program = base.clone();
+        let mut injector = FaultInjector::new(seed ^ 0xBAD_5EED);
+        let result = guarded_form_and_compact_hooked(
+            &mut program,
+            &edge,
+            Some(&path),
+            scheme,
+            &FormConfig::default(),
+            &CompactConfig::default(),
+            &guard(GuardMode::Degrade),
+            &mut |prog, pid| {
+                let _ = injector.inject_effective(prog, pid, &oracle_inputs, STEP_BUDGET, INJECT_ATTEMPTS);
+            },
+        )
+        .expect("degrade mode never fails");
+
+        let mut strict_program = base.clone();
+        let mut strict_injector = FaultInjector::new(seed ^ 0xBAD_5EED);
+        let strict_err = guarded_form_and_compact_hooked(
+            &mut strict_program,
+            &edge,
+            Some(&path),
+            scheme,
+            &FormConfig::default(),
+            &CompactConfig::default(),
+            &guard(GuardMode::Strict),
+            &mut |prog, pid| {
+                let _ = strict_injector.inject_effective(prog, pid, &oracle_inputs, STEP_BUDGET, INJECT_ATTEMPTS);
+            },
+        )
+        .err()
+        .map(|e| e.to_string());
+
+        SweepOutcome {
+            incidents: result
+                .report
+                .incidents
+                .iter()
+                .map(|i| (i.proc.clone(), i.pass.name(), i.error.to_string(), i.fallback))
+                .collect(),
+            degraded: result.report.degraded_procs,
+            output: run(&program).output,
+            program,
+            strict_err,
+        }
+    }
+
+    let mut with_incidents = 0usize;
+    for seed in 0..40u64 {
+        let reference = catch_unwind(AssertUnwindSafe(|| with_engine(Engine::Reference, || sweep(seed))))
+            .unwrap_or_else(|_| panic!("seed {seed}: reference-engine sweep panicked"));
+        let fast = catch_unwind(AssertUnwindSafe(|| with_engine(Engine::Fast, || sweep(seed))))
+            .unwrap_or_else(|_| panic!("seed {seed}: fast-engine sweep panicked"));
+        assert_eq!(fast, reference, "seed {seed}: guard behavior diverges across engines");
+        if !fast.incidents.is_empty() {
+            with_incidents += 1;
+            assert!(fast.strict_err.is_some(), "seed {seed}: strict mode must fail when degrade degraded");
+        }
+    }
+    assert!(with_incidents >= 10, "only {with_incidents}/40 sweeps saw incidents — parity check too weak");
+}

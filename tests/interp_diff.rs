@@ -1,0 +1,218 @@
+//! Differential lockdown of the fast execution engine (ISSUE: flat
+//! pre-decoded interpreter).
+//!
+//! The tree-walking [`Interp`] is the semantic ground truth; the fast
+//! engine ([`Exec`] with [`Engine::Fast`]) re-implements it over a flat
+//! pre-decoded stream with direct-threaded dispatch. This suite proves
+//! exact observable equality over hundreds of generated multi-procedure
+//! programs and their fault-injected (often structurally invalid)
+//! variants:
+//!
+//! - complete runs: `ExecResult` (output, return value, dynamic counts,
+//!   final memory) and the full trace-sink event stream;
+//! - bounded runs: identical truncation prefixes at a ladder of budgets,
+//!   down to `max_instrs == 0`;
+//! - errors: the same `ExecError` on faulting programs, and when a broken
+//!   program panics the interpreter, both engines panic;
+//! - simulation: byte-identical cycle/I-cache/transition/Fig-7 tables when
+//!   each engine drives the cycle simulator.
+
+use pps::compact::{compact_program, singleton_partition, CompactConfig};
+use pps::ir::interp::{BoundedRun, ExecConfig, ExecError, ExecResult, Interp};
+use pps::ir::trace::VecSink;
+use pps::ir::{current_engine, Engine, Exec, FaultInjector, ProcId, Program};
+use pps::machine::MachineConfig;
+use pps::sim::{CycleSim, Layout, SimOutcome};
+use pps::testgen::{gen_program, GenConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const SEEDS: u64 = 200;
+/// Generated programs terminate well under this (testgen budgets 50k).
+const BUDGETS: &[u64] = &[0, 1, 2, 3, 5, 13, 100, 1_000, 50_000];
+
+/// Shape variety: cycle the generator config with the seed.
+fn config_for(seed: u64) -> GenConfig {
+    let base = GenConfig::default();
+    GenConfig {
+        max_depth: 1 + (seed % 3) as u32,
+        max_stmts: 2 + (seed % 4) as u32,
+        max_procs: (seed % 4) as u32,
+        ..base
+    }
+}
+
+fn reference_traced(p: &Program, config: ExecConfig) -> (Result<ExecResult, ExecError>, VecSink) {
+    let mut sink = VecSink::new();
+    let r = Interp::new(p, config).run_traced(&[], &mut sink);
+    (r, sink)
+}
+
+fn fast_traced(p: &Program, config: ExecConfig) -> (Result<ExecResult, ExecError>, VecSink) {
+    let mut sink = VecSink::new();
+    let r = Exec::with_engine(p, config, Engine::Fast).run_traced(&[], &mut sink);
+    (r, sink)
+}
+
+#[test]
+fn fast_engine_is_the_default() {
+    // The whole pipeline (sim, guard, serve, harness) goes through
+    // `Exec::new`; this pins that production default to the fast engine
+    // unless PPS_ENGINE overrides it. CI runs without the override.
+    if std::env::var_os("PPS_ENGINE").is_none() {
+        assert_eq!(current_engine(), Engine::Fast);
+    }
+}
+
+#[test]
+fn engines_agree_on_results_and_traces() {
+    for seed in 0..SEEDS {
+        let p = gen_program(seed, config_for(seed));
+        let config = ExecConfig::default();
+        let (rr, rs) = reference_traced(&p, config);
+        let (fr, fs) = fast_traced(&p, config);
+        assert_eq!(fr, rr, "seed {seed}: ExecResult diverges");
+        assert_eq!(fs, rs, "seed {seed}: trace event stream diverges");
+        assert!(rr.is_ok(), "seed {seed}: generated programs never fault");
+    }
+}
+
+#[test]
+fn engines_agree_on_bounded_prefixes() {
+    for seed in 0..SEEDS / 2 {
+        let p = gen_program(seed, config_for(seed));
+        for &budget in BUDGETS {
+            let config = ExecConfig { max_instrs: budget, ..ExecConfig::default() };
+            let rr = Interp::new(&p, config).run_bounded(&[]);
+            let fr = Exec::with_engine(&p, config, Engine::Fast).run_bounded(&[]);
+            assert_eq!(fr, rr, "seed {seed} budget {budget}: bounded prefix diverges");
+        }
+    }
+}
+
+/// What a (possibly invalid) program observably does under one engine: a
+/// bounded run, an error, or a panic.
+#[derive(Debug, PartialEq, Eq)]
+enum Outcome {
+    Run(Box<BoundedRun>),
+    Error(ExecError),
+    Panicked,
+}
+
+fn outcome(run: impl FnOnce() -> Result<BoundedRun, ExecError> + std::panic::UnwindSafe) -> Outcome {
+    match catch_unwind(run) {
+        Ok(Ok(b)) => Outcome::Run(Box::new(b)),
+        Ok(Err(e)) => Outcome::Error(e),
+        Err(_) => Outcome::Panicked,
+    }
+}
+
+#[test]
+fn engines_agree_on_fault_injected_programs() {
+    // Corrupted programs — including ones the verifier rejects — must
+    // behave identically: same results, same errors, and panics (from
+    // structurally broken bodies) on both engines or neither. The decoder
+    // is total, so even an unresolvable branch target decodes; it faults
+    // only when executed, like the reference engine.
+    let mut injected = 0u64;
+    for seed in 0..SEEDS {
+        let base = gen_program(seed, config_for(seed));
+        let mut injector = FaultInjector::new(seed.wrapping_mul(0x9e37_79b9));
+        for pi in 0..base.procs.len() {
+            let mut corrupted = base.clone();
+            if injector.inject(&mut corrupted, ProcId::new(pi as u32)).is_none() {
+                continue;
+            }
+            injected += 1;
+            let config = ExecConfig { max_instrs: 50_000, ..ExecConfig::default() };
+            let r = outcome(AssertUnwindSafe(|| {
+                Interp::new(&corrupted, config).run_bounded(&[])
+            }));
+            let f = outcome(AssertUnwindSafe(|| {
+                Exec::with_engine(&corrupted, config, Engine::Fast).run_bounded(&[])
+            }));
+            assert_eq!(f, r, "seed {seed} proc {pi}: corrupted-program outcome diverges");
+        }
+    }
+    assert!(injected >= SEEDS / 2, "fault injection exercised enough programs");
+}
+
+/// Everything a simulated run reports, in comparable form.
+#[derive(Debug, PartialEq)]
+struct SimTable {
+    exec: ExecResult,
+    cycles: u64,
+    cycles_with_icache: u64,
+    icache: Option<pps::sim::CacheStats>,
+    sb_stats: pps::sim::SbDynStats,
+    transitions: Vec<ProcTransitions>,
+}
+
+/// Per-proc transition snapshot: `(proc, edges, per-sb entries, activations)`.
+type ProcTransitions = (u32, Vec<((u32, u32), u64)>, Vec<u64>, u64);
+
+impl SimTable {
+    fn capture(p: &Program, out: SimOutcome) -> SimTable {
+        let transitions = (0..p.procs.len() as u32)
+            .map(|pi| {
+                let pid = ProcId::new(pi);
+                let edges: Vec<_> = out.transitions.iter_proc(pid).collect();
+                let n_sb = edges
+                    .iter()
+                    .flat_map(|((a, b), _)| [*a, *b])
+                    .max()
+                    .map_or(0, |m| m + 1);
+                let entries = (0..n_sb).map(|sb| out.transitions.entries(pid, sb)).collect();
+                (pi, edges, entries, out.transitions.activations(pid))
+            })
+            .collect();
+        SimTable {
+            cycles: out.cycles,
+            cycles_with_icache: out.cycles_with_icache(),
+            icache: out.icache,
+            sb_stats: out.sb_stats,
+            exec: out.exec,
+            transitions,
+        }
+    }
+}
+
+fn simulate_with(
+    engine: Engine,
+    p: &Program,
+    compacted: &pps::compact::CompactedProgram,
+    machine: &MachineConfig,
+    layout: Option<&Layout>,
+) -> SimTable {
+    let mut sim = CycleSim::new(compacted, machine, layout);
+    let exec = Exec::with_engine(p, ExecConfig::default(), engine)
+        .run_traced(&[], &mut sim)
+        .expect("generated programs simulate cleanly");
+    SimTable::capture(p, sim.finish(exec))
+}
+
+#[test]
+fn engines_produce_identical_sim_tables() {
+    let machine = MachineConfig::paper();
+    for seed in 0..SEEDS / 4 {
+        let mut p = gen_program(seed, config_for(seed));
+        let part = singleton_partition(&p);
+        let compacted = compact_program(&mut p, &part, &CompactConfig::default());
+
+        // Ideal I-cache pass; its transitions feed the layout.
+        let ref_ideal = simulate_with(Engine::Reference, &p, &compacted, &machine, None);
+        let fast_ideal = simulate_with(Engine::Fast, &p, &compacted, &machine, None);
+        assert_eq!(fast_ideal, ref_ideal, "seed {seed}: ideal-cache sim table diverges");
+
+        // I-cache pass over a real layout.
+        let mut sim = CycleSim::new(&compacted, &machine, None);
+        let exec = Exec::with_engine(&p, ExecConfig::default(), Engine::Reference)
+            .run_traced(&[], &mut sim)
+            .unwrap();
+        let train = sim.finish(exec);
+        let layout = Layout::build(&p, &compacted, &train.transitions, &machine);
+        let ref_ic = simulate_with(Engine::Reference, &p, &compacted, &machine, Some(&layout));
+        let fast_ic = simulate_with(Engine::Fast, &p, &compacted, &machine, Some(&layout));
+        assert_eq!(fast_ic, ref_ic, "seed {seed}: icache sim table diverges");
+        assert!(fast_ic.icache.is_some());
+    }
+}
