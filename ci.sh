@@ -21,6 +21,17 @@
 #                             zero rollbacks, no in-flight recompiles at
 #                             drain, and zero reply mismatches throughout;
 #                             writes BENCH_drift.json
+#   ./ci.sh shard-smoke       2 pps-serve shards behind the pps-shard
+#                             consistent-hash router on ephemeral ports;
+#                             loadgen --cluster drives a repeat-heavy
+#                             multi-artifact distribution through the
+#                             router with every reply byte-verified
+#                             against the in-process pipeline, asserts a
+#                             nonzero cluster cache hit rate, both shards
+#                             owning keys, and a clean whole-cluster
+#                             drain from one in-band Shutdown; records
+#                             hit rate / aggregate rps / per-shard queue
+#                             depth in BENCH_serve.json
 #   ./ci.sh interp-diff       differential lockdown of the fast execution
 #                             engine: ~200 generated programs plus fault-
 #                             injected variants run on both engines
@@ -175,6 +186,101 @@ drift_smoke() {
 
   cp "$out/loadgen.json" BENCH_drift.json
   echo "drift smoke OK (BENCH_drift.json updated)"
+  rm -rf "$out"
+}
+
+shard_smoke() {
+  echo "== shard smoke (consistent-hash cluster) =="
+  out="$(mktemp -d)"
+  cargo build --release -p pps-serve -p pps-harness
+
+  # Two shard daemons (reply caches on by default) on ephemeral ports.
+  ./target/release/pps-serve --addr 127.0.0.1:0 --port-file "$out/port1" \
+    --log-level warn > "$out/shard1.log" 2>&1 &
+  shard1=$!
+  ./target/release/pps-serve --addr 127.0.0.1:0 --port-file "$out/port2" \
+    --log-level warn > "$out/shard2.log" 2>&1 &
+  shard2=$!
+  for _ in $(seq 1 100); do
+    [ -s "$out/port1" ] && [ -s "$out/port2" ] && break
+    { kill -0 "$shard1" && kill -0 "$shard2"; } 2>/dev/null \
+      || { echo "a shard died before binding"; exit 1; }
+    sleep 0.1
+  done
+  { [ -s "$out/port1" ] && [ -s "$out/port2" ]; } \
+    || { echo "shards never wrote their port files"; exit 1; }
+
+  # The router in front of both.
+  ./target/release/pps-shard --shard "$(cat "$out/port1")" --shard "$(cat "$out/port2")" \
+    --addr 127.0.0.1:0 --port-file "$out/rport" --log-level info \
+    > "$out/router.log" 2>&1 &
+  router=$!
+  for _ in $(seq 1 100); do
+    [ -s "$out/rport" ] && break
+    kill -0 "$router" 2>/dev/null || { echo "router died before binding"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$out/rport" ] || { echo "router never wrote its port file"; exit 1; }
+  raddr="$(cat "$out/rport")"
+
+  # Repeat-heavy multi-artifact load through the router. Every reply is
+  # verified byte-identical to the in-process pipeline by loadgen; the
+  # report carries the router's fanned-in cluster counters.
+  ./target/release/pps-harness loadgen --addr "$raddr" \
+    --cluster --conns 8 --requests 96 --scale 1 --scheme P4 \
+    --out "$out/loadgen.json" --log-level warn
+  grep -q '"mismatches": 0' "$out/loadgen.json" || { echo "cluster reply mismatches"; exit 1; }
+  grep -q '"errors": 0' "$out/loadgen.json" || { echo "cluster loadgen errors"; exit 1; }
+  grep -q '"shards": 2' "$out/loadgen.json" || { echo "router did not fan in 2 shards"; exit 1; }
+  hit_rate="$(grep -o '"hit_rate": [0-9.]*' "$out/loadgen.json" | grep -o '[0-9.]*$')"
+  awk -v hr="${hit_rate:-0}" 'BEGIN { exit !(hr > 0) }' \
+    || { echo "cluster cache hit rate is zero (${hit_rate:-missing})"; exit 1; }
+  rps="$(grep -o '"throughput_rps": [0-9.]*' "$out/loadgen.json" | grep -o '[0-9.]*$')"
+
+  # Per-shard counters straight from each daemon: consistent hashing must
+  # give both shards some of the key set, and repeats must hit their cache.
+  ./target/release/pps-harness ping --addr "$(cat "$out/port1")" > "$out/ping1.json"
+  ./target/release/pps-harness ping --addr "$(cat "$out/port2")" > "$out/ping2.json"
+  for f in "$out/ping1.json" "$out/ping2.json"; do
+    reqs="$(grep -o '"requests":[0-9]*' "$f" | grep -o '[0-9]*$')"
+    [ "${reqs:-0}" -gt 0 ] || { echo "a shard served nothing: $(cat "$f")"; exit 1; }
+  done
+
+  # The same repeat-heavy load pointed at one daemon directly must also
+  # verify byte-identically — cluster and single-daemon deployments both
+  # equal the in-process pipeline, hence each other.
+  ./target/release/pps-harness loadgen --addr "$(cat "$out/port1")" \
+    --cluster --conns 4 --requests 24 --scale 1 --scheme P4 \
+    --out "$out/loadgen-single.json" --log-level warn
+  grep -q '"mismatches": 0' "$out/loadgen-single.json" \
+    || { echo "single-daemon reply mismatches"; exit 1; }
+
+  # One in-band Shutdown through the router fans out and drains the whole
+  # cluster: both daemons and the router must exit cleanly.
+  ./target/release/pps-harness loadgen --addr "$raddr" --requests 0 --conns 1 \
+    --bench wc --scale 1 --scheme P4 --shutdown --log-level warn
+  wait "$shard1" || { echo "shard 1 exited nonzero"; cat "$out/shard1.log"; exit 1; }
+  wait "$shard2" || { echo "shard 2 exited nonzero"; cat "$out/shard2.log"; exit 1; }
+  wait "$router" || { echo "router exited nonzero"; cat "$out/router.log"; exit 1; }
+  grep -q 'drained:' "$out/router.log" || { echo "router log missing drain summary"; exit 1; }
+
+  # Record the cluster measurement in BENCH_serve.json (single line,
+  # replacing any previous record).
+  q1="$(grep -o '"queue_depth":[0-9]*' "$out/ping1.json" | grep -o '[0-9]*$')"
+  q2="$(grep -o '"queue_depth":[0-9]*' "$out/ping2.json" | grep -o '[0-9]*$')"
+  r1="$(grep -o '"requests":[0-9]*' "$out/ping1.json" | grep -o '[0-9]*$')"
+  r2="$(grep -o '"requests":[0-9]*' "$out/ping2.json" | grep -o '[0-9]*$')"
+  hits="$(grep -o '"cache_hits": [0-9]*' "$out/loadgen.json" | grep -o '[0-9]*$')"
+  misses="$(grep -o '"cache_misses": [0-9]*' "$out/loadgen.json" | grep -o '[0-9]*$')"
+  cluster_line="$(printf '{"date": "%s", "shards": 2, "conns": 8, "requests": 96, "distinct_artifacts": 12, "aggregate_rps": %s, "cache_hit_rate": %s, "cache_hits": %s, "cache_misses": %s, "per_shard": [{"requests": %s, "queue_depth": %s}, {"requests": %s, "queue_depth": %s}]}' \
+    "$(date +%F)" "$rps" "$hit_rate" "$hits" "$misses" "$r1" "$q1" "$r2" "$q2")"
+  awk -v cluster="$cluster_line" '
+    /^  "cluster": / { next }
+    /^  "byte_identical_to_in_process"/ { print "  \"cluster\": " cluster ","; print; next }
+    { print }
+  ' BENCH_serve.json > "$out/bench.tmp" && mv "$out/bench.tmp" BENCH_serve.json
+  grep -q '"cluster":' BENCH_serve.json || { echo "BENCH_serve.json cluster record missing"; exit 1; }
+  echo "shard smoke OK (BENCH_serve.json cluster record updated: rps $rps, hit rate $hit_rate)"
   rm -rf "$out"
 }
 
@@ -356,6 +462,7 @@ case "$stage" in
   parallel-harness) parallel_harness ;;
   serve-smoke) serve_smoke ;;
   drift-smoke) drift_smoke ;;
+  shard-smoke) shard_smoke ;;
   telemetry-smoke) telemetry_smoke ;;
   interp-diff) interp_diff ;;
   interp-bench) interp_bench ;;
@@ -367,10 +474,11 @@ case "$stage" in
     interp_bench
     serve_smoke
     drift_smoke
+    shard_smoke
     telemetry_smoke
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|interp-diff|interp-bench|serve-smoke|drift-smoke|telemetry-smoke|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|interp-diff|interp-bench|serve-smoke|drift-smoke|shard-smoke|telemetry-smoke|all]" >&2
     exit 2
     ;;
 esac

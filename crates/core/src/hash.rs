@@ -1,0 +1,146 @@
+//! Content-addressed artifact identity.
+//!
+//! Every layer of the stack used to invent its own hash arithmetic (the
+//! serve frame checksum, the harness fault seed, the loadgen retry
+//! jitter) and its own notion of "same input" (the process-local mutation
+//! generation nonce). This module unifies both:
+//!
+//! - The FNV-1a / splitmix64 primitives live in [`pps_ir::hash`] (the
+//!   lowest crate in the dependency order) and are re-exported here so
+//!   serving-stack code has one import path.
+//! - [`ArtifactKey`] names a compile artifact by *content*: the canonical
+//!   program hash ([`pps_ir::hash::program_hash`]), the canonical profile
+//!   hash ([`pps_profile::hash`]), the formation scheme, and the machine
+//!   model ([`machine_hash`]). Two requests with the same key are
+//!   guaranteed byte-identical replies (the pipeline is deterministic in
+//!   exactly these inputs), which is what makes cross-request caching and
+//!   consistent-hash sharding sound.
+//!
+//! The generation nonce keeps its job — cheap *in-process* invalidation
+//! inside [`pps_ir::UnitCache`] — but it no longer leaks into anything
+//! that outlives the process: the durable identity is the ArtifactKey.
+
+pub use pps_ir::hash::{fnv1a32, fnv1a64, splitmix64, Fold};
+
+use pps_machine::{LatencyModel, MachineConfig};
+use std::fmt;
+
+/// Canonical hash of a machine model. Folds every field that affects
+/// scheduling or timing, so any config change yields a new artifact
+/// identity.
+pub fn machine_hash(m: &MachineConfig) -> u64 {
+    let mut f = Fold::new();
+    f.u64(m.issue_width as u64)
+        .u64(m.control_per_cycle as u64)
+        .u32(m.num_registers)
+        .tag(match m.latency {
+            LatencyModel::Unit => 0,
+            LatencyModel::Realistic => 1,
+        })
+        .u64(m.icache.size_bytes as u64)
+        .u64(m.icache.line_bytes as u64)
+        .u64(m.icache.miss_penalty)
+        .u64(m.icache.instr_bytes as u64);
+    f.finish()
+}
+
+/// The content address of one compile artifact.
+///
+/// A key is stable across processes and machines: every component is a
+/// canonical content hash (or the scheme's canonical name), never a
+/// process-local nonce. The serving stack keys its [`CompileCache`] on
+/// it, and the shard router places it on the consistent-hash ring via
+/// [`ArtifactKey::route_hash`].
+///
+/// [`CompileCache`]: https://docs.rs/pps-serve
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactKey {
+    /// Canonical structural hash of the program.
+    pub program_hash: u64,
+    /// Canonical hash of the training profile(s).
+    pub profile_hash: u64,
+    /// Formation scheme name (`BB`, `M4`, `P4`, `P4e`, …).
+    pub scheme: String,
+    /// Canonical hash of the machine model.
+    pub machine_hash: u64,
+}
+
+impl ArtifactKey {
+    /// Builds a key from already-computed component hashes.
+    pub fn new(
+        program_hash: u64,
+        profile_hash: u64,
+        scheme: impl Into<String>,
+        machine_hash: u64,
+    ) -> Self {
+        ArtifactKey { program_hash, profile_hash, scheme: scheme.into(), machine_hash }
+    }
+
+    /// One 64-bit digest of the whole key: the value consistent-hash
+    /// routing and cache bucketing use. Folds all four components
+    /// order-sensitively.
+    pub fn route_hash(&self) -> u64 {
+        let mut f = Fold::new();
+        f.u64(self.program_hash)
+            .u64(self.profile_hash)
+            .str(&self.scheme)
+            .u64(self.machine_hash);
+        f.finish()
+    }
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}-{:016x}-{}-{:016x}",
+            self.program_hash, self.profile_hash, self.scheme, self.machine_hash
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pps_machine::ICacheConfig;
+
+    #[test]
+    fn machine_hash_covers_every_field() {
+        let base = MachineConfig::paper();
+        let h = machine_hash(&base);
+        let variants = [
+            MachineConfig { issue_width: 4, ..base },
+            MachineConfig { control_per_cycle: 2, ..base },
+            MachineConfig { num_registers: 64, ..base },
+            MachineConfig { latency: LatencyModel::Realistic, ..base },
+            MachineConfig {
+                icache: ICacheConfig { size_bytes: 64 * 1024, ..base.icache },
+                ..base
+            },
+            MachineConfig {
+                icache: ICacheConfig { miss_penalty: 12, ..base.icache },
+                ..base
+            },
+        ];
+        for v in &variants {
+            assert_ne!(machine_hash(v), h, "field change must change the hash: {v:?}");
+        }
+        assert_eq!(machine_hash(&base), h, "hash is deterministic");
+    }
+
+    #[test]
+    fn route_hash_distinguishes_components() {
+        let k = ArtifactKey::new(1, 2, "P4", 3);
+        assert_ne!(k.route_hash(), ArtifactKey::new(2, 1, "P4", 3).route_hash());
+        assert_ne!(k.route_hash(), ArtifactKey::new(1, 2, "P4e", 3).route_hash());
+        assert_ne!(k.route_hash(), ArtifactKey::new(1, 2, "P4", 4).route_hash());
+        assert_eq!(k.route_hash(), k.clone().route_hash());
+    }
+
+    #[test]
+    fn display_is_compact_and_ordered() {
+        let k = ArtifactKey::new(0xAB, 0xCD, "M16", 0xEF);
+        let s = k.to_string();
+        assert!(s.starts_with("00000000000000ab-00000000000000cd-M16-"));
+    }
+}

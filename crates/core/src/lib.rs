@@ -30,6 +30,7 @@ pub mod config;
 pub mod enlarge;
 pub mod fixup;
 pub mod guard;
+pub mod hash;
 pub mod pipeline;
 pub mod pool;
 pub mod select;
@@ -38,6 +39,7 @@ pub mod tail_dup;
 pub mod unit;
 
 pub use config::{FormConfig, Scheme};
+pub use hash::{machine_hash, ArtifactKey};
 pub use guard::{
     guarded_form_and_compact, guarded_form_and_compact_hooked,
     guarded_form_and_compact_hooked_obs, guarded_form_and_compact_obs, GuardConfig, GuardMode,

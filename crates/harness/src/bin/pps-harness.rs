@@ -41,6 +41,7 @@ fn usage() -> ! {
          \x20                  [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]\n\
          \x20      pps-harness --all [--scale N] [--csv] [--mode strict|degrade] [--jobs N]\n\
          \x20      pps-harness loadgen --addr HOST:PORT [options]  (see `loadgen --help`)\n\
+         \x20      pps-harness ping --addr HOST:PORT  (one health snapshot as JSON)\n\
          \x20      pps-harness top --addr HOST:PORT [options]      (see `top --help`)\n\
          experiments: {}\n\
          modes: strict  = abort on the first pipeline incident (CI, paper tables)\n\
@@ -62,7 +63,7 @@ fn loadgen_usage() -> ! {
          \x20                          [--probe-malformed] [--shutdown] [--out FILE]\n\
          \x20                          [--retries N] [--retry-budget N]\n\
          \x20                          [--busy-retries N]\n\
-         \x20                          [--drift] [--drift-timeout-s N]\n\
+         \x20                          [--drift] [--drift-timeout-s N] [--cluster]\n\
          \x20                          [--log-level off|error|warn|info|debug]\n\
          Drives a pps-serve daemon with a Profile/Compile/RunCell mix over N\n\
          concurrent connections, verifying every reply byte-for-byte against\n\
@@ -74,7 +75,10 @@ fn loadgen_usage() -> ! {
          sends corrupt frames and asserts clean rejection; --shutdown drains\n\
          the daemon afterwards; --drift phase-shifts the workload's profiles\n\
          and waits up to --drift-timeout-s for a continuous-PGO hot-swap\n\
-         (needs a daemon with --pgo on); --out writes the report as JSON."
+         (needs a daemon with --pgo on); --cluster drives a repeat-heavy\n\
+         multi-artifact distribution (point --addr at a pps-shard router)\n\
+         and reports cluster-wide cache hit rate and routing stats;\n\
+         --out writes the report as JSON."
     );
     std::process::exit(2);
 }
@@ -129,6 +133,7 @@ fn loadgen_main(args: &[String]) -> ExitCode {
                     .unwrap_or_else(|| loadgen_usage());
             }
             "--drift" => config.drift = true,
+            "--cluster" => config.cluster = true,
             "--drift-timeout-s" => {
                 let s: u64 = it
                     .next()
@@ -189,6 +194,20 @@ fn loadgen_main(args: &[String]) -> ExitCode {
             d.in_flight_final,
             d.phase_a_runcell.p50,
             d.phase_b_runcell.p50,
+        );
+    }
+    if let Some(c) = &report.cluster {
+        println!(
+            "loadgen cluster: {} shards, {} routed over {} artifacts; cache {} hits / {} \
+             misses ({:.0}% hit rate, {} entries), queue depth {}",
+            c.shards,
+            c.routed,
+            c.distinct_artifacts,
+            c.cache_hits,
+            c.cache_misses,
+            c.hit_rate * 100.0,
+            c.cache_entries,
+            c.queue_depth,
         );
     }
     for f in &report.failures {
@@ -267,6 +286,63 @@ fn top_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `pps-harness ping --addr HOST:PORT`: one PPSF `Ping` round-trip,
+/// printing the raw health snapshot as one JSON line. Pointed at a
+/// `pps-serve` daemon this is that shard's own counters; pointed at a
+/// `pps-shard` router it is the fanned-in cluster view.
+fn ping_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            _ => {
+                eprintln!("usage: pps-harness ping --addr HOST:PORT");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: pps-harness ping --addr HOST:PORT");
+        return ExitCode::from(2);
+    };
+    let health = match pps_serve::Client::connect(&addr, Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())
+        .and_then(|mut c| {
+            c.request(pps_serve::Request::Ping).map_err(|e| e.to_string())
+        }) {
+        Ok(pps_serve::Response::Pong { health }) => health,
+        Ok(other) => {
+            eprintln!("[ping error] expected Pong, got {}", other.outcome_name());
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("[ping error] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{{\"schema\":\"pps-ping\",\"proto_minor\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+         \"workers\":{},\"connections\":{},\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_evictions\":{},\"cache_invalidations\":{},\"cache_entries\":{},\
+         \"routed\":{},\"shards\":{}}}",
+        health.proto_minor,
+        health.queue_depth,
+        health.queue_capacity,
+        health.workers,
+        health.connections,
+        health.requests,
+        health.cache_hits,
+        health.cache_misses,
+        health.cache_evictions,
+        health.cache_invalidations,
+        health.cache_entries,
+        health.routed,
+        health.shards,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("loadgen") {
@@ -274,6 +350,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("top") {
         return top_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("ping") {
+        return ping_main(&args[1..]);
     }
     let mut experiment: Option<String> = None;
     let mut scale = Scale::paper();

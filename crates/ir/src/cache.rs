@@ -25,6 +25,7 @@ pub struct UnitCache {
     cfg: Option<(u64, Arc<Cfg>)>,
     analysis: Option<(u64, Arc<ProcAnalysis>)>,
     decoded: Option<(u64, Arc<DecodedProc>)>,
+    hash: Option<(u64, u64)>,
     hits: u64,
     misses: u64,
 }
@@ -93,6 +94,25 @@ impl UnitCache {
         d
     }
 
+    /// The canonical structural hash of `proc` (see
+    /// [`crate::hash::proc_hash`]), memoized by generation. The hash
+    /// ignores the generation itself — within one generation the body is
+    /// fixed, so the memo is exact, and across generations equal bodies
+    /// recompute to equal hashes.
+    pub fn structural_hash(&mut self, proc: &Proc) -> u64 {
+        let gen = proc.generation();
+        if let Some((g, h)) = self.hash {
+            if g == gen {
+                self.hits += 1;
+                return h;
+            }
+        }
+        self.misses += 1;
+        let h = crate::hash::proc_hash(proc);
+        self.hash = Some((gen, h));
+        h
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
@@ -131,6 +151,29 @@ impl AnalysisCache {
     pub fn analysis(&mut self, program: &Program, pid: ProcId) -> Arc<ProcAnalysis> {
         let proc = program.proc(pid);
         self.unit_mut(pid).analysis(proc)
+    }
+
+    /// Memoized structural hash of procedure `pid`.
+    pub fn structural_hash(&mut self, program: &Program, pid: ProcId) -> u64 {
+        let proc = program.proc(pid);
+        self.unit_mut(pid).structural_hash(proc)
+    }
+
+    /// Canonical hash of the whole program, built from the memoized
+    /// per-procedure hashes. Identical to [`crate::hash::program_hash`]
+    /// over the same program, but procedures whose generation has not
+    /// changed since the last query are not re-walked.
+    pub fn program_hash(&mut self, program: &Program) -> u64 {
+        let hashes: Vec<u64> = program
+            .proc_ids()
+            .map(|pid| self.structural_hash(program, pid))
+            .collect();
+        crate::hash::combine_program_hash(
+            hashes.into_iter(),
+            program.entry.index() as u32,
+            program.mem_size,
+            &program.data,
+        )
     }
 
     /// `(hits, misses)` summed over every unit.
@@ -212,6 +255,26 @@ mod tests {
         let a_after = cache.analysis(&p, p.entry);
         assert_eq!(a_after.cfg.len(), 2);
         assert_eq!(a_after.cfg.len(), a_before.cfg.len());
+    }
+
+    #[test]
+    fn structural_hash_memoizes_by_generation_but_hashes_content() {
+        let mut p = two_block_program();
+        let mut cache = AnalysisCache::new();
+        let h1 = cache.program_hash(&p);
+        let h2 = cache.program_hash(&p);
+        assert_eq!(h1, h2);
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (1, 1), "second query was a memo hit");
+
+        // Generation churn without a content change: recompute, same hash.
+        p.proc_mut(p.entry).touch();
+        assert_eq!(cache.program_hash(&p), h1);
+
+        // A real mutation changes the hash.
+        p.proc_mut(p.entry)
+            .push_block(Block::new(vec![], Terminator::Return { value: None }));
+        assert_ne!(cache.program_hash(&p), h1);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod decode;
 pub mod dot;
 pub mod exec;
 pub mod fault;
+pub mod hash;
 pub mod instr;
 pub mod interp;
 pub mod proc;

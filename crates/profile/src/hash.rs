@@ -1,0 +1,100 @@
+//! Canonical content hashes for profiles.
+//!
+//! A profile's identity is its canonical serialized form
+//! ([`crate::serialize`]): edges and windows are emitted sorted, so two
+//! profiles that answer every query identically serialize to the same
+//! bytes, and the hash of those bytes is a stable, machine-independent
+//! content address. This is the `profile_hash` leg of the serving stack's
+//! `ArtifactKey` — the precondition for reusing profile-guided compiles
+//! across requests, processes, and machines.
+
+use crate::edge::EdgeProfile;
+use crate::path::PathProfile;
+use crate::serialize::{edge_to_text, path_to_text};
+use pps_ir::hash::{fnv1a64, splitmix64};
+
+/// Hashes a canonical profile text. Both profile kinds go through this so
+/// the edge/path hashes share one definition: FNV-1a-64 over the bytes,
+/// diffused through splitmix64.
+#[inline]
+pub fn profile_text_hash(text: &str) -> u64 {
+    splitmix64(fnv1a64(text.as_bytes()))
+}
+
+/// Canonical hash of an edge profile (over [`edge_to_text`]).
+pub fn edge_hash(profile: &EdgeProfile) -> u64 {
+    profile_text_hash(&edge_to_text(profile))
+}
+
+/// Canonical hash of a path profile (over [`path_to_text`]).
+pub fn path_hash(profile: &PathProfile) -> u64 {
+    profile_text_hash(&path_to_text(profile))
+}
+
+/// Canonical hash of the edge+path profile pair a compile request carries.
+/// Folds both hashes order-sensitively so `(e, p)` and `(p, e)` differ.
+pub fn profile_pair_hash(edge: &EdgeProfile, path: &PathProfile) -> u64 {
+    splitmix64(edge_hash(edge) ^ splitmix64(path_hash(path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{edge_from_text, path_from_text};
+    use crate::{EdgeProfiler, PathProfiler};
+    use pps_ir::builder::ProgramBuilder;
+    use pps_ir::interp::{ExecConfig, Interp};
+    use pps_ir::{AluOp, Operand, Program};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.begin_proc("main", 0);
+        let i = f.reg();
+        let c = f.reg();
+        f.mov(i, 0i64);
+        let head = f.new_block();
+        let exit = f.new_block();
+        f.jump(head);
+        f.switch_to(head);
+        f.alu(AluOp::Add, i, i, 1i64);
+        f.alu(AluOp::CmpLt, c, Operand::Reg(i), Operand::Imm(20));
+        f.branch(c, head, exit);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish();
+        pb.finish(main)
+    }
+
+    fn profiles() -> (EdgeProfile, PathProfile) {
+        let p = sample();
+        let mut ep = EdgeProfiler::new(&p);
+        let mut pp = PathProfiler::new(&p, 15);
+        Interp::new(&p, ExecConfig::default()).run_traced(&[], &mut ep).unwrap();
+        Interp::new(&p, ExecConfig::default()).run_traced(&[], &mut pp).unwrap();
+        (ep.finish(), pp.finish())
+    }
+
+    #[test]
+    fn hashes_survive_text_round_trip() {
+        let (edge, path) = profiles();
+        let e2 = edge_from_text(&edge_to_text(&edge)).unwrap();
+        let p2 = path_from_text(&path_to_text(&path)).unwrap();
+        assert_eq!(edge_hash(&edge), edge_hash(&e2));
+        assert_eq!(path_hash(&path), path_hash(&p2));
+        assert_eq!(profile_pair_hash(&edge, &path), profile_pair_hash(&e2, &p2));
+    }
+
+    #[test]
+    fn different_profiles_hash_differently() {
+        let (edge, path) = profiles();
+        // A profile of the same program with different counts.
+        let text = edge_to_text(&edge).replace(" 20\n", " 21\n");
+        let other = edge_from_text(&text).unwrap();
+        assert_ne!(edge_hash(&edge), edge_hash(&other));
+        // Pair hash is order-sensitive in its components.
+        assert_ne!(
+            profile_pair_hash(&edge, &path),
+            splitmix64(path_hash(&path) ^ splitmix64(edge_hash(&edge)))
+        );
+    }
+}

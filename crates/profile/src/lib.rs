@@ -51,12 +51,14 @@
 
 pub mod edge;
 pub mod forward;
+pub mod hash;
 pub mod merge;
 pub mod path;
 pub mod predict;
 pub mod serialize;
 
 pub use edge::{EdgeProfile, EdgeProfiler};
+pub use hash::{edge_hash, path_hash, profile_pair_hash};
 pub use merge::{merge_edges, merge_paths, path_drift, DriftReport, MergeError};
 pub use forward::{ForwardPathProfile, ForwardPathProfiler};
 pub use path::{PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};

@@ -4,7 +4,7 @@
 //! pps-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--port-file FILE] [--metrics-out FILE] [--log-level LEVEL]
 //!           [--telemetry-addr HOST:PORT] [--telemetry-port-file FILE]
-//!           [--access-log FILE]
+//!           [--access-log FILE] [--cache-cap N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:0` — an ephemeral port), prints
@@ -20,9 +20,10 @@
 //! telemetry layer on; replies stay byte-identical either way.
 
 use pps_obs::{Level, Obs, ObsConfig};
+use pps_serve::cache::CompileCache;
 use pps_serve::pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
 use pps_serve::server::{serve_with_telemetry, Handler, ServeConfig};
-use pps_serve::service::PipelineHandler;
+use pps_serve::service::{CachedPipelineHandler, PipelineHandler};
 use pps_serve::telemetry::{Telemetry, TelemetryConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -39,7 +40,11 @@ fn usage() -> ! {
          \x20               [--pgo on|off] [--pgo-interval-ms N] [--pgo-min-samples N]\n\
          \x20               [--pgo-enter X] [--pgo-exit X] [--pgo-cooldown-ms N]\n\
          \x20               [--pgo-budget N] [--pgo-top-k N] [--pgo-fault none|panic|corrupt]\n\
+         \x20               [--cache-cap N]\n\
          Serves Profile/Compile/RunCell requests over the PPSF framed protocol.\n\
+         Replies are cached by content address (program x profiles x scheme x\n\
+         machine); --cache-cap bounds the entry count (default 128, 0 = off).\n\
+         PGO hot-swaps invalidate the swapped unit's cache group.\n\
          --telemetry-addr exposes /metrics (Prometheus text), /health (JSON),\n\
          and /trace (tail-sampled spans) over HTTP; --access-log writes one\n\
          JSON line per reply. Replies are byte-identical with telemetry on.\n\
@@ -64,6 +69,7 @@ fn main() -> ExitCode {
     let mut level = Level::Info;
     let mut pgo_enabled = true;
     let mut pgo = PgoConfig::default();
+    let mut cache_cap: usize = pps_serve::cache::DEFAULT_CAPACITY;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +117,9 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| PgoFault::parse(v))
                     .unwrap_or_else(|| usage());
+            }
+            "--cache-cap" => {
+                cache_cap = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--addr" => addr = it.next().unwrap_or_else(|| usage()).clone(),
             "--workers" => {
@@ -222,8 +231,19 @@ fn main() -> ExitCode {
     // With PGO on, the handler feeds every request's profiles into the
     // aggregator and a background sweeper recompiles drifted units; with
     // it off the plain pipeline handler serves identically-shaped replies.
+    let cache = if cache_cap > 0 {
+        let cache = Arc::new(CompileCache::new(cache_cap));
+        obs.log(Level::Info, || format!("reply cache: {} entries", cache.capacity()));
+        Some(cache)
+    } else {
+        obs.log(Level::Info, || "reply cache: off".to_string());
+        None
+    };
     let (handler, runtime): (Box<dyn Handler>, Option<PgoRuntime>) = if pgo_enabled {
         let state = Arc::new(PgoState::new(pgo, obs.clone()));
+        if let Some(cache) = &cache {
+            state.attach_cache(Arc::clone(cache));
+        }
         obs.log(Level::Info, || {
             let c = state.config();
             format!(
@@ -234,7 +254,10 @@ fn main() -> ExitCode {
         let runtime = PgoRuntime::start(Arc::clone(&state));
         (Box::new(PgoHandler::new(state)), Some(runtime))
     } else {
-        (Box::new(PipelineHandler), None)
+        match &cache {
+            Some(cache) => (Box::new(CachedPipelineHandler::new(Arc::clone(cache))), None),
+            None => (Box::new(PipelineHandler), None),
+        }
     };
 
     let stats = match serve_with_telemetry(

@@ -1,0 +1,341 @@
+//! Bounded, content-addressed caching of compile artifacts.
+//!
+//! Every `Compile`/`RunCell` reply is a pure function of the request, and
+//! the request's semantic content is captured by its
+//! [`ArtifactKey`](pps_core::ArtifactKey) — canonical program hash,
+//! canonical profile hash, scheme, machine hash — plus the residual
+//! request class (which benchmark cell and guard mode selected the
+//! oracle/measurement inputs). [`CompileCache`] memoizes replies under
+//! exactly that identity: a hit returns the `Arc`'d reply whose encoding
+//! is byte-identical to re-running the pipeline, because the key pins
+//! every input the pipeline reads.
+//!
+//! # Coherence with PGO hot-swap
+//!
+//! The continuous-PGO loop recompiles drifted units in the background and
+//! swaps them in atomically. Each `(bench, scale, scheme)` group carries
+//! an *epoch* here; a successful hot-swap bumps it
+//! ([`CompileCache::invalidate_group`]), which eagerly drops the group's
+//! entries and lazily rejects any stragglers on lookup — so a unit that
+//! drifted is never served from cache across a swap. (Replies are pure,
+//! so this is a freshness guarantee, not a correctness patch: the next
+//! miss recompiles against the same key and produces the same bytes.)
+//!
+//! Eviction is LRU over a fixed entry budget; counters (hits, misses,
+//! evictions, invalidations) feed `/metrics`, `/health`, and the minor-3
+//! Pong snapshot.
+
+use crate::proto::{HealthSnapshot, Response};
+use pps_core::ArtifactKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default entry budget of the daemon's cache.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// Which request class produced (and may reuse) a cached artifact. Two
+/// classes never share entries even under an equal [`ArtifactKey`]: the
+/// reply shapes differ, and `RunCell` additionally folds the guard mode
+/// into the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheClass {
+    /// A `Compile` request (report reply).
+    Compile,
+    /// A `RunCell` request with the given strict flag (metrics reply).
+    RunCell {
+        /// Guard mode the cell ran under.
+        strict: bool,
+    },
+}
+
+/// Full cache key: the content address plus the request class and the
+/// benchmark cell it was computed for. `bench`/`scale` select the
+/// training/oracle inputs, which the ArtifactKey's program hash does not
+/// cover by construction (it hashes the program, not the suite row).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content address of the artifact.
+    pub artifact: ArtifactKey,
+    /// Request class.
+    pub class: CacheClass,
+    /// Benchmark name.
+    pub bench: String,
+    /// Suite scale.
+    pub scale: u32,
+}
+
+impl CacheKey {
+    fn group(&self) -> GroupKey {
+        GroupKey {
+            bench: self.bench.clone(),
+            scale: self.scale,
+            scheme: self.artifact.scheme.clone(),
+        }
+    }
+}
+
+/// The invalidation granule: the PGO tier tracks serving units per
+/// `(bench, scale, scheme)`, so that is what a hot-swap invalidates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct GroupKey {
+    bench: String,
+    scale: u32,
+    scheme: String,
+}
+
+#[derive(Debug)]
+struct Entry {
+    response: Arc<Response>,
+    epoch: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<CacheKey, Entry>,
+    epochs: HashMap<GroupKey, u64>,
+    tick: u64,
+}
+
+/// A bounded LRU of compile artifacts keyed by content. Shared across
+/// worker threads behind an `Arc`; all methods take `&self`.
+#[derive(Debug)]
+pub struct CompileCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CompileCache {
+    /// A cache bounded at `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        CompileCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`. A current-epoch entry is a hit; an entry stranded
+    /// behind an epoch bump is dropped and counted as both an
+    /// invalidation and a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Response>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let current = inner.epochs.get(&key.group()).copied().unwrap_or(0);
+        match inner.entries.get_mut(key) {
+            Some(e) if e.epoch == current => {
+                e.last_used = tick;
+                let r = e.response.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            Some(_) => {
+                inner.entries.remove(key);
+                drop(inner);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a reply under `key`, stamped with the group's current
+    /// epoch. Evicts the least-recently-used entry when the budget is
+    /// full. Error replies must not be cached — callers only insert
+    /// successful compiles.
+    pub fn insert(&self, key: CacheKey, response: Response) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let epoch = inner.epochs.get(&key.group()).copied().unwrap_or(0);
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner
+            .entries
+            .insert(key, Entry { response: Arc::new(response), epoch, last_used: tick });
+    }
+
+    /// Bumps the epoch of `(bench, scale, scheme)` and eagerly drops its
+    /// resident entries. Called by the PGO tier when a recompiled unit
+    /// hot-swaps in, so a drifted group never serves a pre-swap entry.
+    pub fn invalidate_group(&self, bench: &str, scale: u32, scheme: &str) {
+        let group = GroupKey { bench: bench.to_string(), scale, scheme: scheme.to_string() };
+        let mut inner = self.inner.lock().expect("cache lock");
+        *inner.epochs.entry(group.clone()).or_insert(0) += 1;
+        let stale: Vec<CacheKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.group() == group)
+            .cloned()
+            .collect();
+        let dropped = stale.len() as u64;
+        for k in stale {
+            inner.entries.remove(&k);
+        }
+        drop(inner);
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// `(hits, misses, evictions, invalidations, entries)` right now.
+    pub fn stats(&self) -> (u64, u64, u64, u64, usize) {
+        let entries = self.inner.lock().expect("cache lock").entries.len();
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.invalidations.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+
+    /// Copies the counters into a health snapshot (the minor-3 fields).
+    pub fn fill_health(&self, h: &mut HealthSnapshot) {
+        let (hits, misses, evictions, invalidations, entries) = self.stats();
+        h.cache_hits = hits;
+        h.cache_misses = misses;
+        h.cache_evictions = evictions;
+        h.cache_invalidations = invalidations;
+        h.cache_entries = entries as u32;
+    }
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64, scheme: &str) -> CacheKey {
+        CacheKey {
+            artifact: ArtifactKey::new(n, n + 1, scheme, 7),
+            class: CacheClass::Compile,
+            bench: "wc".into(),
+            scale: 1,
+        }
+    }
+
+    fn reply(s: &str) -> Response {
+        Response::Compile { report: s.to_string() }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_reply() {
+        let cache = CompileCache::new(4);
+        let k = key(1, "P4");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), reply("r1"));
+        assert_eq!(*cache.get(&k).unwrap(), reply("r1"));
+        let (hits, misses, ..) = cache.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn classes_do_not_collide() {
+        let cache = CompileCache::new(4);
+        let compile = key(1, "P4");
+        let runcell = CacheKey { class: CacheClass::RunCell { strict: true }, ..compile.clone() };
+        cache.insert(compile.clone(), reply("compile"));
+        assert!(cache.get(&runcell).is_none());
+        let lax = CacheKey { class: CacheClass::RunCell { strict: false }, ..runcell.clone() };
+        cache.insert(runcell.clone(), reply("strict"));
+        assert!(cache.get(&lax).is_none(), "strict flag is part of the identity");
+        assert_eq!(*cache.get(&compile).unwrap(), reply("compile"));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = CompileCache::new(2);
+        let (a, b, c) = (key(1, "P4"), key(2, "P4"), key(3, "P4"));
+        cache.insert(a.clone(), reply("a"));
+        cache.insert(b.clone(), reply("b"));
+        let _ = cache.get(&a); // warm `a`, leaving `b` coldest
+        cache.insert(c.clone(), reply("c"));
+        assert!(cache.get(&b).is_none(), "b was evicted");
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+        let (.., evictions, _, entries) = cache.stats();
+        assert_eq!(evictions, 1);
+        assert_eq!(entries, 2);
+    }
+
+    #[test]
+    fn swap_invalidation_drops_the_group_and_only_the_group() {
+        let cache = CompileCache::new(8);
+        let p4 = key(1, "P4");
+        let m4 = key(1, "M4");
+        cache.insert(p4.clone(), reply("p4"));
+        cache.insert(m4.clone(), reply("m4"));
+        cache.invalidate_group("wc", 1, "P4");
+        assert!(cache.get(&p4).is_none(), "swapped group no longer serves");
+        assert!(cache.get(&m4).is_some(), "other schemes untouched");
+        let (_, _, _, invalidations, _) = cache.stats();
+        assert_eq!(invalidations, 1);
+        // Re-inserting after the bump serves again at the new epoch.
+        cache.insert(p4.clone(), reply("p4'"));
+        assert_eq!(*cache.get(&p4).unwrap(), reply("p4'"));
+    }
+
+    #[test]
+    fn entry_inserted_before_bump_is_rejected_lazily_too() {
+        let cache = CompileCache::new(8);
+        let k = key(9, "P4e");
+        cache.insert(k.clone(), reply("old"));
+        // Simulate the bump racing ahead of eager cleanup by re-inserting
+        // at the old epoch: epoch mismatch must reject on lookup.
+        {
+            let mut inner = cache.inner.lock().unwrap();
+            let group = k.group();
+            *inner.epochs.entry(group).or_insert(0) += 1;
+        }
+        assert!(cache.get(&k).is_none(), "stale epoch never serves");
+    }
+
+    #[test]
+    fn fill_health_reports_counters() {
+        let cache = CompileCache::new(2);
+        let k = key(1, "BB");
+        let _ = cache.get(&k);
+        cache.insert(k.clone(), reply("x"));
+        let _ = cache.get(&k);
+        let mut h = HealthSnapshot::default();
+        cache.fill_health(&mut h);
+        assert_eq!(h.cache_hits, 1);
+        assert_eq!(h.cache_misses, 1);
+        assert_eq!(h.cache_entries, 1);
+    }
+}

@@ -103,14 +103,10 @@ impl FrameError {
 }
 
 /// FNV-1a over `payload`, 32-bit — an error-detection checksum (not
-/// cryptographic), matching the offline-friendly hashing used elsewhere in
-/// the workspace.
+/// cryptographic). The arithmetic lives in the shared
+/// [`pps_core::hash`] module; the wire format pins this exact function.
 pub fn checksum(payload: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c_9dc5;
-    for &b in payload {
-        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
-    }
-    h
+    pps_core::hash::fnv1a32(payload)
 }
 
 /// Encodes a complete frame (header + payload) into one buffer.

@@ -14,11 +14,17 @@
 //!   backpressure ([`pps_core::pool::BoundedQueue`]), a scoped worker
 //!   team, per-request queue-wait deadlines, and graceful drain on
 //!   SIGTERM / in-band `Shutdown`;
+//! - [`cache`] — a bounded content-addressed reply cache keyed by
+//!   [`pps_core::ArtifactKey`], consulted before the pipeline and
+//!   invalidated by PGO hot-swaps;
 //! - [`client`] — the blocking client used by `pps-harness loadgen`;
 //! - [`service`] — the production handler, a pure function of the request
 //!   so replies are byte-comparable against in-process runs;
 //! - [`runner`] — one benchmark × scheme measurement end to end, shared
 //!   with (and re-exported by) `pps-harness`;
+//! - [`shard`] — the consistent-hash shard router (`pps-shard`): one
+//!   PPSF front door placing requests on N daemons by artifact identity,
+//!   with health fan-in on `Ping`;
 //! - [`signal`] — SIGTERM/SIGINT → shutdown flag (Unix);
 //! - [`telemetry`] — the live-observability layer: rolling-window
 //!   metrics, a `/metrics` / `/health` / `/trace` scrape listener, a
@@ -26,6 +32,7 @@
 //!
 //! The `pps-serve` binary wires these together; see README §Serving.
 
+pub mod cache;
 pub mod client;
 pub mod frame;
 pub mod pgo;
@@ -33,13 +40,19 @@ pub mod proto;
 pub mod runner;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod signal;
 pub mod telemetry;
 
+pub use cache::{CacheClass, CacheKey, CompileCache};
 pub use client::{Client, ClientError};
 pub use pgo::{PgoConfig, PgoFault, PgoHandler, PgoRuntime, PgoState};
 pub use proto::{Envelope, ErrorKind, HealthSnapshot, ProfileText, Request, Response};
 pub use runner::{run_scheme, run_scheme_obs, RunConfig, RunError, SchemeRun};
 pub use server::{serve, serve_with_telemetry, Handler, ServeConfig, ServerHandle, ServerStats};
-pub use service::{execute, execute_with, parse_scheme, PipelineHandler, ProfileSink};
+pub use service::{
+    execute, execute_cached, execute_with, parse_scheme, CachedPipelineHandler, PipelineHandler,
+    ProfileSink,
+};
+pub use shard::{Router, RouterConfig, RouterHandle, RouterStats, ShardRing};
 pub use telemetry::{RequestRecord, Telemetry, TelemetryConfig};

@@ -29,9 +29,10 @@
 //! [`PgoRuntime::shutdown`] drains it — the swap is a single slot
 //! operation, so shutdown can never observe a half-swapped unit.
 
+use crate::cache::CompileCache;
 use crate::proto::HealthSnapshot;
 use crate::server::Handler;
-use crate::service::{execute_with, ProfileSink};
+use crate::service::{execute_cached, ProfileSink};
 use pps_compact::CompactConfig;
 use pps_core::{
     guarded_form_and_compact_hooked_obs, FormConfig, GuardConfig, GuardMode, Scheme, SwapOutcome,
@@ -44,7 +45,7 @@ use pps_suite::{benchmark_by_name, Scale};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::service::parse_scheme;
@@ -182,6 +183,11 @@ pub struct PgoState {
     rollbacks: AtomicU64,
     in_flight: AtomicU32,
     obs: Obs,
+    /// Reply cache to invalidate when a hot-swap lands (the cached reply
+    /// for the group is not wrong — replies are pure functions of their
+    /// key — but dropping it keeps the cache from pinning entries for a
+    /// generation the tier has moved past).
+    cache: OnceLock<Arc<CompileCache>>,
 }
 
 impl PgoState {
@@ -199,7 +205,20 @@ impl PgoState {
             rollbacks: AtomicU64::new(0),
             in_flight: AtomicU32::new(0),
             obs,
+            cache: OnceLock::new(),
         }
+    }
+
+    /// Attaches the daemon's reply cache so hot-swaps invalidate the
+    /// swapped unit's cache group. Call once at startup; later calls are
+    /// ignored.
+    pub fn attach_cache(&self, cache: Arc<CompileCache>) {
+        let _ = self.cache.set(cache);
+    }
+
+    /// The attached reply cache, if any.
+    pub fn cache(&self) -> Option<&Arc<CompileCache>> {
+        self.cache.get()
     }
 
     /// The configuration the loop runs with.
@@ -245,6 +264,10 @@ impl PgoState {
             .values()
             .filter(|u| u.meta.lock().unwrap().drifted)
             .count() as u32;
+        drop(units);
+        if let Some(cache) = self.cache.get() {
+            cache.fill_health(&mut base);
+        }
         base
     }
 
@@ -360,6 +383,15 @@ impl PgoState {
                              (generation {generation}, epoch {epoch})"
                         )
                     });
+                    if let Some(cache) = self.cache.get() {
+                        // Cache groups key on the canonical scheme name;
+                        // the unit key keeps whatever string the client
+                        // sent, so canonicalize before invalidating.
+                        let canonical = parse_scheme(scheme_name)
+                            .map(|s| s.name())
+                            .unwrap_or_else(|| scheme_name.to_string());
+                        cache.invalidate_group(bench_name, scale, &canonical);
+                    }
                     "swapped"
                 }
                 SwapOutcome::Stale(_) => "stale",
@@ -536,7 +568,12 @@ impl PgoHandler {
 
 impl Handler for PgoHandler {
     fn handle(&self, request: &crate::proto::Request, obs: &Obs) -> crate::proto::Response {
-        execute_with(request, obs, Some(self.state.as_ref()))
+        execute_cached(
+            request,
+            obs,
+            Some(self.state.as_ref()),
+            self.state.cache().map(Arc::as_ref),
+        )
     }
 
     fn health(&self, base: HealthSnapshot) -> HealthSnapshot {

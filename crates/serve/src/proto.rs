@@ -14,14 +14,17 @@ use std::fmt;
 /// can detect feature level in-band. Minor 1 added the health snapshot
 /// itself (the `Pong` reply was previously empty); minor 2 appended the
 /// telemetry fields (`telemetry_enabled`, `access_log_lines`,
-/// `traces_sampled`). The `Pong` payload is versioned by its own leading
-/// `proto_minor` field: encoders emit exactly the fields their declared
-/// minor defines, and decoders read fields up to `min(declared, ours)`,
-/// defaulting the rest and skipping unknown trailing bytes from newer
-/// servers. The frame-layer major version (`frame::VERSION`) is unchanged
-/// — old clients still frame and route replies correctly, they just carry
-/// more payload.
-pub const PROTO_MINOR: u32 = 2;
+/// `traces_sampled`); minor 3 appended the compile-cache counters
+/// (`cache_hits`, `cache_misses`, `cache_evictions`,
+/// `cache_invalidations`, `cache_entries`) and the shard-router fields
+/// (`routed`, `shards`). The `Pong` payload is versioned by its own
+/// leading `proto_minor` field: encoders emit exactly the fields their
+/// declared minor defines, and decoders read fields up to
+/// `min(declared, ours)`, defaulting the rest and skipping unknown
+/// trailing bytes from newer servers. The frame-layer major version
+/// (`frame::VERSION`) is unchanged — old clients still frame and route
+/// replies correctly, they just carry more payload.
+pub const PROTO_MINOR: u32 = 3;
 
 /// A payload-decoding failure with the byte offset where it happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,6 +254,24 @@ pub struct HealthSnapshot {
     pub access_log_lines: u64,
     /// Span trees retained by the tail sampler so far. Protocol minor 2.
     pub traces_sampled: u64,
+    /// Compile-cache hits (requests answered without running the
+    /// pipeline). Protocol minor 3.
+    pub cache_hits: u64,
+    /// Compile-cache misses. Protocol minor 3.
+    pub cache_misses: u64,
+    /// Compile-cache entries evicted by the LRU bound. Protocol minor 3.
+    pub cache_evictions: u64,
+    /// Compile-cache entries invalidated by a PGO hot-swap epoch bump.
+    /// Protocol minor 3.
+    pub cache_invalidations: u64,
+    /// Compile-cache entries currently resident. Protocol minor 3.
+    pub cache_entries: u32,
+    /// Requests this process routed to downstream shards (nonzero only on
+    /// a `pps-shard` router). Protocol minor 3.
+    pub routed: u64,
+    /// Downstream shards behind this process (nonzero only on a
+    /// `pps-shard` router). Protocol minor 3.
+    pub shards: u32,
 }
 
 /// One service reply.
@@ -540,6 +561,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut buf, health.access_log_lines);
                 put_u64(&mut buf, health.traces_sampled);
             }
+            if health.proto_minor >= 3 {
+                put_u64(&mut buf, health.cache_hits);
+                put_u64(&mut buf, health.cache_misses);
+                put_u64(&mut buf, health.cache_evictions);
+                put_u64(&mut buf, health.cache_invalidations);
+                put_u32(&mut buf, health.cache_entries);
+                put_u64(&mut buf, health.routed);
+                put_u32(&mut buf, health.shards);
+            }
         }
         Response::Profile { edge, path } => {
             buf.push(RESP_PROFILE);
@@ -599,6 +629,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
                 health.telemetry_enabled = c.bool()?;
                 health.access_log_lines = c.u64()?;
                 health.traces_sampled = c.u64()?;
+            }
+            if health.proto_minor >= 3 {
+                health.cache_hits = c.u64()?;
+                health.cache_misses = c.u64()?;
+                health.cache_evictions = c.u64()?;
+                health.cache_invalidations = c.u64()?;
+                health.cache_entries = c.u32()?;
+                health.routed = c.u64()?;
+                health.shards = c.u32()?;
             }
             if health.proto_minor > PROTO_MINOR {
                 c.skip_rest();
@@ -694,6 +733,13 @@ mod tests {
                     telemetry_enabled: true,
                     access_log_lines: 4321,
                     traces_sampled: 12,
+                    cache_hits: 42,
+                    cache_misses: 7,
+                    cache_evictions: 3,
+                    cache_invalidations: 2,
+                    cache_entries: 5,
+                    routed: 1000,
+                    shards: 2,
                 },
             },
             Response::Profile { edge: "e".into(), path: "p".into() },
@@ -768,6 +814,21 @@ mod tests {
             telemetry_enabled: true,
             access_log_lines: 99,
             traces_sampled: 3,
+            ..HealthSnapshot::default()
+        }
+    }
+
+    fn minor3_snapshot() -> HealthSnapshot {
+        HealthSnapshot {
+            proto_minor: 3,
+            cache_hits: 12,
+            cache_misses: 8,
+            cache_evictions: 2,
+            cache_invalidations: 1,
+            cache_entries: 6,
+            routed: 555,
+            shards: 2,
+            ..minor2_snapshot()
         }
     }
 
@@ -800,25 +861,54 @@ mod tests {
     #[test]
     fn minor2_telemetry_fields_round_trip() {
         let resp = Response::Pong { health: minor2_snapshot() };
+        let Response::Pong { health } = decode_response(&encode_response(&resp)).unwrap() else {
+            panic!("not a Pong");
+        };
+        assert!(health.telemetry_enabled);
+        assert_eq!(health.access_log_lines, 99);
+        // A minor-2 writer never emitted the cache fields; they default.
+        assert_eq!(health.cache_hits, 0);
+        assert_eq!(health.shards, 0);
+    }
+
+    #[test]
+    fn minor2_payload_decodes_with_cache_fields_defaulted() {
+        // A minor-2 server omits the minor-3 fields entirely; a minor-3
+        // client reads the rest and leaves them at their defaults.
+        let health = HealthSnapshot { proto_minor: 2, ..minor3_snapshot() };
+        let payload = encode_response(&Response::Pong { health });
+        let Response::Pong { health: decoded } = decode_response(&payload).unwrap() else {
+            panic!("not a Pong");
+        };
+        assert_eq!(decoded.traces_sampled, 3);
+        assert_eq!(decoded.cache_hits, 0);
+        assert_eq!(decoded.cache_entries, 0);
+        assert_eq!(decoded.routed, 0);
+    }
+
+    #[test]
+    fn minor3_cache_and_shard_fields_round_trip() {
+        let resp = Response::Pong { health: minor3_snapshot() };
         let decoded = decode_response(&encode_response(&resp)).unwrap();
         assert_eq!(decoded, resp);
     }
 
     #[test]
     fn future_minor_pong_skips_unknown_trailing_fields() {
-        // Simulate a minor-3 server: declare minor 3 and append bytes a
-        // minor-2 client has never heard of. Decode must read what it
+        // Simulate a minor-4 server: declare minor 4 and append bytes a
+        // minor-3 client has never heard of. Decode must read what it
         // knows and ignore the rest rather than erroring on trailing data.
         let mut payload =
-            encode_response(&Response::Pong { health: minor2_snapshot() });
-        payload[1..5].copy_from_slice(&3u32.to_be_bytes());
+            encode_response(&Response::Pong { health: minor3_snapshot() });
+        payload[1..5].copy_from_slice(&4u32.to_be_bytes());
         payload.extend_from_slice(&[0xAB; 13]);
         let Response::Pong { health } = decode_response(&payload).unwrap() else {
             panic!("not a Pong");
         };
-        assert_eq!(health.proto_minor, 3);
+        assert_eq!(health.proto_minor, 4);
         assert_eq!(health.access_log_lines, 99);
-        assert_eq!(health.traces_sampled, 3);
+        assert_eq!(health.cache_hits, 12);
+        assert_eq!(health.routed, 555);
     }
 
     #[test]
@@ -828,6 +918,16 @@ mod tests {
         // Claim minor 2 but ship a minor-1 body: truncated at the
         // telemetry fields, and the decoder must say so.
         payload[1..5].copy_from_slice(&2u32.to_be_bytes());
+        assert!(decode_response(&payload).is_err());
+    }
+
+    #[test]
+    fn declared_minor3_without_its_fields_is_malformed() {
+        let health = HealthSnapshot { proto_minor: 2, ..minor3_snapshot() };
+        let mut payload = encode_response(&Response::Pong { health });
+        // Claim minor 3 but ship a minor-2 body: truncated at the cache
+        // fields, and the decoder must say so.
+        payload[1..5].copy_from_slice(&3u32.to_be_bytes());
         assert!(decode_response(&payload).is_err());
     }
 }

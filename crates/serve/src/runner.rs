@@ -239,13 +239,10 @@ impl ProfileCache {
 }
 
 /// FNV-1a over `bytes` — stable benchmark-name hashing for fault seeds
-/// (`std`'s hasher is randomized per process).
+/// (`std`'s hasher is randomized per process). Shared arithmetic from
+/// [`pps_core::hash`].
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    pps_core::hash::fnv1a64(bytes)
 }
 
 /// The measured result of one benchmark × scheme run.

@@ -5,12 +5,17 @@
 //! the expected reply in-process and assert the daemon's bytes are
 //! identical — the service must never drift from the library.
 
+use crate::cache::{CacheClass, CacheKey, CompileCache};
 use crate::proto::{ErrorKind, HealthSnapshot, ProfileText, Request, Response};
 use crate::runner::{run_scheme_obs, RunConfig, RunError};
 use crate::server::Handler;
 use std::sync::Arc;
 use pps_compact::CompactConfig;
-use pps_core::{guarded_form_and_compact_obs, FormConfig, GuardConfig, GuardMode, Scheme};
+use pps_core::{
+    guarded_form_and_compact_obs, machine_hash, ArtifactKey, FormConfig, GuardConfig, GuardMode,
+    Scheme,
+};
+use pps_machine::MachineConfig;
 use pps_ir::interp::ExecConfig;
 use pps_ir::trace::TeeSink;
 use pps_ir::Exec;
@@ -47,6 +52,38 @@ pub trait ProfileSink: Send + Sync {
     fn observe_unit(&self, bench: &str, scale: u32, scheme: &str, path: &PathProfile);
 }
 
+/// [`PipelineHandler`] plus a content-addressed reply cache consulted
+/// before the pipeline. Hits return the cached [`Response`] — byte-
+/// identical to a recompute because [`execute`] is a pure function of
+/// exactly the inputs the [`ArtifactKey`] hashes. Health snapshots carry
+/// the cache counters.
+pub struct CachedPipelineHandler {
+    cache: Arc<CompileCache>,
+}
+
+impl CachedPipelineHandler {
+    /// Wraps the cache as the daemon's handler.
+    pub fn new(cache: Arc<CompileCache>) -> Self {
+        CachedPipelineHandler { cache }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<CompileCache> {
+        &self.cache
+    }
+}
+
+impl Handler for CachedPipelineHandler {
+    fn handle(&self, request: &Request, obs: &Obs) -> Response {
+        execute_cached(request, obs, None, Some(&self.cache))
+    }
+
+    fn health(&self, mut base: HealthSnapshot) -> HealthSnapshot {
+        self.cache.fill_health(&mut base);
+        base
+    }
+}
+
 /// Parses a scheme name as printed by [`Scheme::name`]: `BB`, `M<n>`,
 /// `P<n>`, `P<n>e`.
 pub fn parse_scheme(name: &str) -> Option<Scheme> {
@@ -73,6 +110,10 @@ fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
     Response::Error { kind, message: message.into() }
 }
 
+// The Err is the reply the caller returns as-is; it is never propagated
+// up a deep call chain, so its size (dominated by Pong's HealthSnapshot)
+// costs nothing here.
+#[allow(clippy::result_large_err)]
 fn lookup_bench(name: &str, scale: u32) -> Result<Benchmark, Response> {
     if scale == 0 || scale > MAX_SCALE {
         return Err(error(
@@ -85,6 +126,7 @@ fn lookup_bench(name: &str, scale: u32) -> Result<Benchmark, Response> {
 }
 
 /// One training run feeding both profilers.
+#[allow(clippy::result_large_err)]
 fn train_profiles(
     bench: &Benchmark,
     depth: usize,
@@ -111,17 +153,51 @@ pub fn execute(request: &Request, obs: &Obs) -> Response {
 /// `execute(req, obs)` would — the load generator asserts this by diffing
 /// daemon replies against in-process `execute`.
 pub fn execute_with(request: &Request, obs: &Obs, sink: Option<&dyn ProfileSink>) -> Response {
+    execute_cached(request, obs, sink, None)
+}
+
+/// [`execute_with`] with an optional content-addressed reply cache
+/// consulted before the pipeline. The cache is invisible in the reply
+/// bytes: a hit returns a [`Response`] that is byte-identical to what the
+/// pipeline would recompute, because [`execute`] is a pure function of
+/// exactly the inputs the cache key hashes (program structure, canonical
+/// profiles, scheme, machine model, plus the request's residual
+/// bench/scale/class). Only successful replies are cached; errors always
+/// re-execute.
+pub fn execute_cached(
+    request: &Request,
+    obs: &Obs,
+    sink: Option<&dyn ProfileSink>,
+    cache: Option<&CompileCache>,
+) -> Response {
     match request {
         Request::Ping => Response::Pong { health: HealthSnapshot::default() },
         Request::Shutdown => Response::ShuttingDown,
         Request::Profile { bench, scale, depth } => profile(bench, *scale, *depth, sink),
         Request::Compile { bench, scale, scheme, profile } => {
-            compile(bench, *scale, scheme, profile.as_ref(), obs, sink)
+            compile(bench, *scale, scheme, profile.as_ref(), obs, sink, cache)
         }
         Request::RunCell { bench, scale, scheme, strict } => {
-            run_cell(bench, *scale, scheme, *strict, obs, sink)
+            run_cell(bench, *scale, scheme, *strict, obs, sink, cache)
         }
     }
+}
+
+/// The content address of the unit a request resolves to: canonical
+/// program hash, canonical profile-pair hash, scheme name, machine hash.
+fn artifact_key(
+    bench: &Benchmark,
+    edge: &EdgeProfile,
+    path: &PathProfile,
+    scheme: Scheme,
+    machine: &MachineConfig,
+) -> ArtifactKey {
+    ArtifactKey::new(
+        pps_ir::hash::program_hash(&bench.program),
+        pps_profile::profile_pair_hash(edge, path),
+        scheme.name(),
+        machine_hash(machine),
+    )
 }
 
 fn profile(bench: &str, scale: u32, depth: u32, sink: Option<&dyn ProfileSink>) -> Response {
@@ -151,6 +227,7 @@ fn compile(
     profile: Option<&ProfileText>,
     obs: &Obs,
     sink: Option<&dyn ProfileSink>,
+    cache: Option<&CompileCache>,
 ) -> Response {
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
@@ -178,6 +255,24 @@ fn compile(
     };
     if let Some(sink) = sink {
         sink.publish(bench.name, scale, &edge, &path);
+    }
+
+    let key = cache.map(|_| CacheKey {
+        artifact: artifact_key(&bench, &edge, &path, scheme, &CompactConfig::default().machine),
+        class: CacheClass::Compile,
+        bench: bench.name.to_string(),
+        scale,
+    });
+    if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+        if let Some(reply) = cache.get(key) {
+            // A hit stands in for a successful pipeline run, so the PGO
+            // tier still observes the unit (same content — the key
+            // equality guarantees the identical path profile).
+            if let Some(sink) = sink {
+                sink.observe_unit(bench.name, scale, scheme_name, &path);
+            }
+            return (*reply).clone();
+        }
     }
 
     let mut program = bench.program.clone();
@@ -231,7 +326,11 @@ fn compile(
         after = stats.static_after,
         items = guarded.compacted.total_items(),
     );
-    Response::Compile { report }
+    let response = Response::Compile { report };
+    if let (Some(cache), Some(key)) = (cache, key) {
+        cache.insert(key, response.clone());
+    }
+    response
 }
 
 fn run_cell(
@@ -241,6 +340,7 @@ fn run_cell(
     strict: bool,
     _obs: &Obs,
     sink: Option<&dyn ProfileSink>,
+    cache: Option<&CompileCache>,
 ) -> Response {
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
@@ -251,30 +351,55 @@ fn run_cell(
     };
     let mut config = RunConfig::paper();
     config.guard.mode = if strict { GuardMode::Strict } else { GuardMode::Degrade };
-    if let Some(sink) = sink {
-        // Train here so the pair can be folded into the aggregate, then
-        // hand the same objects to the runner — the metrics it records are
-        // identical to its own train-inline path, keeping the reply
-        // byte-for-byte equal to sink-less execution.
+    // Train up front when anyone needs the pair — the sink to aggregate
+    // it, the cache to key on it — then hand the same objects to the
+    // runner. The metrics it records are identical to its own
+    // train-inline path, keeping the reply byte-for-byte equal to plain
+    // execution.
+    let mut trained: Option<(EdgeProfile, PathProfile)> = None;
+    if sink.is_some() || cache.is_some() {
         match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
-            Ok((edge, path)) => {
-                sink.publish(bench.name, scale, &edge, &path);
-                sink.observe_unit(bench.name, scale, scheme_name, &path);
-                config.preloaded = Some(Arc::new((edge, path)));
-            }
+            Ok(pair) => trained = Some(pair),
             Err(r) => return r,
         }
+    }
+    if let (Some(sink), Some((edge, path))) = (sink, &trained) {
+        sink.publish(bench.name, scale, edge, path);
+        sink.observe_unit(bench.name, scale, scheme_name, path);
+    }
+    let key = match (&trained, cache) {
+        (Some((edge, path)), Some(_)) => Some(CacheKey {
+            artifact: artifact_key(&bench, edge, path, scheme, &config.machine),
+            class: CacheClass::RunCell { strict },
+            bench: bench.name.to_string(),
+            scale,
+        }),
+        _ => None,
+    };
+    if let (Some(cache), Some(key)) = (cache, key.as_ref()) {
+        if let Some(reply) = cache.get(key) {
+            return (*reply).clone();
+        }
+    }
+    if let Some(pair) = trained {
+        config.preloaded = Some(Arc::new(pair));
     }
     // The cell records into its own metrics-only registry — exactly what
     // `pps-harness --metrics-out` exports for the same cell, and byte-
     // deterministic, so clients can diff replies against local runs.
     let cell_obs = Obs::recording(ObsConfig { level: Level::Off, trace: false, metrics: true });
     match run_scheme_obs(&bench, scheme, &config, &cell_obs) {
-        Ok(_) => Response::RunCell {
-            metrics_json: cell_obs
-                .export_metrics_json()
-                .unwrap_or_else(|| "{}".to_string()),
-        },
+        Ok(_) => {
+            let response = Response::RunCell {
+                metrics_json: cell_obs
+                    .export_metrics_json()
+                    .unwrap_or_else(|| "{}".to_string()),
+            };
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.insert(key, response.clone());
+            }
+            response
+        }
         Err(e @ RunError::Exec { .. }) => error(ErrorKind::Exec, e.to_string()),
         Err(e @ RunError::Pipeline { .. }) => error(ErrorKind::Pipeline, e.to_string()),
         Err(e) => error(ErrorKind::Internal, e.to_string()),

@@ -331,6 +331,9 @@ impl Telemetry {
              \"pgo\":{{\"enabled\":{},\"profiles_merged\":{},\"units\":{},\"max_generation\":{},\
              \"drifted_units\":{},\"recompiles\":{},\"swaps\":{},\"rollbacks\":{},\
              \"in_flight_recompiles\":{}}},\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\
+             \"entries\":{}}},\
+             \"shard\":{{\"routed\":{},\"shards\":{}}},\
              \"telemetry\":{{\"enabled\":{},\"access_log_lines\":{},\"traces_sampled\":{}}},\
              \"window\":{{\"seconds\":{},\"requests\":{},\"rps\":{},\"error_rps\":{},\"busy_rps\":{},\
              \"latency_ms\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\
@@ -351,6 +354,13 @@ impl Telemetry {
             h.swaps,
             h.rollbacks,
             h.in_flight_recompiles,
+            h.cache_hits,
+            h.cache_misses,
+            h.cache_evictions,
+            h.cache_invalidations,
+            h.cache_entries,
+            h.routed,
+            h.shards,
             h.telemetry_enabled,
             h.access_log_lines,
             h.traces_sampled,
@@ -386,6 +396,13 @@ impl Telemetry {
             Gauge::new("pgo_swaps", h.swaps as f64),
             Gauge::new("pgo_rollbacks", h.rollbacks as f64),
             Gauge::new("pgo_in_flight_recompiles", f64::from(h.in_flight_recompiles)),
+            Gauge::new("cache_hits", h.cache_hits as f64),
+            Gauge::new("cache_misses", h.cache_misses as f64),
+            Gauge::new("cache_evictions", h.cache_evictions as f64),
+            Gauge::new("cache_invalidations", h.cache_invalidations as f64),
+            Gauge::new("cache_entries", f64::from(h.cache_entries)),
+            Gauge::new("shard_routed", h.routed as f64),
+            Gauge::new("shard_count", f64::from(h.shards)),
             Gauge::new("telemetry_access_log_lines", h.access_log_lines as f64),
             Gauge::new("telemetry_traces_sampled", h.traces_sampled as f64),
         ];
@@ -586,8 +603,22 @@ mod tests {
         }
         t.observe(&record("busy", 1, 0.1));
         t.observe(&record("exec", 16, 3.0));
-        let health = HealthSnapshot { proto_minor: 2, workers: 4, ..HealthSnapshot::default() };
+        let health = HealthSnapshot {
+            proto_minor: 3,
+            workers: 4,
+            cache_hits: 7,
+            cache_entries: 3,
+            routed: 99,
+            shards: 2,
+            ..HealthSnapshot::default()
+        };
         let doc = json::parse(&t.health_json(&health)).expect("health JSON parses");
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_num(), Some(7.0));
+        assert_eq!(cache.get("entries").unwrap().as_num(), Some(3.0));
+        let shard = doc.get("shard").unwrap();
+        assert_eq!(shard.get("routed").unwrap().as_num(), Some(99.0));
+        assert_eq!(shard.get("shards").unwrap().as_num(), Some(2.0));
         let window = doc.get("window").unwrap();
         assert_eq!(window.get("requests").unwrap().as_num(), Some(22.0));
         assert!(window.get("rps").unwrap().as_num().unwrap() > 0.0);
@@ -611,6 +642,8 @@ mod tests {
             workers: 4,
             pgo_enabled: true,
             swaps: 5,
+            cache_hits: 11,
+            cache_entries: 4,
             ..HealthSnapshot::default()
         };
         let text = t.metrics_exposition(&reg, &health);
@@ -618,6 +651,8 @@ mod tests {
         expo::validate(&doc).expect("exposition validates");
         assert_eq!(doc.single("serve_queue_depth"), Some(2.0));
         assert_eq!(doc.single("pgo_swaps"), Some(5.0));
+        assert_eq!(doc.single("cache_hits"), Some(11.0));
+        assert_eq!(doc.single("cache_entries"), Some(4.0));
         assert_eq!(doc.single("serve_latency_ms_count"), Some(1.0));
         assert_eq!(doc.total("serve_requests_total"), 3.0);
     }

@@ -1,0 +1,152 @@
+//! Property tests for canonical content hashing — the identity layer
+//! under the serving stack's `ArtifactKey`. Over random multi-procedure
+//! programs: structural hashes must survive text serialize → deserialize
+//! and mutation-generation churn (clone, `touch()`), the memoized
+//! [`AnalysisCache`] path must agree with the direct walk, any actual
+//! touched mutation must change the hash, and profile hashes (depth 15)
+//! must survive their own serialize round-trip.
+
+use pps::ir::hash::{proc_hash, program_hash};
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::text::{parse_program, print_program};
+use pps::ir::trace::TeeSink;
+use pps::ir::AnalysisCache;
+use pps::profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
+use pps::profile::{edge_hash, path_hash, profile_pair_hash, EdgeProfiler, PathProfiler};
+use pps::testgen::{gen_program, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The structural hash is a content address: parsing the printed
+    /// program yields fresh generation nonces but the same body, and
+    /// `touch()` churns the generation without changing the body. Neither
+    /// may move the hash, and the memoized cache must agree throughout.
+    #[test]
+    fn program_hash_survives_round_trip_and_generation_churn(seed in 0u64..1_000_000) {
+        let p = gen_program(seed, GenConfig::default());
+        let h = program_hash(&p);
+
+        // Text round-trip: same body, brand-new generations.
+        let q = parse_program(&print_program(&p)).unwrap();
+        prop_assert_eq!(program_hash(&q), h, "seed {}", seed);
+        for (a, b) in p.procs.iter().zip(&q.procs) {
+            prop_assert_eq!(proc_hash(a), proc_hash(b), "seed {}", seed);
+        }
+
+        // Generation churn: clone keeps generations, touch replaces them;
+        // the hash ignores both.
+        let mut r = p.clone();
+        for proc in &mut r.procs {
+            let before = proc.generation();
+            proc.touch();
+            prop_assert_ne!(proc.generation(), before, "touch must churn");
+        }
+        prop_assert_eq!(program_hash(&r), h, "seed {}", seed);
+
+        // The memoized path is exact: it matches the direct walk before
+        // and after churn, per procedure and for the whole program.
+        let mut cache = AnalysisCache::new();
+        prop_assert_eq!(cache.program_hash(&p), h);
+        prop_assert_eq!(cache.program_hash(&p), h, "memo hit must not drift");
+        for pid in p.proc_ids() {
+            prop_assert_eq!(cache.structural_hash(&p, pid), proc_hash(p.proc(pid)));
+        }
+        prop_assert_eq!(cache.program_hash(&r), h, "churned program, same content");
+    }
+
+    /// Any touched mutation that changes the body must change the hash of
+    /// the mutated procedure (and hence the program), while every other
+    /// procedure's hash stays put — exactly the granularity the compile
+    /// cache invalidates at.
+    #[test]
+    fn any_touched_mutation_changes_the_hash(seed in 0u64..1_000_000, kind in 0u8..3) {
+        let mut p = gen_program(seed, GenConfig::default());
+        let h = program_hash(&p);
+        let before: Vec<u64> = p.procs.iter().map(proc_hash).collect();
+        let victim = (seed as usize) % p.procs.len();
+
+        let proc = &mut p.procs[victim];
+        match kind {
+            0 => {
+                proc.name.push('_');
+                proc.touch();
+            }
+            1 => {
+                proc.reg_count += 1;
+                proc.touch();
+            }
+            _ => {
+                // Drop the last instruction of some non-empty block;
+                // fall back to a rename when every block is bare.
+                let target = proc
+                    .block_ids()
+                    .find(|&b| !proc.block(b).instrs.is_empty());
+                match target {
+                    Some(b) => {
+                        proc.block_mut(b).instrs.pop();
+                    }
+                    None => {
+                        proc.name.push('_');
+                        proc.touch();
+                    }
+                }
+            }
+        }
+
+        prop_assert_ne!(program_hash(&p), h, "seed {} kind {}", seed, kind);
+        for (i, proc) in p.procs.iter().enumerate() {
+            if i == victim {
+                prop_assert_ne!(proc_hash(proc), before[i], "seed {} kind {}", seed, kind);
+            } else {
+                prop_assert_eq!(proc_hash(proc), before[i], "seed {} kind {}", seed, kind);
+            }
+        }
+    }
+
+    /// Profile hashes are content addresses too: serializing a trained
+    /// edge/path profile to text and parsing it back must preserve both
+    /// hashes and the pair hash, and the pair hash must be
+    /// order-sensitive.
+    #[test]
+    fn profile_hashes_survive_serialize_round_trip(seed in 0u64..1_000_000) {
+        let program = gen_program(seed, GenConfig::default());
+        let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
+        Interp::new(&program, ExecConfig::default())
+            .run_traced(&[], &mut tee)
+            .unwrap();
+        let edge = tee.a.finish();
+        let path = tee.b.finish();
+
+        let edge2 = edge_from_text(&edge_to_text(&edge)).unwrap();
+        let path2 = path_from_text(&path_to_text(&path)).unwrap();
+        prop_assert_eq!(edge_hash(&edge2), edge_hash(&edge), "seed {}", seed);
+        prop_assert_eq!(path_hash(&path2), path_hash(&path), "seed {}", seed);
+        prop_assert_eq!(
+            profile_pair_hash(&edge2, &path2),
+            profile_pair_hash(&edge, &path),
+            "seed {}", seed
+        );
+    }
+}
+
+/// Distinct programs get distinct hashes in practice: across a spread of
+/// generator seeds, no two structurally different programs may collide
+/// (deterministic generator, so this is a fixed regression check rather
+/// than a probabilistic one).
+#[test]
+fn distinct_programs_hash_distinctly() {
+    use std::collections::HashMap;
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for seed in 0..200u64 {
+        let p = gen_program(seed, GenConfig::default());
+        let h = program_hash(&p);
+        if let Some(&prior) = seen.get(&h) {
+            let q = gen_program(prior, GenConfig::default());
+            assert_eq!(p, q, "seeds {prior} and {seed} collide on {h:#x} yet differ");
+        }
+        seen.entry(h).or_insert(seed);
+    }
+    assert!(seen.len() > 150, "generator should produce mostly distinct programs");
+}

@@ -8,7 +8,7 @@ use pps::harness::loadgen::{self, LoadgenConfig};
 use pps::harness::top::{self, TopConfig};
 use pps::obs::expo;
 use pps::obs::{json, Level, Obs, ObsConfig};
-use pps::serve::proto::{encode_response, Envelope, Request, Response};
+use pps::serve::proto::{encode_response, Envelope, Request, Response, PROTO_MINOR};
 use pps::serve::server::{ServeConfig, ServerHandle};
 use pps::serve::service::PipelineHandler;
 use pps::serve::telemetry::{Telemetry, TelemetryConfig};
@@ -115,7 +115,7 @@ fn scrape_under_load_validates_and_access_log_matches_replies() {
 }
 
 #[test]
-fn replies_are_byte_identical_with_telemetry_on_and_pong_is_minor2() {
+fn replies_are_byte_identical_with_telemetry_on_and_pong_carries_minor() {
     let log_path = temp_path("access-ident.jsonl");
     let (server, telemetry, scrape) = spawn_daemon_with_telemetry(&log_path.to_string_lossy());
     let addr = server.addr().to_string();
@@ -150,12 +150,12 @@ fn replies_are_byte_identical_with_telemetry_on_and_pong_is_minor2() {
         );
     }
 
-    // The health snapshot advertises protocol minor 2 and the telemetry
-    // counters through the same socket the work flows over.
+    // The health snapshot advertises the current protocol minor and the
+    // telemetry counters through the same socket the work flows over.
     let Response::Pong { health } = client.request(Request::Ping).expect("ping") else {
         panic!("expected Pong");
     };
-    assert_eq!(health.proto_minor, 2);
+    assert_eq!(health.proto_minor, PROTO_MINOR);
     assert!(health.telemetry_enabled);
     assert!(health.access_log_lines >= 4, "{health:?}");
     assert!(health.traces_sampled >= 1, "error reply must be tail-sampled");
@@ -165,7 +165,10 @@ fn replies_are_byte_identical_with_telemetry_on_and_pong_is_minor2() {
         &top::http_get(&scrape, "/health", Duration::from_secs(5)).expect("GET /health"),
     )
     .expect("health JSON");
-    assert_eq!(health_doc.get("proto_minor").and_then(json::Json::as_num), Some(2.0));
+    assert_eq!(
+        health_doc.get("proto_minor").and_then(json::Json::as_num),
+        Some(f64::from(PROTO_MINOR))
+    );
     assert_eq!(
         health_doc.get("telemetry").and_then(|t| t.get("enabled")),
         Some(&json::Json::Bool(true))
