@@ -39,6 +39,17 @@
 #                             tables must match exactly), plus the golden
 #                             table byte-stability suite — in release mode,
 #                             the configuration the harness actually ships
+#   ./ci.sh kpath-smoke       the k-iteration / interprocedural scheme
+#                             family end to end: regenerate the Figure 4
+#                             table with the Pk2/Pk3/Px4 columns and one
+#                             train/test divergence sweep; measure the
+#                             k-path profiler's training overhead against
+#                             the general path profiler from recorded
+#                             `profile` spans; drive a daemon with Pk2 and
+#                             Px4 loads (replies byte-verified, repeats
+#                             must hit the reply cache); records per-scheme
+#                             cycle ratios, profiling overhead, and serve
+#                             throughput in BENCH_kpath.json
 #   ./ci.sh interp-bench      fig4 scale-4 smoke under the fast engine and
 #                             PPS_ENGINE=reference: outputs must be
 #                             byte-identical; writes BENCH_interp.json;
@@ -399,6 +410,99 @@ telemetry_smoke() {
   rm -rf "$out"
 }
 
+kpath_smoke() {
+  echo "== kpath smoke (k-iteration + interprocedural schemes) =="
+  out="$(mktemp -d)"
+  cargo build --release -p pps-serve -p pps-harness
+
+  # Table regeneration: Figure 4 carries the Pk2/Pk3/Px4 columns, and
+  # `diverge` is the train/test divergence sweep (true vs weight-inverted
+  # vs phase-mixed path profiles). Scale 1 keeps this inside CI time.
+  ./target/release/pps-harness --experiment fig4 --scale 1 --jobs 2 \
+    --log-level warn > "$out/fig4.txt"
+  grep -q 'Pk2/M4' "$out/fig4.txt" || { echo "fig4 missing Pk2 column"; exit 1; }
+  grep -q 'Px4/M4' "$out/fig4.txt" || { echo "fig4 missing Px4 column"; exit 1; }
+  ./target/release/pps-harness --experiment diverge --scale 1 \
+    --log-level warn > "$out/diverge.txt"
+  grep -q 'inv/true' "$out/diverge.txt" || { echo "diverge missing ratio columns"; exit 1; }
+  grep -q 'Pk2' "$out/diverge.txt" || { echo "diverge missing Pk2 rows"; exit 1; }
+
+  # Profiling overhead: identical pps-explore runs recording the
+  # `profile` span (training execution + profiler), general path profiler
+  # (P4) vs the k-path collectors.
+  for s in P4 Pk2 Pk3; do
+    ./target/release/pps-explore --bench wc --scheme "$s" --scale 2 \
+      --trace-out "$out/trace-$s.json" --log-level warn > /dev/null
+  done
+  prof_us() {
+    grep -o '{"name":"profile"[^}]*}' "$1" | grep -o '"dur":[0-9.]*' \
+      | grep -o '[0-9.]*$' | awk '{ s += $1 } END { printf "%.1f", s }'
+  }
+  p4_us="$(prof_us "$out/trace-P4.json")"
+  pk2_us="$(prof_us "$out/trace-Pk2.json")"
+  pk3_us="$(prof_us "$out/trace-Pk3.json")"
+
+  # The daemon end to end: a Pk2 load over one artifact (repeats must hit
+  # the reply cache) and a Px4 load on a call-heavy benchmark (so the
+  # inline phase actually fires server-side), every reply byte-verified
+  # against the in-process pipeline. Scheme names arrive lowercased to
+  # exercise canonicalization through the wire.
+  ./target/release/pps-serve --addr 127.0.0.1:0 --port-file "$out/port" \
+    --log-level warn > "$out/daemon.log" 2>&1 &
+  daemon=$!
+  for _ in $(seq 1 100); do
+    [ -s "$out/port" ] && break
+    kill -0 "$daemon" 2>/dev/null || { echo "daemon died before binding"; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$out/port" ] || { echo "daemon never wrote its port file"; exit 1; }
+  addr="$(cat "$out/port")"
+
+  ./target/release/pps-harness loadgen --addr "$addr" \
+    --conns 8 --requests 48 --bench wc --scale 1 --scheme pk2 \
+    --out "$out/loadgen-pk2.json" --log-level warn
+  grep -q '"mismatches": 0' "$out/loadgen-pk2.json" || { echo "Pk2 reply mismatches"; exit 1; }
+  grep -q '"errors": 0' "$out/loadgen-pk2.json" || { echo "Pk2 loadgen errors"; exit 1; }
+  grep -q '"scheme": "Pk2"' "$out/loadgen-pk2.json" \
+    || { echo "lowercase pk2 did not canonicalize"; exit 1; }
+
+  ./target/release/pps-harness ping --addr "$addr" > "$out/ping.json"
+  hits="$(grep -o '"cache_hits":[0-9]*' "$out/ping.json" | grep -o '[0-9]*$')"
+  misses="$(grep -o '"cache_misses":[0-9]*' "$out/ping.json" | grep -o '[0-9]*$')"
+  [ "${hits:-0}" -gt 0 ] || { echo "Pk2 repeats never hit the reply cache"; exit 1; }
+
+  ./target/release/pps-harness loadgen --addr "$addr" \
+    --conns 4 --requests 16 --bench li --scale 1 --scheme Px4 \
+    --shutdown --out "$out/loadgen-px4.json" --log-level warn
+  if ! wait "$daemon"; then
+    echo "daemon exited nonzero after drain"; cat "$out/daemon.log"; exit 1
+  fi
+  grep -q '"mismatches": 0' "$out/loadgen-px4.json" || { echo "Px4 reply mismatches"; exit 1; }
+  grep -q '"errors": 0' "$out/loadgen-px4.json" || { echo "Px4 loadgen errors"; exit 1; }
+
+  pk2_rps="$(grep -o '"throughput_rps": [0-9.]*' "$out/loadgen-pk2.json" | grep -o '[0-9.]*$')"
+  px4_rps="$(grep -o '"throughput_rps": [0-9.]*' "$out/loadgen-px4.json" | grep -o '[0-9.]*$')"
+
+  # Per-scheme cycle ratios averaged over the Figure 4 rows (columns:
+  # benchmark, M4 cycles, P4, Pk2, Pk3, Px4, P4/M4, Pk2/M4, Px4/M4).
+  awk -v p4us="$p4_us" -v pk2us="$pk2_us" -v pk3us="$pk3_us" \
+      -v pk2rps="$pk2_rps" -v px4rps="$px4_rps" -v hits="$hits" -v misses="${misses:-0}" '
+    NR > 3 && NF == 9 { n += 1; p4 += $7; pk2 += $8; px4 += $9 }
+    END {
+      if (n == 0) { print "no fig4 data rows" > "/dev/stderr"; exit 1 }
+      printf "{\n"
+      printf "  \"schema\": \"pps-bench-kpath\",\n  \"version\": 1,\n"
+      printf "  \"fig4_scale1\": { \"benchmarks\": %d, \"mean_p4_over_m4\": %.3f, \"mean_pk2_over_m4\": %.3f, \"mean_px4_over_m4\": %.3f },\n", n, p4 / n, pk2 / n, px4 / n
+      printf "  \"profiling_overhead\": { \"bench\": \"wc\", \"scale\": 2, \"profile_span_us\": { \"P4\": %s, \"Pk2\": %s, \"Pk3\": %s }, \"pk2_over_p4\": %.3f, \"pk3_over_p4\": %.3f },\n", p4us, pk2us, pk3us, pk2us / p4us, pk3us / p4us
+      printf "  \"serve\": { \"pk2_rps\": %s, \"px4_rps\": %s, \"cache_hits\": %s, \"cache_misses\": %s, \"hit_rate\": %.4f },\n", pk2rps, px4rps, hits, misses, hits / (hits + misses)
+      printf "  \"note\": \"see EXPERIMENTS.md: at scale 4 with the I-cache, Px4 beats P4e on 9 of 11 benchmarks; Pk2 wins on the call-dominated analogs\"\n"
+      printf "}\n"
+    }' "$out/fig4.txt" > BENCH_kpath.json \
+    || { echo "BENCH_kpath.json generation failed"; exit 1; }
+  echo "kpath smoke OK (BENCH_kpath.json updated: Pk2 ${pk2_rps} rps, hit rate $hits/$((hits + ${misses:-0})))"
+  rm -rf "$out"
+}
+
 interp_diff() {
   echo "== interp differential lockdown (release) =="
   # The harness ships release builds, so the equivalence proof must hold
@@ -464,6 +568,7 @@ case "$stage" in
   drift-smoke) drift_smoke ;;
   shard-smoke) shard_smoke ;;
   telemetry-smoke) telemetry_smoke ;;
+  kpath-smoke) kpath_smoke ;;
   interp-diff) interp_diff ;;
   interp-bench) interp_bench ;;
   all)
@@ -472,13 +577,14 @@ case "$stage" in
     parallel_harness
     interp_diff
     interp_bench
+    kpath_smoke
     serve_smoke
     drift_smoke
     shard_smoke
     telemetry_smoke
     ;;
   *)
-    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|interp-diff|interp-bench|serve-smoke|drift-smoke|shard-smoke|telemetry-smoke|all]" >&2
+    echo "usage: ./ci.sh [gate|obs-smoke|parallel-harness|interp-diff|interp-bench|kpath-smoke|serve-smoke|drift-smoke|shard-smoke|telemetry-smoke|all]" >&2
     exit 2
     ;;
 esac

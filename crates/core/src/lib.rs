@@ -31,6 +31,7 @@ pub mod enlarge;
 pub mod fixup;
 pub mod guard;
 pub mod hash;
+pub mod inline;
 pub mod pipeline;
 pub mod pool;
 pub mod select;
@@ -40,6 +41,7 @@ pub mod unit;
 
 pub use config::{FormConfig, Scheme};
 pub use hash::{machine_hash, ArtifactKey};
+pub use inline::{inline_hot_calls, InlineConfig, InlineOutcome, InlinedSite};
 pub use guard::{
     guarded_form_and_compact, guarded_form_and_compact_hooked,
     guarded_form_and_compact_hooked_obs, guarded_form_and_compact_obs, GuardConfig, GuardMode,

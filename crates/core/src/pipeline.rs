@@ -335,7 +335,10 @@ fn form_unit_inner(
     let analysis = unit.analysis();
     let traces: Vec<Trace> = match scheme {
         Scheme::Edge { .. } => select_traces_edge(unit.proc(), pid, &analysis, edge, config),
-        Scheme::Path { .. } => {
+        // The Pk*/Px* schemes run the path selector over their derived
+        // profile view (k-iteration substring counts / post-inline paths);
+        // the fidelity difference lives entirely in the profile.
+        Scheme::Path { .. } | Scheme::KPath { .. } | Scheme::Inter { .. } => {
             select_traces_path(unit.proc(), pid, &analysis, path.expect("path profile"), config)
         }
         Scheme::BasicBlock => unreachable!(),
@@ -445,7 +448,17 @@ fn form_unit_inner(
                         stats.enlarged_blocks += u64::from(st.appended);
                         new_chains.extend(chains);
                     }
-                    Scheme::Path { unroll, restrained } => {
+                    Scheme::Path { .. } | Scheme::KPath { .. } | Scheme::Inter { .. } => {
+                        // Pk*/Px* enlarge exactly like P{n}: cross-iteration
+                        // and cross-call growth are bounded by where their
+                        // derived profiles have support, not by new rules.
+                        let (unroll, restrained) = match scheme {
+                            Scheme::Path { unroll, restrained } => (unroll, restrained),
+                            Scheme::KPath { unroll, .. } | Scheme::Inter { unroll } => {
+                                (unroll, false)
+                            }
+                            _ => unreachable!(),
+                        };
                         let (st, chains) = enlarge_path(
                             proc, pid, &mut sbs[i], i as u32, &index, &term_snapshot,
                             path.expect("path profile"), &mut orig_of, unroll, restrained, config,

@@ -22,7 +22,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pps-explore --bench NAME [--scheme BB|M4|M16|P4|P4e] [--scale N] \
+        "usage: pps-explore --bench NAME [--scheme BB|M4|M16|P4|P4e|Pk2|Pk3|Px4] [--scale N] \
          [--ir] [--dot] [--schedules] \
          [--trace-out FILE] [--metrics-out FILE] [--log-level off|error|warn|info|debug]"
     );
@@ -30,14 +30,7 @@ fn usage() -> ! {
 }
 
 fn parse_scheme(s: &str) -> Option<Scheme> {
-    match s {
-        "BB" => Some(Scheme::BasicBlock),
-        "M4" => Some(Scheme::M4),
-        "M16" => Some(Scheme::M16),
-        "P4" => Some(Scheme::P4),
-        "P4e" | "P4E" => Some(Scheme::P4E),
-        _ => None,
-    }
+    Scheme::parse(s)
 }
 
 fn main() -> ExitCode {
@@ -92,12 +85,53 @@ fn main() -> ExitCode {
 
     let mut program = bench.program.clone();
     let profile_span = obs.span("profile");
-    let mut tee = TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, 15));
-    Exec::new(&program, ExecConfig::default())
-        .run_traced(&bench.train_args, &mut tee)
-        .expect("train run");
-    let edge = tee.a.finish();
-    let path = tee.b.finish();
+    let train = |program: &pps_ir::Program| {
+        let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, 15));
+        Exec::new(program, ExecConfig::default())
+            .run_traced(&bench.train_args, &mut tee)
+            .expect("train run");
+        (tee.a.finish(), tee.b.finish())
+    };
+    let (edge, path) = match scheme.kpath_k() {
+        // `Pk*`: derive the path profile from a k-iteration training run.
+        Some(k) => {
+            let mut tee = TeeSink::new(
+                EdgeProfiler::new(&program),
+                pps_profile::KPathProfiler::new(&program, k as usize),
+            );
+            Exec::new(&program, ExecConfig::default())
+                .run_traced(&bench.train_args, &mut tee)
+                .expect("train run");
+            let kprof = tee.b.finish();
+            println!(
+                "k-path profile (k={k}): {} distinct paths across {} procs",
+                (0..kprof.num_procs())
+                    .map(|p| kprof.distinct_paths(pps_ir::ProcId::new(p as u32)))
+                    .sum::<usize>(),
+                kprof.num_procs(),
+            );
+            (tee.a.finish(), kprof.to_path_profile(15))
+        }
+        None => train(&program),
+    };
+    // `Px4`: guarded inlining of the hottest call sites, then a retrain on
+    // the inlined program — the same two-phase flow the runner uses.
+    let (edge, path) = if matches!(scheme, Scheme::Inter { .. }) {
+        let inline_config = pps_core::InlineConfig {
+            oracle_inputs: vec![bench.train_args.clone()],
+            ..pps_core::InlineConfig::default()
+        };
+        let outcome = pps_core::inline_hot_calls(&mut program, &edge, &inline_config);
+        println!(
+            "inline phase: {} sites inlined, {} rolled back, {} skipped",
+            outcome.inlined.len(),
+            outcome.rolled_back,
+            outcome.skipped,
+        );
+        if outcome.inlined.is_empty() { (edge, path) } else { train(&program) }
+    } else {
+        (edge, path)
+    };
     edge.record_metrics(&obs);
     path.record_metrics(&obs);
     drop(profile_span);

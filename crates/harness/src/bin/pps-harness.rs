@@ -111,7 +111,15 @@ fn loadgen_main(args: &[String]) -> ExitCode {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| loadgen_usage());
             }
-            "--scheme" => config.scheme = it.next().unwrap_or_else(|| loadgen_usage()).clone(),
+            "--scheme" => {
+                // Canonicalize up front (`pk2` -> `Pk2`) so the report and
+                // every request carry the same name the daemon keys by.
+                config.scheme = it
+                    .next()
+                    .and_then(|v| pps_core::Scheme::parse(v))
+                    .unwrap_or_else(|| loadgen_usage())
+                    .name();
+            }
             "--probe-malformed" => config.probe_malformed = true,
             "--shutdown" => config.shutdown = true,
             "--retries" => {

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 /// All experiment identifiers accepted by the harness binary.
 pub const EXPERIMENTS: &[&str] = &[
     "table1", "fig4", "fig5", "fig6", "fig7", "missrates", "ablate", "tracecache", "predict",
+    "diverge",
 ];
 
 /// Selects benchmarks, optionally filtered by name.
@@ -45,7 +46,22 @@ pub fn select_benchmarks(scale: Scale, filter: Option<&str>) -> Vec<Benchmark> {
 type CellKey = (String, String, String);
 
 fn cell_key(bench: &Benchmark, scheme: Scheme, config: &RunConfig) -> CellKey {
-    (bench.name.to_string(), scheme.name(), format!("{config:?}"))
+    (bench.name.to_string(), scheme.name(), config_fingerprint(config))
+}
+
+/// A deterministic identity string for a config variant. The derived
+/// `Debug` won't do for `preloaded` profiles: their `HashMap`s iterate in
+/// a per-instance order, and the plan / execute / replay walks each
+/// retrain their own instances — so the pair is keyed by its canonical
+/// content hash instead.
+fn config_fingerprint(config: &RunConfig) -> String {
+    let preloaded = config
+        .preloaded
+        .as_ref()
+        .map(|p| pps_profile::profile_pair_hash(&p.0, &p.1));
+    let mut slim = config.clone();
+    slim.preloaded = None;
+    format!("{slim:?} preloaded={preloaded:?}")
 }
 
 /// One cell the plan pass discovered.
@@ -117,7 +133,7 @@ impl RunCtx {
     ) -> Result<SchemeRun, RunError> {
         match &mut self.mode {
             CtxMode::Direct => {
-                let filled = self.profiles.fill(bench, config)?;
+                let filled = self.profiles.fill(bench, scheme, config)?;
                 let r = run_scheme_obs(bench, scheme, &filled, &self.obs)?;
                 for inc in &r.guard.incidents {
                     self.incidents
@@ -159,7 +175,7 @@ impl RunCtx {
 }
 
 fn cell_matches(cell: &PlannedCell, key: &CellKey) -> bool {
-    cell.bench == key.0 && cell.scheme.name() == key.1 && format!("{:?}", cell.config) == key.2
+    cell.bench == key.0 && cell.scheme.name() == key.1 && config_fingerprint(&cell.config) == key.2
 }
 
 /// An empty [`SchemeRun`] for the plan pass. Drivers may do arithmetic on
@@ -240,6 +256,7 @@ fn build_tables(
         "fig6" => vec![fig6(benches, ctx)?],
         "fig7" => vec![fig7(benches, ctx)?],
         "missrates" => vec![missrates(benches, ctx)?],
+        "diverge" => vec![diverge(benches, ctx)?],
         "ablate" => ablate(benches, ctx)?,
         "tracecache" => vec![tracecache(benches)?],
         "predict" => vec![predict(benches)?],
@@ -324,7 +341,7 @@ pub fn run_experiment_jobs_config(
             .expect("planned bench selected");
         let fork = obs.fork_sink();
         let result = profiles
-            .fill(bench, &cell.config)
+            .fill(bench, cell.scheme, &cell.config)
             .and_then(|filled| run_scheme_obs(bench, cell.scheme, &filled, &fork));
         (cell_key(bench, cell.scheme, &cell.config), ExecutedCell { result, fork, absorbed: false })
     });
@@ -364,20 +381,30 @@ pub fn table1(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError
     Ok(t)
 }
 
-/// Figure 4: P4 vs M4 cycle counts with a perfect I-cache.
+/// Figure 4: path-scheme cycle counts vs M4 with a perfect I-cache — the
+/// paper's P4 column plus the extension schemes (k-iteration `Pk2`/`Pk3`,
+/// interprocedural `Px4`).
 pub fn fig4(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
-        "Figure 4: cycle counts, P4 normalized to M4, ideal I-cache",
-        &["benchmark", "M4 cycles", "P4 cycles", "P4/M4"],
+        "Figure 4: cycle counts, path schemes normalized to M4, ideal I-cache",
+        &["benchmark", "M4 cycles", "P4", "Pk2", "Pk3", "Px4", "P4/M4", "Pk2/M4", "Px4/M4"],
     );
     for b in benches {
         let m4 = ctx.run(b, Scheme::M4)?;
         let p4 = ctx.run(b, Scheme::P4)?;
+        let pk2 = ctx.run(b, Scheme::PK2)?;
+        let pk3 = ctx.run(b, Scheme::PK3)?;
+        let px4 = ctx.run(b, Scheme::PX4)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles.to_string(),
             p4.cycles.to_string(),
+            pk2.cycles.to_string(),
+            pk3.cycles.to_string(),
+            px4.cycles.to_string(),
             ratio(p4.cycles, m4.cycles),
+            ratio(pk2.cycles, m4.cycles),
+            ratio(px4.cycles, m4.cycles),
         ]);
     }
     Ok(t)
@@ -387,7 +414,7 @@ pub fn fig4(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> 
 pub fn fig5(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 5: cycle counts with 32KB I-cache, normalized to M4",
-        &["benchmark", "M4", "P4", "P4e", "P4/M4", "P4e/M4"],
+        &["benchmark", "M4", "P4", "P4e", "Pk2", "Px4", "P4/M4", "P4e/M4", "Pk2/M4", "Px4/M4"],
     );
     for b in benches {
         if b.category == pps_suite::Category::Micro {
@@ -398,13 +425,19 @@ pub fn fig5(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> 
         let m4 = ctx.run(b, Scheme::M4)?;
         let p4 = ctx.run(b, Scheme::P4)?;
         let p4e = ctx.run(b, Scheme::P4E)?;
+        let pk2 = ctx.run(b, Scheme::PK2)?;
+        let px4 = ctx.run(b, Scheme::PX4)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles_icache.to_string(),
             p4.cycles_icache.to_string(),
             p4e.cycles_icache.to_string(),
+            pk2.cycles_icache.to_string(),
+            px4.cycles_icache.to_string(),
             ratio(p4.cycles_icache, m4.cycles_icache),
             ratio(p4e.cycles_icache, m4.cycles_icache),
+            ratio(pk2.cycles_icache, m4.cycles_icache),
+            ratio(px4.cycles_icache, m4.cycles_icache),
         ]);
     }
     Ok(t)
@@ -415,7 +448,7 @@ pub fn fig5(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> 
 pub fn fig6(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
     let mut t = Table::new(
         "Figure 6: cycle counts with 32KB I-cache, normalized to M4",
-        &["benchmark", "M4", "M16", "P4e", "M16/M4", "P4e/M4"],
+        &["benchmark", "M4", "M16", "P4e", "Pk2", "Px4", "M16/M4", "P4e/M4", "Pk2/M4", "Px4/M4"],
     );
     for b in benches {
         if b.category == pps_suite::Category::Micro {
@@ -424,13 +457,19 @@ pub fn fig6(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> 
         let m4 = ctx.run(b, Scheme::M4)?;
         let m16 = ctx.run(b, Scheme::M16)?;
         let p4e = ctx.run(b, Scheme::P4E)?;
+        let pk2 = ctx.run(b, Scheme::PK2)?;
+        let px4 = ctx.run(b, Scheme::PX4)?;
         t.row(vec![
             b.name.to_string(),
             m4.cycles_icache.to_string(),
             m16.cycles_icache.to_string(),
             p4e.cycles_icache.to_string(),
+            pk2.cycles_icache.to_string(),
+            px4.cycles_icache.to_string(),
             ratio(m16.cycles_icache, m4.cycles_icache),
             ratio(p4e.cycles_icache, m4.cycles_icache),
+            ratio(pk2.cycles_icache, m4.cycles_icache),
+            ratio(px4.cycles_icache, m4.cycles_icache),
         ]);
     }
     Ok(t)
@@ -448,11 +487,15 @@ pub fn fig7(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> 
             "M16 avg", "M16 size",
             "P4e avg", "P4e size",
             "P4 avg", "P4 size",
+            "Pk2 avg", "Pk2 size",
+            "Px4 avg", "Px4 size",
         ],
     );
     for b in benches {
         let mut cells = vec![b.name.to_string()];
-        for scheme in [Scheme::M4, Scheme::M16, Scheme::P4E, Scheme::P4] {
+        for scheme in
+            [Scheme::M4, Scheme::M16, Scheme::P4E, Scheme::P4, Scheme::PK2, Scheme::PX4]
+        {
             let r = ctx.run(b, scheme)?;
             cells.push(format!("{:.2}", r.sb_stats.avg_blocks_executed()));
             cells.push(format!("{:.2}", r.sb_stats.avg_size()));
@@ -485,6 +528,73 @@ pub fn missrates(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunEr
             m4.static_instrs.to_string(),
             p4.static_instrs.to_string(),
         ]);
+    }
+    Ok(t)
+}
+
+/// Weight-inverted copy of a path profile: every maximal window's count
+/// becomes `max + 1 - count`, so the hot set becomes the cold set with the
+/// same shape (the serve load generator's drift phase uses the same
+/// construction to trip the continuous-PGO loop).
+fn invert_path(path: &pps_profile::PathProfile) -> pps_profile::PathProfile {
+    use pps_ir::ProcId;
+    let per_proc: Vec<Vec<(Vec<_>, u64)>> = (0..path.num_procs())
+        .map(|pi| {
+            let windows = path.iter_maximal_windows(ProcId::new(pi as u32));
+            let max = windows.iter().map(|(_, c)| *c).max().unwrap_or(0);
+            windows.into_iter().map(|(w, c)| (w, max + 1 - c)).collect()
+        })
+        .collect();
+    pps_profile::PathProfile::from_windows(path.depth(), per_proc)
+}
+
+/// Train/test divergence sweep: how each path-consuming scheme degrades
+/// when its training profile diverges from the test workload. Three
+/// regimes per scheme: `true` (the paper's methodology — train on the
+/// training input), `inverted` (adversarial: the path profile's hot set
+/// becomes its cold set), and `mixed` (phase-changing workload: true and
+/// inverted mass merged, as a run whose behavior flips halfway through
+/// would train). The edge profile stays true throughout, isolating the
+/// path-profile contribution; ratios above 1.000 measure how much each
+/// scheme trusts its path profile.
+pub fn diverge(benches: &[Benchmark], ctx: &mut RunCtx) -> Result<Table, RunError> {
+    use pps_profile::merge_paths;
+    let mut t = Table::new(
+        "Divergence sweep: cycles under true / inverted / phase-mixed path profiles \
+         (ideal I-cache)",
+        &["benchmark", "scheme", "true", "inverted", "mixed", "inv/true", "mix/true"],
+    );
+    for b in benches {
+        for scheme in [Scheme::P4, Scheme::PK2, Scheme::PK3] {
+            let truth = ctx.run(b, scheme)?;
+            // The adversarial pairs derive from the same training run the
+            // true regime used (the shared profile cache makes this one
+            // training run per scheme kind, deterministic across plan /
+            // execute / replay walks).
+            let filled = ctx.profiles.fill(b, scheme, &ctx.config)?;
+            let pair = filled.preloaded.clone().expect("fill preloads a pair");
+            let inverted = invert_path(&pair.1);
+            let mixed = merge_paths(&pair.1, &inverted).expect("same program, same depth");
+            let inv_cfg = RunConfig {
+                preloaded: Some(std::sync::Arc::new((pair.0.clone(), inverted))),
+                ..ctx.config.clone()
+            };
+            let mix_cfg = RunConfig {
+                preloaded: Some(std::sync::Arc::new((pair.0.clone(), mixed))),
+                ..ctx.config.clone()
+            };
+            let inv = ctx.run_with(b, scheme, &inv_cfg)?;
+            let mix = ctx.run_with(b, scheme, &mix_cfg)?;
+            t.row(vec![
+                b.name.to_string(),
+                scheme.name(),
+                truth.cycles.to_string(),
+                inv.cycles.to_string(),
+                mix.cycles.to_string(),
+                ratio(inv.cycles, truth.cycles),
+                ratio(mix.cycles, truth.cycles),
+            ]);
+        }
     }
     Ok(t)
 }
@@ -732,8 +842,8 @@ mod tests {
         };
         build_tables("fig4", &benches, &mut ctx).unwrap();
         let CtxMode::Plan(cells) = &ctx.mode else { panic!("mode changed") };
-        // fig4 runs M4 and P4 per benchmark.
-        assert_eq!(cells.len(), 2);
+        // fig4 runs M4, P4, Pk2, Pk3 and Px4 per benchmark.
+        assert_eq!(cells.len(), 5);
         assert!(cells.iter().all(|c| c.bench == "wc"));
         assert!(ctx.incidents.is_empty());
     }

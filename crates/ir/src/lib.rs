@@ -46,6 +46,7 @@ pub mod dot;
 pub mod exec;
 pub mod fault;
 pub mod hash;
+pub mod inline;
 pub mod instr;
 pub mod interp;
 pub mod proc;

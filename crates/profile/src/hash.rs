@@ -9,8 +9,9 @@
 //! across requests, processes, and machines.
 
 use crate::edge::EdgeProfile;
+use crate::kpath::KPathProfile;
 use crate::path::PathProfile;
-use crate::serialize::{edge_to_text, path_to_text};
+use crate::serialize::{edge_to_text, kpath_to_text, path_to_text};
 use pps_ir::hash::{fnv1a64, splitmix64};
 
 /// Hashes a canonical profile text. Both profile kinds go through this so
@@ -35,6 +36,20 @@ pub fn path_hash(profile: &PathProfile) -> u64 {
 /// Folds both hashes order-sensitively so `(e, p)` and `(p, e)` differ.
 pub fn profile_pair_hash(edge: &EdgeProfile, path: &PathProfile) -> u64 {
     splitmix64(edge_hash(edge) ^ splitmix64(path_hash(path)))
+}
+
+/// Canonical hash of a k-iteration path profile (over [`kpath_to_text`],
+/// which embeds `k` in its header — the same counts at different `k` hash
+/// differently, as they must: they answer different queries).
+pub fn kpath_hash(profile: &KPathProfile) -> u64 {
+    profile_text_hash(&kpath_to_text(profile))
+}
+
+/// Folds a k-iteration profile hash into an edge+path pair hash, giving
+/// the profile leg of the `ArtifactKey` for `Pk*` scheme compiles. Order-
+/// sensitive like [`profile_pair_hash`], so swapping legs moves the key.
+pub fn profile_triple_hash(edge: &EdgeProfile, path: &PathProfile, kpath: &KPathProfile) -> u64 {
+    splitmix64(profile_pair_hash(edge, path) ^ splitmix64(kpath_hash(kpath)))
 }
 
 #[cfg(test)]

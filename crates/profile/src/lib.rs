@@ -16,6 +16,12 @@
 //!   answered exactly via suffix sums over a reversed trie.
 //! - [`forward::ForwardPathProfiler`] — Ball–Larus-style forward paths
 //!   (chopped at back edges), included for comparison with prior work (§5).
+//! - [`kpath::KPathProfiler`] — k-iteration Ball–Larus paths
+//!   (arXiv:1304.5197): the chop moves to the k-th back-edge crossing, so a
+//!   path spans up to `k` loop iterations and exposes cross-iteration branch
+//!   correlation. `k = 1` is bit-identical to the forward profiler; the
+//!   derived [`kpath::KPathProfile::to_path_profile`] view feeds the
+//!   `Pk2`/`Pk3` superblock-formation schemes.
 //!
 //! All profiles are collected per procedure with one window per activation,
 //! so recursion is handled exactly and paths never cross procedure
@@ -52,14 +58,18 @@
 pub mod edge;
 pub mod forward;
 pub mod hash;
+pub mod kpath;
 pub mod merge;
 pub mod path;
 pub mod predict;
 pub mod serialize;
 
 pub use edge::{EdgeProfile, EdgeProfiler};
-pub use hash::{edge_hash, path_hash, profile_pair_hash};
-pub use merge::{merge_edges, merge_paths, path_drift, DriftReport, MergeError};
+pub use hash::{edge_hash, kpath_hash, path_hash, profile_pair_hash, profile_triple_hash};
+pub use merge::{
+    kpath_drift, merge_edges, merge_kpaths, merge_paths, path_drift, DriftReport, MergeError,
+};
 pub use forward::{ForwardPathProfile, ForwardPathProfiler};
+pub use kpath::{KPathProfile, KPathProfiler};
 pub use path::{PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
 pub use predict::{EdgePredictor, PathPredictor, PredictStats, Predictor};

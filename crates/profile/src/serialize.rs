@@ -19,6 +19,7 @@
 //! ```
 
 use crate::edge::EdgeProfile;
+use crate::kpath::KPathProfile;
 use crate::path::PathProfile;
 use pps_ir::{BlockId, ProcId};
 use std::collections::HashMap;
@@ -202,9 +203,88 @@ pub fn path_from_text(text: &str) -> Result<PathProfile, ProfileParseError> {
     Ok(PathProfile::from_windows(depth, per_proc))
 }
 
+/// Serializes a k-iteration path profile as its completed-path counts.
+/// Paths are emitted sorted, so the text is canonical: two profiles that
+/// answer every query identically serialize to the same bytes.
+pub fn kpath_to_text(profile: &KPathProfile) -> String {
+    let mut s = format!("pps-kpath-profile v1 k {}\n", profile.k());
+    for pi in 0..profile.num_procs() {
+        let pid = ProcId::new(pi as u32);
+        let _ = writeln!(s, "proc {pi}");
+        let mut paths: Vec<(Vec<BlockId>, u64)> = profile
+            .iter_paths(pid)
+            .map(|(p, c)| (p.to_vec(), c))
+            .collect();
+        paths.sort();
+        for (path, count) in paths {
+            let _ = write!(s, "path {count}");
+            for b in path {
+                let _ = write!(s, " {}", b.index());
+            }
+            let _ = writeln!(s);
+        }
+    }
+    s
+}
+
+/// Deserializes a k-iteration path profile.
+///
+/// # Errors
+/// Returns a [`ProfileParseError`] on malformed input.
+pub fn kpath_from_text(text: &str) -> Result<KPathProfile, ProfileParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let Some((ln, header)) = lines.next() else {
+        return err(0, "empty input");
+    };
+    let k = header
+        .strip_prefix("pps-kpath-profile v1 k ")
+        .and_then(|d| d.parse::<usize>().ok())
+        .filter(|&k| k >= 1)
+        .ok_or(ProfileParseError { line: ln, message: format!("bad header `{header}`") })?;
+    let mut per_proc: Vec<Vec<(Vec<BlockId>, u64)>> = Vec::new();
+    for (ln, l) in lines {
+        if l.is_empty() {
+            continue;
+        }
+        if let Some(pi) = l.strip_prefix("proc ") {
+            let pi: usize = pi
+                .parse()
+                .map_err(|_| ProfileParseError { line: ln, message: "bad proc index".into() })?;
+            if pi != per_proc.len() {
+                return err(ln, "procs must appear in order");
+            }
+            per_proc.push(Vec::new());
+        } else if let Some(rest) = l.strip_prefix("path ") {
+            let Some(cur) = per_proc.last_mut() else {
+                return err(ln, "path before proc");
+            };
+            let mut toks = rest.split_whitespace();
+            let count: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or(ProfileParseError { line: ln, message: "bad path count".into() })?;
+            let mut path = Vec::new();
+            for t in toks {
+                let b: u32 = t
+                    .parse()
+                    .map_err(|_| ProfileParseError { line: ln, message: "bad block id".into() })?;
+                path.push(BlockId::new(b));
+            }
+            if path.is_empty() {
+                return err(ln, "empty path");
+            }
+            cur.push((path, count));
+        } else {
+            return err(ln, format!("unrecognized line `{l}`"));
+        }
+    }
+    Ok(KPathProfile::from_paths(k, per_proc))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kpath::KPathProfiler;
     use crate::{EdgeProfiler, PathProfiler};
     use pps_ir::builder::ProgramBuilder;
     use pps_ir::interp::{ExecConfig, Interp};
@@ -279,12 +359,33 @@ mod tests {
     }
 
     #[test]
+    fn kpath_profile_round_trips() {
+        let p = sample();
+        for k in [1usize, 2, 3] {
+            let mut kp = KPathProfiler::new(&p, k);
+            Interp::new(&p, ExecConfig::default())
+                .run_traced(&[], &mut kp)
+                .unwrap();
+            let kpath = kp.finish();
+            let text = kpath_to_text(&kpath);
+            let back = kpath_from_text(&text).unwrap();
+            assert_eq!(back.k(), k);
+            assert_eq!(kpath_to_text(&back), text, "canonical fixpoint at k = {k}");
+            assert_eq!(back, kpath, "k = {k}");
+        }
+    }
+
+    #[test]
     fn parse_errors_have_line_numbers() {
         let e = edge_from_text("pps-edge-profile v1\nbogus").unwrap_err();
         assert_eq!(e.line, 2);
         let e = path_from_text("wrong header").unwrap_err();
         assert_eq!(e.line, 1);
         let e = path_from_text("pps-path-profile v1 depth 15\nwindow 3 1").unwrap_err();
+        assert!(e.message.contains("before proc"));
+        let e = kpath_from_text("pps-kpath-profile v1 k 0").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = kpath_from_text("pps-kpath-profile v1 k 2\npath 3 1").unwrap_err();
         assert!(e.message.contains("before proc"));
     }
 }

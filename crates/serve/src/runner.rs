@@ -11,7 +11,10 @@ use pps_ir::{Exec, FaultInjector};
 use pps_machine::MachineConfig;
 use pps_obs::Obs;
 use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
-use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
+use pps_profile::{
+    EdgeProfile, EdgeProfiler, KPathProfile, KPathProfiler, PathProfile, PathProfiler,
+    DEFAULT_PATH_DEPTH,
+};
 use pps_sim::{simulate_obs, Layout, SbDynStats};
 use pps_suite::Benchmark;
 use std::collections::HashMap;
@@ -117,18 +120,25 @@ impl RunConfig {
     }
 }
 
-/// File paths of a benchmark's saved profile pair under `dir`.
-fn profile_paths(dir: &str, bench: &str) -> (String, String) {
-    (format!("{dir}/{bench}.edgeprof"), format!("{dir}/{bench}.pathprof"))
+/// File paths of a benchmark's saved profile pair under `dir`. `suffix`
+/// distinguishes profile kinds that must never collide on disk: empty for
+/// the standard pair, `.pk{k}` for pairs whose path profile was derived
+/// from a k-iteration training run.
+fn profile_paths(dir: &str, bench: &str, suffix: &str) -> (String, String) {
+    (
+        format!("{dir}/{bench}{suffix}.edgeprof"),
+        format!("{dir}/{bench}{suffix}.pathprof"),
+    )
 }
 
 /// Loads a saved profile pair; `Ok(None)` when either file is absent.
 fn load_profiles(
     dir: &str,
     bench: &str,
+    suffix: &str,
     depth: usize,
 ) -> Result<Option<(EdgeProfile, PathProfile)>, String> {
-    let (ep, pp) = profile_paths(dir, bench);
+    let (ep, pp) = profile_paths(dir, bench, suffix);
     if !Path::new(&ep).exists() || !Path::new(&pp).exists() {
         return Ok(None);
     }
@@ -151,12 +161,13 @@ fn load_profiles(
 fn save_profiles(
     dir: &str,
     bench: &str,
+    suffix: &str,
     edge: &EdgeProfile,
     path: &PathProfile,
 ) -> Result<(), String> {
     static NONCE: AtomicU64 = AtomicU64::new(0);
     std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
-    let (ep, pp) = profile_paths(dir, bench);
+    let (ep, pp) = profile_paths(dir, bench, suffix);
     for (dest, text) in [(ep, edge_to_text(edge)), (pp, path_to_text(path))] {
         let tmp = format!(
             "{dest}.tmp.{}.{}",
@@ -183,15 +194,38 @@ fn train_pair(bench: &Benchmark, depth: usize) -> Result<(EdgeProfile, PathProfi
     Ok((tee.a.finish(), tee.b.finish()))
 }
 
+/// One k-iteration training run of `bench`, feeding the edge profiler and
+/// the k-iteration Ball–Larus profiler. The `Pk*` schemes derive their
+/// path profile from the returned [`KPathProfile`] (every prefix of every
+/// chopped k-path loaded as a suffix-trie window), so formation sees
+/// cross-iteration context exactly where a recorded span witnessed it.
+pub fn train_kpair(
+    bench: &Benchmark,
+    k: usize,
+) -> Result<(EdgeProfile, KPathProfile), RunError> {
+    let program = &bench.program;
+    let mut tee = TeeSink::new(EdgeProfiler::new(program), KPathProfiler::new(program, k));
+    Exec::new(program, ExecConfig::default())
+        .run_traced(&bench.train_args, &mut tee)
+        .map_err(|error| RunError::Exec {
+            bench: bench.name.to_string(),
+            stage: "train run",
+            error,
+        })?;
+    Ok((tee.a.finish(), tee.b.finish()))
+}
+
 /// Cross-run training cache: one trained `(edge, path)` profile pair per
-/// `(benchmark, depth)`.
+/// `(benchmark, depth, profile kind)`, where the kind is the standard
+/// forward profiler or a k-iteration derivation (`Pk*` schemes).
 ///
 /// A profile pair depends only on the benchmark's program, its training
-/// input, and the path depth — not on scheme, machine model, guard mode, or
-/// fault seed (faults are injected after profiling). Sweeps that fan one
-/// benchmark out across many schemes can therefore train once and compile
-/// many times against the *same* profile objects; the profilers are
-/// deterministic, so results are byte-identical to retraining per cell.
+/// input, the path depth, and — for k-iteration pairs — k; not on machine
+/// model, guard mode, or fault seed (faults are injected after profiling).
+/// Sweeps that fan one benchmark out across many schemes can therefore
+/// train once per kind and compile many times against the *same* profile
+/// objects; the profilers are deterministic, so results are byte-identical
+/// to retraining per cell.
 ///
 /// Clones share the cache. The cache is thread-safe; when parallel workers
 /// race on an untrained benchmark, both train (outside the lock) and the
@@ -201,31 +235,47 @@ pub struct ProfileCache {
     inner: Arc<Mutex<HashMap<ProfileKey, ProfilePair>>>,
 }
 
-/// Cache key: `(benchmark name, path depth)`.
-type ProfileKey = (String, usize);
+/// Cache key: `(benchmark name, path depth, k-iteration bound)` — `None`
+/// for the standard forward pair.
+type ProfileKey = (String, usize, Option<u32>);
 /// Shared, immutable trained profile pair.
 type ProfilePair = Arc<(EdgeProfile, PathProfile)>;
 
 impl ProfileCache {
     /// Returns `config` with [`RunConfig::preloaded`] filled from the
-    /// cache, training `bench` now on a miss. Configs that already carry a
+    /// cache, training `bench` now on a miss. `scheme` selects the profile
+    /// kind: `Pk*` schemes get a pair whose path profile is derived from a
+    /// k-iteration training run (cached under a distinct key so standard
+    /// and k-iteration pairs never alias). Configs that already carry a
     /// profile source (`preloaded`, `profile_in`) or want profiles saved
     /// (`profile_out`) pass through untouched.
     ///
     /// # Errors
     /// [`RunError::Exec`] when the training run fails.
-    pub fn fill(&self, bench: &Benchmark, config: &RunConfig) -> Result<RunConfig, RunError> {
+    pub fn fill(
+        &self,
+        bench: &Benchmark,
+        scheme: Scheme,
+        config: &RunConfig,
+    ) -> Result<RunConfig, RunError> {
         if config.preloaded.is_some() || config.profile_in.is_some() || config.profile_out.is_some()
         {
             return Ok(config.clone());
         }
         let depth = config.path_depth.unwrap_or(DEFAULT_PATH_DEPTH);
-        let key = (bench.name.to_string(), depth);
+        let key = (bench.name.to_string(), depth, scheme.kpath_k());
         let cached = self.inner.lock().expect("profile cache lock").get(&key).cloned();
         let pair = match cached {
             Some(pair) => pair,
             None => {
-                let trained = Arc::new(train_pair(bench, depth)?);
+                let trained = Arc::new(match scheme.kpath_k() {
+                    Some(k) => {
+                        let (edge, kprof) = train_kpair(bench, k as usize)?;
+                        let path = kprof.to_path_profile(depth);
+                        (edge, path)
+                    }
+                    None => train_pair(bench, depth)?,
+                });
                 self.inner
                     .lock()
                     .expect("profile cache lock")
@@ -321,36 +371,80 @@ pub fn run_scheme_obs(
     let profile_span = obs.span("profile").arg("depth", depth);
     let profile_err =
         |message: String| RunError::Profile { bench: bench.name.to_string(), message };
+    // k-iteration schemes train a different profile kind (the path
+    // profile is derived from chopped k-paths); their saved pairs live
+    // under `.pk{k}` names so the two kinds never alias on disk. The
+    // preloaded seam is the caller's responsibility — the ProfileCache
+    // and the serve daemon both key on the scheme.
+    let suffix = scheme.kpath_k().map(|k| format!(".pk{k}")).unwrap_or_default();
     let mut loaded: Option<Arc<(EdgeProfile, PathProfile)>> = config.preloaded.clone();
     if let (None, Some(dir)) = (&loaded, &config.profile_in) {
-        match load_profiles(dir, bench.name, depth).map_err(&profile_err)? {
+        match load_profiles(dir, bench.name, &suffix, depth).map_err(&profile_err)? {
             Some(pair) => loaded = Some(Arc::new(pair)),
             // With an output directory the missing pair is a cache miss:
             // train below and save. Without one it is a user error.
             None if config.profile_out.is_some() => {}
             None => {
                 return Err(profile_err(format!(
-                    "no saved profile in {dir} (expected {name}.edgeprof and \
-                     {name}.pathprof); run with --profile-out first",
+                    "no saved profile in {dir} (expected {name}{suffix}.edgeprof and \
+                     {name}{suffix}.pathprof); run with --profile-out first",
                     name = bench.name
                 )))
             }
         }
     }
-    let pair: Arc<(EdgeProfile, PathProfile)> = match loaded {
+    let mut pair: Arc<(EdgeProfile, PathProfile)> = match loaded {
         Some(pair) => pair,
         None => {
-            let pair = train_pair(bench, depth)?;
+            let pair = match scheme.kpath_k() {
+                Some(k) => {
+                    let (edge, kprof) = train_kpair(bench, k as usize)?;
+                    let path = kprof.to_path_profile(depth);
+                    (edge, path)
+                }
+                None => train_pair(bench, depth)?,
+            };
             if let Some(dir) = &config.profile_out {
-                save_profiles(dir, bench.name, &pair.0, &pair.1).map_err(&profile_err)?;
+                save_profiles(dir, bench.name, &suffix, &pair.0, &pair.1)
+                    .map_err(&profile_err)?;
             }
             Arc::new(pair)
         }
     };
+    drop(profile_span);
+
+    // Interprocedural phase (`Px4`): inline the hottest call sites behind
+    // the guard's recovery discipline, then retrain both profilers on the
+    // inlined program — the profiles the pipeline consumes must describe
+    // the blocks formation will actually see.
+    if matches!(scheme, Scheme::Inter { .. }) {
+        let inline_span = obs.span("inline");
+        let inline_config = pps_core::InlineConfig {
+            oracle_inputs: vec![bench.train_args.clone()],
+            step_budget: config.guard.step_budget,
+            ..pps_core::InlineConfig::default()
+        };
+        let outcome = pps_core::inline_hot_calls(&mut program, &pair.0, &inline_config);
+        if obs.is_recording() {
+            obs.counter("inline.sites", outcome.inlined.len() as u64);
+            obs.counter("inline.rolled_back", outcome.rolled_back as u64);
+            obs.counter("inline.skipped", outcome.skipped as u64);
+        }
+        drop(inline_span);
+        if !outcome.inlined.is_empty() {
+            let retrain_span = obs.span("profile").arg("stage", "retrain");
+            let mut tee =
+                TeeSink::new(EdgeProfiler::new(&program), PathProfiler::new(&program, depth));
+            Exec::new(&program, exec_config)
+                .run_traced(&bench.train_args, &mut tee)
+                .map_err(exec_err("inline retrain run"))?;
+            pair = Arc::new((tee.a.finish(), tee.b.finish()));
+            drop(retrain_span);
+        }
+    }
     let (edge, path) = (&pair.0, &pair.1);
     edge.record_metrics(&obs);
     path.record_metrics(&obs);
-    drop(profile_span);
 
     // 2. Form + compact under the recovery boundary. The runner's machine
     // description is the single source of truth: it overrides the
@@ -508,6 +602,26 @@ mod tests {
         assert!(matches!(err, RunError::Profile { .. }), "{err}");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kpath_and_inter_schemes_run_end_to_end() {
+        let config = RunConfig::paper();
+        // A loopy benchmark exercises the k-iteration chopper; `calls`-style
+        // benchmarks exercise the inline phase. Both must run the full
+        // methodology cleanly and produce sane measurements.
+        let bench = benchmark_by_name("alt", Scale::quick()).unwrap();
+        let bb = run_scheme(&bench, Scheme::BasicBlock, &config).unwrap();
+        for scheme in [Scheme::PK2, Scheme::PK3, Scheme::PX4] {
+            let r = run_scheme(&bench, scheme, &config).unwrap();
+            assert!(r.guard.clean(), "{}: {:?}", scheme.name(), r.guard);
+            assert!(r.cycles > 0 && r.cycles <= bb.cycles, "{}", scheme.name());
+        }
+        // Runs are deterministic per scheme.
+        let a = run_scheme(&bench, Scheme::PK2, &config).unwrap();
+        let b = run_scheme(&bench, Scheme::PK2, &config).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.static_instrs, b.static_instrs);
     }
 
     #[test]

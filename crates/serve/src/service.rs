@@ -21,7 +21,9 @@ use pps_ir::trace::TeeSink;
 use pps_ir::Exec;
 use pps_obs::{Level, Obs, ObsConfig};
 use pps_profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
-use pps_profile::{EdgeProfile, EdgeProfiler, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH};
+use pps_profile::{
+    EdgeProfile, EdgeProfiler, KPathProfile, PathProfile, PathProfiler, DEFAULT_PATH_DEPTH,
+};
 use pps_suite::{benchmark_by_name, Benchmark, Scale};
 
 /// Largest accepted suite scale — bounds per-request work.
@@ -84,26 +86,14 @@ impl Handler for CachedPipelineHandler {
     }
 }
 
-/// Parses a scheme name as printed by [`Scheme::name`]: `BB`, `M<n>`,
-/// `P<n>`, `P<n>e`.
+/// Parses a scheme name: `BB`, `M<n>`, `P<n>`, `P<n>e`, `Pk2`/`Pk3`,
+/// `Px4` — in any capitalization. Delegates to [`Scheme::parse`], the one
+/// canonicalizer: every consumer that keys on scheme identity (reply
+/// cache, shard router, `ArtifactKey`) goes through `parse(..).name()`,
+/// so spelling variants (`PK2` vs `Pk2`) can never split cache entries or
+/// route to different shards.
 pub fn parse_scheme(name: &str) -> Option<Scheme> {
-    if name == "BB" {
-        return Some(Scheme::BasicBlock);
-    }
-    if let Some(n) = name.strip_prefix('M') {
-        return n.parse().ok().map(|unroll| Scheme::Edge { unroll });
-    }
-    if let Some(rest) = name.strip_prefix('P') {
-        let (digits, restrained) = match rest.strip_suffix('e') {
-            Some(d) => (d, true),
-            None => (rest, false),
-        };
-        return digits
-            .parse()
-            .ok()
-            .map(|unroll| Scheme::Path { unroll, restrained });
-    }
-    None
+    Scheme::parse(name)
 }
 
 fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
@@ -125,20 +115,43 @@ fn lookup_bench(name: &str, scale: u32) -> Result<Benchmark, Response> {
         .ok_or_else(|| error(ErrorKind::UnknownBench, format!("no benchmark `{name}`")))
 }
 
+/// One training run of `program` feeding both profilers.
+#[allow(clippy::result_large_err)]
+fn train_profiles_on(
+    program: &pps_ir::Program,
+    train_args: &[i64],
+    name: &str,
+    depth: usize,
+) -> Result<(EdgeProfile, PathProfile), Response> {
+    let mut tee = TeeSink::new(EdgeProfiler::new(program), PathProfiler::new(program, depth));
+    Exec::new(program, ExecConfig::default())
+        .run_traced(train_args, &mut tee)
+        .map_err(|e| error(ErrorKind::Exec, format!("{name} train run: {e}")))?;
+    Ok((tee.a.finish(), tee.b.finish()))
+}
+
 /// One training run feeding both profilers.
 #[allow(clippy::result_large_err)]
 fn train_profiles(
     bench: &Benchmark,
     depth: usize,
 ) -> Result<(EdgeProfile, PathProfile), Response> {
-    let mut tee = TeeSink::new(
-        EdgeProfiler::new(&bench.program),
-        PathProfiler::new(&bench.program, depth),
-    );
-    Exec::new(&bench.program, ExecConfig::default())
-        .run_traced(&bench.train_args, &mut tee)
-        .map_err(|e| error(ErrorKind::Exec, format!("{} train run: {e}", bench.name)))?;
-    Ok((tee.a.finish(), tee.b.finish()))
+    train_profiles_on(&bench.program, &bench.train_args, bench.name, depth)
+}
+
+/// One k-iteration training run: the edge profile, the chopped k-path
+/// profile (hashed into the artifact key), and the path profile derived
+/// from it (what the pipeline and the PGO tier consume).
+#[allow(clippy::result_large_err)]
+fn train_kprofiles(
+    bench: &Benchmark,
+    k: usize,
+    depth: usize,
+) -> Result<(EdgeProfile, KPathProfile, PathProfile), Response> {
+    let (edge, kprof) = crate::runner::train_kpair(bench, k)
+        .map_err(|e| error(ErrorKind::Exec, e.to_string()))?;
+    let path = kprof.to_path_profile(depth);
+    Ok((edge, kprof, path))
 }
 
 /// Executes one request, deterministically. `Ping`/`Shutdown` are answered
@@ -184,17 +197,26 @@ pub fn execute_cached(
 }
 
 /// The content address of the unit a request resolves to: canonical
-/// program hash, canonical profile-pair hash, scheme name, machine hash.
+/// program hash, canonical profile hash, scheme name, machine hash. For
+/// `Pk*` units trained server-side the profile hash folds the k-iteration
+/// profile in ([`pps_profile::profile_triple_hash`]), so two k values that
+/// happen to derive the same flattened path profile still address
+/// different artifacts.
 fn artifact_key(
     bench: &Benchmark,
     edge: &EdgeProfile,
     path: &PathProfile,
+    kpath: Option<&KPathProfile>,
     scheme: Scheme,
     machine: &MachineConfig,
 ) -> ArtifactKey {
+    let profile_hash = match kpath {
+        Some(kp) => pps_profile::profile_triple_hash(edge, path, kp),
+        None => pps_profile::profile_pair_hash(edge, path),
+    };
     ArtifactKey::new(
         pps_ir::hash::program_hash(&bench.program),
-        pps_profile::profile_pair_hash(edge, path),
+        profile_hash,
         scheme.name(),
         machine_hash(machine),
     )
@@ -232,10 +254,14 @@ fn compile(
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
     };
+    // Scheme identity is the canonical spelling from here on — cache
+    // keys, shard routing and PGO labels must not see `PK2` vs `Pk2`.
+    let scheme_name = scheme.name();
     let bench = match lookup_bench(bench, scale) {
         Ok(b) => b,
         Err(r) => return r,
     };
+    let mut kpath: Option<KPathProfile> = None;
     let (edge, path) = match profile {
         Some(p) => {
             let edge = match edge_from_text(&p.edge) {
@@ -248,9 +274,21 @@ fn compile(
             };
             (edge, path)
         }
-        None => match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
-            Ok(pair) => pair,
-            Err(r) => return r,
+        None => match scheme.kpath_k() {
+            // `Pk*` with no supplied pair: one k-iteration training run;
+            // the derived pair drives the pipeline, the k-path profile
+            // itself is folded into the artifact key below.
+            Some(k) => match train_kprofiles(&bench, k as usize, DEFAULT_PATH_DEPTH) {
+                Ok((edge, kprof, path)) => {
+                    kpath = Some(kprof);
+                    (edge, path)
+                }
+                Err(r) => return r,
+            },
+            None => match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
+                Ok(pair) => pair,
+                Err(r) => return r,
+            },
         },
     };
     if let Some(sink) = sink {
@@ -258,7 +296,14 @@ fn compile(
     }
 
     let key = cache.map(|_| CacheKey {
-        artifact: artifact_key(&bench, &edge, &path, scheme, &CompactConfig::default().machine),
+        artifact: artifact_key(
+            &bench,
+            &edge,
+            &path,
+            kpath.as_ref(),
+            scheme,
+            &CompactConfig::default().machine,
+        ),
         class: CacheClass::Compile,
         bench: bench.name.to_string(),
         scale,
@@ -269,13 +314,34 @@ fn compile(
             // tier still observes the unit (same content — the key
             // equality guarantees the identical path profile).
             if let Some(sink) = sink {
-                sink.observe_unit(bench.name, scale, scheme_name, &path);
+                sink.observe_unit(bench.name, scale, &scheme_name, &path);
             }
             return (*reply).clone();
         }
     }
 
     let mut program = bench.program.clone();
+    // Interprocedural phase (`Px4`): guarded inlining of the hottest call
+    // sites, then a retrain on the inlined program — same two-phase flow
+    // as the runner, so Compile and RunCell agree on what `Px4` means.
+    let (edge, path) = if matches!(scheme, Scheme::Inter { .. }) {
+        let inline_config = pps_core::InlineConfig {
+            oracle_inputs: vec![bench.train_args.clone()],
+            ..pps_core::InlineConfig::default()
+        };
+        let outcome = pps_core::inline_hot_calls(&mut program, &edge, &inline_config);
+        if outcome.inlined.is_empty() {
+            (edge, path)
+        } else {
+            match train_profiles_on(&program, &bench.train_args, bench.name, DEFAULT_PATH_DEPTH)
+            {
+                Ok(pair) => pair,
+                Err(r) => return r,
+            }
+        }
+    } else {
+        (edge, path)
+    };
     let guard = GuardConfig {
         oracle_inputs: vec![bench.train_args.clone()],
         ..GuardConfig::default()
@@ -294,7 +360,7 @@ fn compile(
         Err(e) => return error(ErrorKind::Pipeline, e.to_string()),
     };
     if let Some(sink) = sink {
-        sink.observe_unit(bench.name, scale, scheme_name, &path);
+        sink.observe_unit(bench.name, scale, &scheme_name, &path);
     }
 
     let stats = &guarded.stats;
@@ -345,6 +411,7 @@ fn run_cell(
     let Some(scheme) = parse_scheme(scheme_name) else {
         return error(ErrorKind::UnknownScheme, format!("no scheme `{scheme_name}`"));
     };
+    let scheme_name = scheme.name();
     let bench = match lookup_bench(bench, scale) {
         Ok(b) => b,
         Err(r) => return r,
@@ -353,23 +420,34 @@ fn run_cell(
     config.guard.mode = if strict { GuardMode::Strict } else { GuardMode::Degrade };
     // Train up front when anyone needs the pair — the sink to aggregate
     // it, the cache to key on it — then hand the same objects to the
-    // runner. The metrics it records are identical to its own
-    // train-inline path, keeping the reply byte-for-byte equal to plain
-    // execution.
+    // runner. `Pk*` schemes train their k-iteration kind here (the runner
+    // would otherwise train the same thing itself), so the preloaded pair
+    // always matches what the scheme's own training run would produce and
+    // the reply stays byte-for-byte equal to plain execution.
     let mut trained: Option<(EdgeProfile, PathProfile)> = None;
+    let mut kpath: Option<KPathProfile> = None;
     if sink.is_some() || cache.is_some() {
-        match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
-            Ok(pair) => trained = Some(pair),
-            Err(r) => return r,
+        match scheme.kpath_k() {
+            Some(k) => match train_kprofiles(&bench, k as usize, DEFAULT_PATH_DEPTH) {
+                Ok((edge, kprof, path)) => {
+                    kpath = Some(kprof);
+                    trained = Some((edge, path));
+                }
+                Err(r) => return r,
+            },
+            None => match train_profiles(&bench, DEFAULT_PATH_DEPTH) {
+                Ok(pair) => trained = Some(pair),
+                Err(r) => return r,
+            },
         }
     }
     if let (Some(sink), Some((edge, path))) = (sink, &trained) {
         sink.publish(bench.name, scale, edge, path);
-        sink.observe_unit(bench.name, scale, scheme_name, path);
+        sink.observe_unit(bench.name, scale, &scheme_name, path);
     }
     let key = match (&trained, cache) {
         (Some((edge, path)), Some(_)) => Some(CacheKey {
-            artifact: artifact_key(&bench, edge, path, scheme, &config.machine),
+            artifact: artifact_key(&bench, edge, path, kpath.as_ref(), scheme, &config.machine),
             class: CacheClass::RunCell { strict },
             bench: bench.name.to_string(),
             scale,
@@ -412,12 +490,43 @@ mod tests {
 
     #[test]
     fn scheme_names_round_trip() {
-        for scheme in [Scheme::BasicBlock, Scheme::M4, Scheme::M16, Scheme::P4, Scheme::P4E] {
+        for scheme in Scheme::FAMILY {
             assert_eq!(parse_scheme(&scheme.name()), Some(scheme), "{}", scheme.name());
+            // Spelling variants canonicalize instead of splitting cache
+            // entries or shard routes.
+            assert_eq!(
+                parse_scheme(&scheme.name().to_ascii_uppercase()),
+                Some(scheme),
+                "{}",
+                scheme.name()
+            );
         }
         assert_eq!(parse_scheme("Q4"), None);
         assert_eq!(parse_scheme("M"), None);
         assert_eq!(parse_scheme("P4x"), None);
+    }
+
+    #[test]
+    fn kpath_compile_is_deterministic_and_distinct_per_k() {
+        let obs = Obs::noop();
+        let compile = |scheme: &str| {
+            execute(
+                &Request::Compile {
+                    bench: "wc".into(),
+                    scale: 1,
+                    scheme: scheme.into(),
+                    profile: None,
+                },
+                &obs,
+            )
+        };
+        let pk2 = compile("Pk2");
+        assert_eq!(pk2, compile("pk2"), "spelling variants are one scheme");
+        let Response::Compile { report } = &pk2 else { panic!("Pk2 compile failed: {pk2:?}") };
+        assert!(report.contains("scheme Pk2"), "{report}");
+        let px4 = compile("Px4");
+        let Response::Compile { report } = &px4 else { panic!("Px4 compile failed: {px4:?}") };
+        assert!(report.contains("scheme Px4"), "{report}");
     }
 
     #[test]

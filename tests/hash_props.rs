@@ -11,8 +11,13 @@ use pps::ir::interp::{ExecConfig, Interp};
 use pps::ir::text::{parse_program, print_program};
 use pps::ir::trace::TeeSink;
 use pps::ir::AnalysisCache;
-use pps::profile::serialize::{edge_from_text, edge_to_text, path_from_text, path_to_text};
-use pps::profile::{edge_hash, path_hash, profile_pair_hash, EdgeProfiler, PathProfiler};
+use pps::profile::serialize::{
+    edge_from_text, edge_to_text, kpath_from_text, kpath_to_text, path_from_text, path_to_text,
+};
+use pps::profile::{
+    edge_hash, kpath_hash, path_hash, profile_pair_hash, profile_triple_hash, EdgeProfiler,
+    KPathProfiler, PathProfiler,
+};
 use pps::testgen::{gen_program, GenConfig};
 use proptest::prelude::*;
 
@@ -128,6 +133,66 @@ proptest! {
             profile_pair_hash(&edge, &path),
             "seed {}", seed
         );
+    }
+
+    /// The k-path profile hash — the new ingredient the `Pk*` schemes fold
+    /// into `ArtifactKey` — is a content address with the same contract:
+    /// stable under canonical-text round-trip (for the triple hash too),
+    /// and moved by any count mutation.
+    #[test]
+    fn kpath_hash_survives_round_trip_and_detects_mutation(
+        seed in 0u64..1_000_000,
+        k in 1u32..4,
+    ) {
+        let program = gen_program(seed, GenConfig::default());
+        let mut tee = TeeSink::new(
+            EdgeProfiler::new(&program),
+            TeeSink::new(PathProfiler::new(&program, 15), KPathProfiler::new(&program, k as usize)),
+        );
+        Interp::new(&program, ExecConfig::default())
+            .run_traced(&[], &mut tee)
+            .unwrap();
+        let edge = tee.a.finish();
+        let path = tee.b.a.finish();
+        let kprof = tee.b.b.finish();
+
+        // Round-trip stability, for the component hash and for the triple
+        // hash the serving stack keys server-trained Pk units with.
+        let kprof2 = kpath_from_text(&kpath_to_text(&kprof)).unwrap();
+        prop_assert_eq!(kpath_hash(&kprof2), kpath_hash(&kprof), "seed {}", seed);
+        prop_assert_eq!(
+            profile_triple_hash(&edge, &path, &kprof2),
+            profile_triple_hash(&edge, &path, &kprof),
+            "seed {}", seed
+        );
+
+        // The triple hash must not degenerate to the pair hash: the k-path
+        // component has to move the key, or two schemes trained on
+        // different k-path data would alias in the artifact cache.
+        prop_assert_ne!(
+            profile_triple_hash(&edge, &path, &kprof),
+            profile_pair_hash(&edge, &path),
+            "seed {}", seed
+        );
+
+        // Mutation sensitivity: bump one recorded path's count via the
+        // canonical text (lines read `path <count> <b0> <b1> ...`). A
+        // profile with no completed path has nothing to mutate; skip it.
+        let text = kpath_to_text(&kprof);
+        let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+        if let Some(i) = lines.iter().position(|l| l.starts_with("path ")) {
+            let rest = lines[i].strip_prefix("path ").unwrap();
+            let (count, tail) = rest.split_once(' ').unwrap();
+            let bumped = count.parse::<u64>().unwrap() + 1;
+            lines[i] = format!("path {bumped} {tail}");
+            let kprof3 = kpath_from_text(&(lines.join("\n") + "\n")).unwrap();
+            prop_assert_ne!(kpath_hash(&kprof3), kpath_hash(&kprof), "seed {}", seed);
+            prop_assert_ne!(
+                profile_triple_hash(&edge, &path, &kprof3),
+                profile_triple_hash(&edge, &path, &kprof),
+                "seed {}", seed
+            );
+        }
     }
 }
 

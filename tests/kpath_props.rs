@@ -1,0 +1,149 @@
+//! k-iteration Ball–Larus profiler lockdown (the `Pk*` schemes' profile
+//! kind).
+//!
+//! Three layers of evidence:
+//!
+//! - **k=1 differential identity** — chopping at the first back-edge
+//!   crossing is, by construction, the forward profiler: on every suite
+//!   benchmark and across random multi-procedure programs, the k=1
+//!   chopper's path multiset equals [`ForwardPathProfiler`]'s exactly.
+//! - **Merge algebra** — `merge_kpaths` is commutative and associative
+//!   down to byte-identical canonical text, the property the serving
+//!   aggregate relies on to fold worker shards in any order.
+//! - **Canonical text** — serialize → parse → serialize is a fixpoint and
+//!   preserves equality.
+
+use pps::ir::interp::{ExecConfig, Interp};
+use pps::ir::trace::TeeSink;
+use pps::ir::BlockId;
+use pps::profile::serialize::{kpath_from_text, kpath_to_text};
+use pps::profile::{merge_kpaths, ForwardPathProfiler, KPathProfile, KPathProfiler};
+use pps::suite::{all_benchmarks, Scale};
+use pps::testgen::{gen_program, GenConfig};
+use proptest::prelude::*;
+
+/// Sorted `(path, count)` list — the order-free view both profilers must
+/// agree on.
+fn sorted_paths<'a>(
+    iter: impl Iterator<Item = (&'a [BlockId], u64)>,
+) -> Vec<(Vec<BlockId>, u64)> {
+    let mut v: Vec<_> = iter.map(|(p, c)| (p.to_vec(), c)).collect();
+    v.sort();
+    v
+}
+
+/// One traced run feeding the forward profiler and the k=1 chopper;
+/// asserts identical path multisets per procedure.
+fn assert_k1_identity(program: &pps::ir::Program, args: &[i64], label: &str) {
+    let mut tee =
+        TeeSink::new(ForwardPathProfiler::new(program), KPathProfiler::new(program, 1));
+    Interp::new(program, ExecConfig::default())
+        .run_traced(args, &mut tee)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let fwd = tee.a.finish();
+    let k1 = tee.b.finish();
+    for pid in program.proc_ids() {
+        assert_eq!(
+            sorted_paths(k1.iter_paths(pid)),
+            sorted_paths(fwd.iter_paths(pid)),
+            "{label}: k=1 multiset diverges from the forward profiler in {pid}"
+        );
+    }
+}
+
+/// Satellite requirement: the identity holds on every suite benchmark —
+/// real loop nests, switches, and call structures, not just generated
+/// CFGs — over the training input.
+#[test]
+fn k1_matches_forward_profiler_on_every_suite_benchmark() {
+    for bench in all_benchmarks(Scale::quick()) {
+        assert_k1_identity(&bench.program, &bench.train_args, bench.name);
+    }
+}
+
+/// A k-path profile for `seed`'s generated program, accumulated over
+/// `runs` executions (so differently-trained profiles of one program have
+/// genuinely different counts to merge).
+fn trained(seed: u64, k: usize, runs: usize) -> KPathProfile {
+    let program = gen_program(seed, GenConfig::default());
+    let mut prof = KPathProfiler::new(&program, k);
+    let interp = Interp::new(&program, ExecConfig::default());
+    for _ in 0..runs {
+        interp.run_traced(&[], &mut prof).unwrap();
+    }
+    prof.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn k1_matches_forward_profiler_on_random_programs(seed in 0u64..100_000) {
+        let program = gen_program(seed, GenConfig::default());
+        assert_k1_identity(&program, &[], &format!("seed {seed}"));
+    }
+
+    /// Merging is commutative and associative down to the canonical bytes
+    /// (profiles trained at different k refuse to merge — covered by the
+    /// unit tests in `pps-profile`).
+    #[test]
+    fn kpath_merge_is_commutative_and_associative(
+        seed in 0u64..50_000,
+        ra in 1u32..4,
+        rb in 1u32..4,
+        rc in 1u32..4,
+        k in 1u32..4,
+    ) {
+        // Merging requires one program shape, so all three profiles come
+        // from `seed`'s program; differing run counts give them genuinely
+        // different counts.
+        let k = k as usize;
+        let a = trained(seed, k, ra as usize);
+        let b = trained(seed, k, rb as usize);
+        let c = trained(seed, k, rc as usize);
+
+        let ab = merge_kpaths(&a, &b).unwrap();
+        let ba = merge_kpaths(&b, &a).unwrap();
+        prop_assert_eq!(kpath_to_text(&ab), kpath_to_text(&ba), "commutativity");
+
+        let ab_c = merge_kpaths(&ab, &c).unwrap();
+        let a_bc = merge_kpaths(&a, &merge_kpaths(&b, &c).unwrap()).unwrap();
+        prop_assert_eq!(kpath_to_text(&ab_c), kpath_to_text(&a_bc), "associativity");
+    }
+
+    /// Canonical text is a fixpoint: serialize → parse → serialize yields
+    /// the identical bytes and an equal profile.
+    #[test]
+    fn kpath_text_round_trips(seed in 0u64..100_000, k in 1u32..4) {
+        let prof = trained(seed, k as usize, 1);
+        let text = kpath_to_text(&prof);
+        let reparsed = kpath_from_text(&text).unwrap();
+        prop_assert_eq!(&reparsed, &prof);
+        prop_assert_eq!(kpath_to_text(&reparsed), text);
+    }
+
+    /// The derived path profile never invents transitions: any window the
+    /// derivation scores was a substring of some recorded k-path.
+    #[test]
+    fn derived_windows_are_kpath_substrings(seed in 0u64..50_000, k in 2u32..4) {
+        let prof = trained(seed, k as usize, 1);
+        let program = gen_program(seed, GenConfig::default());
+        let derived = prof.to_path_profile(15);
+        for pid in program.proc_ids() {
+            for (window, count) in derived.iter_maximal_windows(pid) {
+                if count == 0 {
+                    continue;
+                }
+                let witnessed = prof.iter_paths(pid).any(|(path, _)| {
+                    path.windows(window.len().min(path.len()))
+                        .any(|w| w == window.as_slice())
+                });
+                prop_assert!(
+                    witnessed,
+                    "seed {} {:?}: derived window {:?} not a substring of any k-path",
+                    seed, pid, window
+                );
+            }
+        }
+    }
+}
